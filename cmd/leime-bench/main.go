@@ -1,0 +1,54 @@
+// Command leime-bench regenerates the paper's evaluation artifacts: every
+// figure and the motivation-section numbers. Run one experiment with
+// -experiment fig7, or everything with -experiment all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"leime/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "leime-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (fig2, fig3, fig6, fig7, fig8, fig9, fig10a, fig10b, fig11, motivation) or 'all'")
+		quick      = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		list       = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-11s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	experiments := bench.All()
+	if *experiment != "all" {
+		e, err := bench.ByID(*experiment)
+		if err != nil {
+			return err
+		}
+		experiments = []bench.Experiment{e}
+	}
+	for i, e := range experiments {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("=== %s: %s\n\n", e.ID, e.Title)
+		if err := e.Run(os.Stdout, *quick); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+// Command leime-cloud runs the cloud tier of the LEIME testbed: it serves
+// third-block continuations forwarded by an edge server.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"leime"
+	"leime/internal/runtime"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "leime-cloud:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:7103", "listen address")
+		arch  = flag.String("arch", "inception-v3", "DNN profile (fixes the third block's FLOPs)")
+		flops = flag.Float64("flops", leime.CloudV100.FLOPS, "cloud capability in FLOPS")
+		scale = flag.Float64("scale", 1, "time compression factor (1 = real time)")
+	)
+	flag.Parse()
+
+	sys, err := leime.Build(leime.Options{Arch: *arch, Env: leime.TestbedEnv(leime.RaspberryPi3B)})
+	if err != nil {
+		return err
+	}
+	cloud, err := runtime.StartCloud(runtime.CloudConfig{
+		Addr:        *addr,
+		FLOPS:       *flops,
+		Block3FLOPs: sys.Params().Mu[2],
+		TimeScale:   runtime.Scale(*scale),
+	})
+	if err != nil {
+		return err
+	}
+	defer cloud.Close()
+	fmt.Printf("leime-cloud: serving %s third blocks on %s (%.3g FLOPS, scale %g)\n",
+		*arch, cloud.Addr(), *flops, *scale)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("leime-cloud: shutting down")
+	return nil
+}

@@ -1,0 +1,99 @@
+// Command leime-device runs one end device of the LEIME testbed: it
+// registers with an edge server, generates inference tasks, runs the online
+// offloading controller and prints completion statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"leime"
+	"leime/internal/netem"
+	"leime/internal/offload"
+	"leime/internal/runtime"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "leime-device:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id       = flag.String("id", "device-1", "device identifier")
+		edgeAddr = flag.String("edge", "127.0.0.1:7102", "edge server address")
+		arch     = flag.String("arch", "inception-v3", "DNN profile (must match the edge)")
+		device   = flag.String("device", "pi", "hardware preset: pi or nano")
+		rate     = flag.Float64("rate", 5, "mean task arrivals per slot")
+		slots    = flag.Int("slots", 60, "number of slots to generate")
+		bw       = flag.Float64("bandwidth", 10, "uplink bandwidth in Mbps")
+		lat      = flag.Float64("latency", 0.02, "uplink latency in seconds")
+		policy   = flag.String("policy", "leime", "offloading policy: leime, device-only, edge-only, cap")
+		scale    = flag.Float64("scale", 1, "time compression factor (1 = real time)")
+		seed     = flag.Int64("seed", 1, "randomness seed")
+	)
+	flag.Parse()
+
+	var node leime.Node
+	switch *device {
+	case "pi":
+		node = leime.RaspberryPi3B
+	case "nano":
+		node = leime.JetsonNano
+	default:
+		return fmt.Errorf("unknown device %q (want pi or nano)", *device)
+	}
+	var pol offload.Policy
+	switch *policy {
+	case "leime":
+		pol = offload.Lyapunov()
+	case "device-only":
+		pol = offload.DeviceOnly()
+	case "edge-only":
+		pol = offload.EdgeOnly()
+	case "cap":
+		pol = offload.CapabilityBased()
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+
+	sys, err := leime.Build(leime.Options{Arch: *arch, Env: leime.TestbedEnv(node)})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("leime-device %s: %s on %s, edge %s, policy %s, %d slots at rate %.1f\n",
+		*id, *arch, node.Name, *edgeAddr, pol.Name, *slots, *rate)
+
+	stats, err := runtime.RunDevice(runtime.DeviceConfig{
+		ID:       *id,
+		FLOPS:    node.FLOPS,
+		Model:    sys.Params(),
+		EdgeAddr: *edgeAddr,
+		Uplink: netem.Link{
+			BandwidthBps: leime.Mbps(*bw),
+			Latency:      time.Duration(*lat * float64(time.Second)),
+		},
+		ArrivalMean: *rate,
+		Policy:      &pol,
+		TauSec:      1,
+		V:           1e4,
+		Slots:       *slots,
+		WarmupSlots: *slots / 10,
+		TimeScale:   runtime.Scale(*scale),
+		Seed:        *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tasks: generated=%d completed=%d errors=%d exits=[%d %d %d]\n",
+		stats.Generated, stats.Completed, stats.Errors,
+		stats.ExitCounts[0], stats.ExitCounts[1], stats.ExitCounts[2])
+	fmt.Printf("TCT: mean=%.4fs p50=%.4fs p99=%.4fs max=%.4fs (model seconds)\n",
+		stats.TCT.Mean(), stats.TCT.Percentile(50), stats.TCT.Percentile(99), stats.TCT.Max())
+	fmt.Printf("mean offloading ratio: %.3f\n", stats.Ratio.Mean())
+	return nil
+}

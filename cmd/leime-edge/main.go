@@ -1,0 +1,66 @@
+// Command leime-edge runs the edge tier of the LEIME testbed: it serves
+// first- and second-block inference for registered devices with KKT resource
+// shares, forwarding third-block work to a cloud server.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"leime"
+	"leime/internal/netem"
+	"leime/internal/runtime"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "leime-edge:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7102", "listen address")
+		arch      = flag.String("arch", "inception-v3", "DNN profile")
+		flops     = flag.Float64("flops", leime.EdgeDesktop.FLOPS, "edge capability in FLOPS")
+		cloudAddr = flag.String("cloud", "", "cloud server address (empty = no cloud tier)")
+		cloudBW   = flag.Float64("cloud-bandwidth", 50, "edge-cloud bandwidth in Mbps")
+		cloudLat  = flag.Float64("cloud-latency", 0.03, "edge-cloud latency in seconds")
+		scale     = flag.Float64("scale", 1, "time compression factor (1 = real time)")
+	)
+	flag.Parse()
+
+	sys, err := leime.Build(leime.Options{Arch: *arch, Env: leime.TestbedEnv(leime.RaspberryPi3B)})
+	if err != nil {
+		return err
+	}
+	edge, err := runtime.StartEdge(runtime.EdgeConfig{
+		Addr:      *addr,
+		FLOPS:     *flops,
+		Model:     sys.Params(),
+		CloudAddr: *cloudAddr,
+		CloudLink: netem.Link{
+			BandwidthBps: leime.Mbps(*cloudBW),
+			Latency:      time.Duration(*cloudLat * float64(time.Second)),
+		},
+		TimeScale: runtime.Scale(*scale),
+	})
+	if err != nil {
+		return err
+	}
+	defer edge.Close()
+	e1, e2, e3 := sys.Exits()
+	fmt.Printf("leime-edge: serving %s{exit-%d,exit-%d,exit-%d} on %s (%.3g FLOPS, cloud %q, scale %g)\n",
+		*arch, e1, e2, e3, edge.Addr(), *flops, *cloudAddr, *scale)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("leime-edge: shutting down")
+	return nil
+}

@@ -1,0 +1,98 @@
+// Command leime-exitset solves the exit-setting problem P0 for a DNN profile
+// and environment, and compares LEIME's setting against every baseline
+// scheme.
+//
+// Example:
+//
+//	leime-exitset -arch inception-v3 -device nano -bandwidth 10 -latency 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"leime"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "leime-exitset:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		arch      = flag.String("arch", "inception-v3", "DNN profile: "+strings.Join(leime.Architectures(), ", "))
+		device    = flag.String("device", "pi", "end device: pi or nano")
+		bandwidth = flag.Float64("bandwidth", 10, "device-edge bandwidth in Mbps")
+		latency   = flag.Float64("latency", 0.02, "device-edge propagation latency in seconds")
+		edgeLoad  = flag.Float64("edge-share", 1, "fraction of the edge available to this device (0..1]")
+		easyFrac  = flag.Float64("easy", 0, "easy-sample fraction of the workload (0 = default mixture)")
+		sweepBW   = flag.Bool("sweep-bandwidth", false, "also print the optimal exits across a bandwidth sweep")
+		sweepLoad = flag.Bool("sweep-load", false, "also print the optimal exits across an edge-load sweep")
+	)
+	flag.Parse()
+
+	var node leime.Node
+	switch *device {
+	case "pi":
+		node = leime.RaspberryPi3B
+	case "nano":
+		node = leime.JetsonNano
+	default:
+		return fmt.Errorf("unknown device %q (want pi or nano)", *device)
+	}
+	env := leime.TestbedEnv(node).
+		WithDeviceEdge(leime.Path{BandwidthBps: leime.Mbps(*bandwidth), LatencySec: *latency}).
+		WithEdgeLoad(*edgeLoad)
+
+	sys, err := leime.Build(leime.Options{Arch: *arch, Env: env, EasyFraction: *easyFrac})
+	if err != nil {
+		return err
+	}
+	e1, e2, e3 := sys.Exits()
+	params := sys.Params()
+	fmt.Printf("model:       %s\n", sys.Arch())
+	fmt.Printf("environment: device=%s bandwidth=%.1fMbps latency=%.0fms edge-share=%.2f\n",
+		node.Name, *bandwidth, *latency*1000, *edgeLoad)
+	fmt.Printf("exit setting: First=exit-%d Second=exit-%d Third=exit-%d\n", e1, e2, e3)
+	fmt.Printf("exit rates:   sigma=[%.3f %.3f %.3f]\n", params.Sigma[0], params.Sigma[1], params.Sigma[2])
+	fmt.Printf("blocks:       mu=[%.3g %.3g %.3g] FLOPs, boundaries d=[%.0f %.0f %.0f] bytes\n",
+		params.Mu[0], params.Mu[1], params.Mu[2], params.D[0], params.D[1], params.D[2])
+	fmt.Printf("expected TCT: %.4fs (no queueing)\n\n", sys.ExpectedTCT())
+
+	costs, err := sys.CompareStrategies()
+	if err != nil {
+		return err
+	}
+	fmt.Println("scheme comparison (expected per-task completion time):")
+	for _, c := range costs {
+		speed := c.TCT / costs[0].TCT
+		fmt.Printf("  %-13s exits (%2d, %2d)  TCT %.4fs  (%.2fx LEIME)\n", c.Name, c.E1, c.E2, c.TCT, speed)
+	}
+
+	if *sweepBW {
+		pts, err := sys.SweepBandwidth([]float64{1, 2, 4, 8, 16, 32, 64, 128})
+		if err != nil {
+			return err
+		}
+		fmt.Println("\noptimal exits vs device-edge bandwidth:")
+		for _, pt := range pts {
+			fmt.Printf("  %-8s exits (%2d, %2d)  TCT %.4fs\n", pt.Label, pt.E1, pt.E2, pt.TCT)
+		}
+	}
+	if *sweepLoad {
+		pts, err := sys.SweepEdgeLoad([]float64{1, 0.5, 0.25, 0.1, 0.05, 0.02})
+		if err != nil {
+			return err
+		}
+		fmt.Println("\noptimal exits vs edge share:")
+		for _, pt := range pts {
+			fmt.Printf("  %-11s exits (%2d, %2d)  TCT %.4fs\n", pt.Label, pt.E1, pt.E2, pt.TCT)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+// Command leime-profile exports the offline artifacts a LEIME deployment
+// ships: the analytic DNN profile (per-element FLOPs and tensor sizes) and
+// the calibration result (per-exit confidence thresholds and exit rates).
+//
+//	leime-profile -arch inception-v3 -out profile.json -calibration cal.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"leime"
+	"leime/internal/confidence"
+	"leime/internal/dataset"
+	"leime/internal/model"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "leime-profile:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		arch     = flag.String("arch", "inception-v3", "DNN profile: "+strings.Join(leime.Architectures(), ", "))
+		out      = flag.String("out", "-", "profile output path (- for stdout)")
+		calOut   = flag.String("calibration", "", "also write the calibration artifact to this path (- for stdout)")
+		size     = flag.Int("samples", 1000, "calibration-set size")
+		seed     = flag.Int64("seed", 1, "calibration seed")
+		easyFrac = flag.Float64("easy", 0, "easy-sample fraction (0 = default mixture)")
+	)
+	flag.Parse()
+
+	p, err := model.ByName(*arch)
+	if err != nil {
+		return err
+	}
+	if err := writeTo(*out, p.WriteJSON); err != nil {
+		return err
+	}
+
+	if *calOut == "" {
+		return nil
+	}
+	mix := dataset.CIFAR10Like
+	if *easyFrac > 0 {
+		mix = mix.WithEasyFrac(*easyFrac)
+	}
+	ds, err := dataset.Generate(mix, *size, *seed)
+	if err != nil {
+		return err
+	}
+	conf, err := confidence.New(p, confidence.DefaultParams(p.Name), *seed)
+	if err != nil {
+		return err
+	}
+	budget := confidence.DefaultLossBudget(p.Name)
+	th, sigma := conf.Calibrate(ds, budget)
+	art := confidence.CalibrationArtifact{
+		Arch:       p.Name,
+		LossBudget: budget,
+		Thresholds: th,
+		Sigma:      sigma,
+	}
+	return writeTo(*calOut, func(w io.Writer) error {
+		return confidence.WriteArtifact(w, art)
+	})
+}
+
+// writeTo streams fn's output to a path, with "-" meaning stdout.
+func writeTo(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}

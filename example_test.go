@@ -1,0 +1,95 @@
+package leime_test
+
+import (
+	"fmt"
+
+	"leime"
+)
+
+// ExampleBuild shows the core workflow: build a system for a concrete
+// environment and read the optimal exit setting.
+func ExampleBuild() {
+	sys, err := leime.Build(leime.Options{
+		Arch: "inception-v3",
+		Env:  leime.TestbedEnv(leime.RaspberryPi3B),
+	})
+	if err != nil {
+		panic(err)
+	}
+	e1, e2, e3 := sys.Exits()
+	fmt.Println("valid ordering:", 1 <= e1 && e1 < e2 && e2 < e3)
+	fmt.Println("third exit is the original classifier:", e3 == 16)
+	// Output:
+	// valid ordering: true
+	// third exit is the original classifier: true
+}
+
+// ExampleSystem_CompareStrategies evaluates LEIME against the paper's
+// baseline exit-setting schemes under one environment.
+func ExampleSystem_CompareStrategies() {
+	sys, err := leime.Build(leime.Options{
+		Arch: "resnet-34",
+		Env:  leime.TestbedEnv(leime.JetsonNano),
+	})
+	if err != nil {
+		panic(err)
+	}
+	costs, err := sys.CompareStrategies()
+	if err != nil {
+		panic(err)
+	}
+	best := costs[0]
+	wins := true
+	for _, c := range costs[1:] {
+		if c.TCT < best.TCT {
+			wins = false
+		}
+	}
+	fmt.Println("first scheme:", best.Name)
+	fmt.Println("LEIME never loses:", wins)
+	// Output:
+	// first scheme: LEIME
+	// LEIME never loses: true
+}
+
+// ExampleSystem_SimulateTasks runs the per-task pipeline simulation and
+// checks task conservation.
+func ExampleSystem_SimulateTasks() {
+	sys, err := leime.Build(leime.Options{
+		Arch: "squeezenet-1.0",
+		Env:  leime.TestbedEnv(leime.RaspberryPi3B),
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := sys.SimulateTasks(leime.SimOptions{ArrivalRate: 4, Slots: 100})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("all tasks completed:", res.Completed == res.Generated && res.Generated > 0)
+	fmt.Println("latency positive:", res.TCT.Mean() > 0)
+	// Output:
+	// all tasks completed: true
+	// latency positive: true
+}
+
+// ExampleSystem_SweepBandwidth shows the optimal exits migrating with the
+// uplink: slower links push the First exit deeper.
+func ExampleSystem_SweepBandwidth() {
+	sys, err := leime.Build(leime.Options{
+		Arch: "resnet-34",
+		Env:  leime.TestbedEnv(leime.RaspberryPi3B),
+	})
+	if err != nil {
+		panic(err)
+	}
+	pts, err := sys.SweepBandwidth([]float64{1, 64})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("slow link First exit deeper:", pts[0].E1 >= pts[1].E1)
+	fmt.Println("fast link cheaper:", pts[1].TCT < pts[0].TCT)
+	// Output:
+	// slow link First exit deeper: true
+	// fast link cheaper: true
+}

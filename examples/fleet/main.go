@@ -1,0 +1,64 @@
+// Fleet: the scalability scenario of the paper's Fig. 11 as a runnable
+// example — a growing fleet of homogeneous devices shares one edge server,
+// and LEIME's load-aware exit setting plus online offloading keeps the mean
+// completion time near-linear while static baselines fall over.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"leime"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("== LEIME fleet scaling: N Raspberry Pis sharing one edge server")
+	fmt.Printf("%8s  %14s  %14s  %12s\n", "devices", "leime_tct_ms", "donly_tct_ms", "leime_ratio")
+	for _, n := range []int{1, 2, 5, 10, 20, 40} {
+		// The exit setting sees the per-device edge share: with N tenants
+		// each device gets 1/N of the edge, so LEIME re-solves P0 per scale.
+		env := leime.TestbedEnv(leime.RaspberryPi3B).WithEdgeLoad(1 / float64(n))
+		sys, err := leime.Build(leime.Options{Arch: "resnet-34", Env: env})
+		if err != nil {
+			return err
+		}
+		res, err := sys.SimulateSlots(leime.SimOptions{
+			Devices:     n,
+			DeviceFLOPS: leime.RaspberryPi3B.FLOPS,
+			ArrivalRate: 3,
+			Slots:       150,
+		})
+		if err != nil {
+			return err
+		}
+		dOnly := leime.DeviceOnly()
+		resD, err := sys.SimulateSlots(leime.SimOptions{
+			Devices:     n,
+			DeviceFLOPS: leime.RaspberryPi3B.FLOPS,
+			ArrivalRate: 3,
+			Slots:       150,
+			Policy:      &dOnly,
+		})
+		if err != nil {
+			return err
+		}
+		var ratio float64
+		for _, d := range res.PerDevice {
+			ratio += d.Ratio.Mean()
+		}
+		ratio /= float64(len(res.PerDevice))
+		fmt.Printf("%8d  %14.1f  %14.1f  %12.2f\n",
+			n, res.MeanTCT*1000, resD.MeanTCT*1000, ratio)
+	}
+	fmt.Println("\nWith few tenants LEIME exploits the idle edge (high offload ratio, well")
+	fmt.Println("below device-only cost); as the fleet grows it pulls first-block work back")
+	fmt.Println("to the devices and re-solves the exit setting for the thinner edge share,")
+	fmt.Println("so completion time degrades smoothly instead of collapsing.")
+	return nil
+}

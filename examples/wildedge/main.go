@@ -1,0 +1,116 @@
+// Wildedge: the "wild" environment demonstration. Arrival rates surge and
+// fall over time while LEIME's online offloading controller and the static
+// baselines run side by side; the example prints per-phase mean completion
+// times and the controller's offloading decisions, showing how the Lyapunov
+// policy tracks the changing load.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"leime"
+	"leime/internal/offload"
+	"leime/internal/sim"
+	"leime/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+var phases = []trace.Phase{
+	{Slots: 80, Rate: 3},
+	{Slots: 80, Rate: 12},
+	{Slots: 80, Rate: 4},
+	{Slots: 80, Rate: 18},
+	{Slots: 80, Rate: 3},
+}
+
+func run() error {
+	// The edge is shared with other tenants (8% share), so blindly pushing
+	// everything to the edge is no longer free and the controller has a real
+	// local-vs-edge trade-off to balance.
+	sys, err := leime.Build(leime.Options{
+		Arch: "inception-v3",
+		Env:  leime.TestbedEnv(leime.RaspberryPi3B).WithEdgeLoad(0.08),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("== LEIME in the wild: dynamic arrival rates, Raspberry Pi + edge + cloud")
+	fmt.Print("phases:")
+	for _, ph := range phases {
+		fmt.Printf(" %d slots @ rate %.0f;", ph.Slots, ph.Rate)
+	}
+	fmt.Println()
+
+	policies := []leime.Policy{
+		leime.Lyapunov(),
+		leime.DeviceOnly(),
+		leime.EdgeOnly(),
+		leime.CapabilityBased(),
+	}
+	total := 0
+	for _, ph := range phases {
+		total += ph.Slots
+	}
+
+	fmt.Printf("\n%-10s", "policy")
+	for i := range phases {
+		fmt.Printf("  phase%d(ms)", i+1)
+	}
+	fmt.Printf("  backlog  mean_ratio\n")
+	for _, pol := range policies {
+		res, ratio, err := runPolicy(sys, pol, total)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s", pol.Name)
+		at := 0
+		for _, ph := range phases {
+			fmt.Printf("  %10.1f", 1000*res.PerDevice[0].SlotTCT.Window(at, at+ph.Slots))
+			at += ph.Slots
+		}
+		fmt.Printf("  %7.0f  %10.2f\n", res.FinalBacklog, ratio)
+	}
+	fmt.Println("\nNo static policy wins every phase: E-only and cap_based pay dearly in the")
+	fmt.Println("surges (the shared edge saturates), D-only wastes the edge in calm phases.")
+	fmt.Println("LEIME tracks the best policy in each phase without being told which it is.")
+	return nil
+}
+
+func runPolicy(sys *leime.System, pol leime.Policy, slots int) (*sim.SlotResult, float64, error) {
+	proc, err := trace.NewPiecewise(phases, 5)
+	if err != nil {
+		return nil, 0, err
+	}
+	env := sys.Env()
+	res, err := sim.RunSlots(sim.SlotConfig{
+		Model: sys.Params(),
+		Devices: []sim.DeviceSpec{{
+			Device: offload.Device{
+				FLOPS:        env.DeviceFLOPS,
+				BandwidthBps: env.DeviceEdge.BandwidthBps,
+				LatencySec:   env.DeviceEdge.LatencySec,
+				ArrivalMean:  proc.Mean(),
+			},
+			Arrivals: proc,
+			Policy:   &pol,
+		}},
+		EdgeFLOPS:   env.EdgeFLOPS,
+		CloudFLOPS:  env.CloudFLOPS,
+		EdgeCloud:   env.EdgeCloud,
+		TauSec:      1,
+		V:           1e4,
+		Slots:       slots,
+		WarmupSlots: 10,
+		Seed:        5,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, res.PerDevice[0].Ratio.Mean(), nil
+}

@@ -1,0 +1,3 @@
+module leime
+
+go 1.22

@@ -1,0 +1,115 @@
+package exitsetting
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"leime/internal/cluster"
+	"leime/internal/model"
+)
+
+func TestOptimalExitsInvariantUnderUniformSpeedScaling(t *testing.T) {
+	// Multiplying every node's FLOPS by the same constant scales every cost
+	// term's compute part uniformly; with the network terms also scaled (by
+	// scaling bytes), the optimal exits must not move. This pins the cost
+	// model's homogeneity: only *ratios* matter.
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 60; trial++ {
+		m := 6 + rng.Intn(15)
+		p := randomProfile(rng, m)
+		sigma := randomSigma(rng, m)
+		env := randomEnv(rng)
+		base := mustInstance(t, p, sigma, env).Solve()
+
+		const c = 7.3
+		scaled := env
+		scaled.DeviceFLOPS *= c
+		scaled.EdgeFLOPS *= c
+		scaled.CloudFLOPS *= c
+		scaled.DeviceEdge.BandwidthBps *= c
+		scaled.DeviceEdge.LatencySec /= c
+		scaled.EdgeCloud.BandwidthBps *= c
+		scaled.EdgeCloud.LatencySec /= c
+		got := mustInstance(t, p, sigma, scaled).Solve()
+
+		if got.E1 != base.E1 || got.E2 != base.E2 {
+			t.Fatalf("trial %d: exits moved under uniform speed scaling: (%d,%d) -> (%d,%d)",
+				trial, base.E1, base.E2, got.E1, got.E2)
+		}
+		if rel := math.Abs(got.Cost*c-base.Cost) / base.Cost; rel > 1e-9 {
+			t.Fatalf("trial %d: cost did not scale by 1/c (rel %v)", trial, rel)
+		}
+	}
+}
+
+func TestCostMonotoneInBandwidth(t *testing.T) {
+	// For any fixed combination, more device-edge bandwidth can only reduce
+	// the expected completion time.
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 60; trial++ {
+		m := 6 + rng.Intn(15)
+		p := randomProfile(rng, m)
+		sigma := randomSigma(rng, m)
+		env := randomEnv(rng)
+		e1 := 1 + rng.Intn(m-2)
+		e2 := e1 + 1 + rng.Intn(m-e1-1)
+
+		slow := mustInstance(t, p, sigma, env)
+		fastEnv := env
+		fastEnv.DeviceEdge.BandwidthBps *= 3
+		fast := mustInstance(t, p, sigma, fastEnv)
+		if fast.Cost(e1, e2) > slow.Cost(e1, e2)+1e-12 {
+			t.Fatalf("trial %d: cost rose with bandwidth at (%d,%d)", trial, e1, e2)
+		}
+	}
+}
+
+func TestCostMonotoneInSigma(t *testing.T) {
+	// Raising exit probabilities pointwise (more traffic exits early) can
+	// only reduce the expected completion time of any fixed combination.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 60; trial++ {
+		m := 6 + rng.Intn(15)
+		p := randomProfile(rng, m)
+		sigma := randomSigma(rng, m)
+		env := randomEnv(rng)
+		better := make([]float64, m)
+		for i := range sigma {
+			better[i] = sigma[i] + (1-sigma[i])*0.5*rng.Float64()
+		}
+		better[m-1] = 1
+		// Keep monotone.
+		for i := 1; i < m; i++ {
+			if better[i] < better[i-1] {
+				better[i] = better[i-1]
+			}
+		}
+		e1 := 1 + rng.Intn(m-2)
+		e2 := e1 + 1 + rng.Intn(m-e1-1)
+		lo := mustInstance(t, p, sigma, env)
+		hi := mustInstance(t, p, better, env)
+		if hi.Cost(e1, e2) > lo.Cost(e1, e2)+1e-9 {
+			t.Fatalf("trial %d: cost rose as exit rates improved at (%d,%d)", trial, e1, e2)
+		}
+	}
+}
+
+func TestSolveCostNeverAboveAnyCombination(t *testing.T) {
+	// Solve's result is a certified minimum: spot-check against random
+	// combinations on the real profiles.
+	rng := rand.New(rand.NewSource(31))
+	for _, p := range model.All() {
+		sigma := randomSigma(rng, p.NumExits())
+		in := mustInstance(t, p, sigma, cluster.TestbedEnv(cluster.JetsonNano))
+		best := in.Solve()
+		m := p.NumExits()
+		for trial := 0; trial < 50; trial++ {
+			e1 := 1 + rng.Intn(m-2)
+			e2 := e1 + 1 + rng.Intn(m-e1-1)
+			if in.Cost(e1, e2) < best.Cost-1e-12 {
+				t.Fatalf("%s: combination (%d,%d) beats Solve's optimum", p.Name, e1, e2)
+			}
+		}
+	}
+}

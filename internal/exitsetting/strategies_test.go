@@ -1,0 +1,148 @@
+package exitsetting
+
+import (
+	"math/rand"
+	"testing"
+
+	"leime/internal/cluster"
+	"leime/internal/confidence"
+	"leime/internal/dataset"
+	"leime/internal/model"
+)
+
+func paperInstance(t *testing.T, p *model.Profile, env cluster.Env) *Instance {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.CIFAR10Like, 800, 3)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	_, _, sigma, err := confidence.Calibrated(p, ds, 42)
+	if err != nil {
+		t.Fatalf("Calibrated: %v", err)
+	}
+	return mustInstance(t, p, sigma, env)
+}
+
+func TestStrategiesReturnValidExits(t *testing.T) {
+	strategies := append([]Strategy{LEIME()}, Baselines()...)
+	for _, p := range model.All() {
+		in := paperInstance(t, p, cluster.TestbedEnv(cluster.RaspberryPi3B))
+		m := p.NumExits()
+		for _, s := range strategies {
+			e1, e2, err := s.Select(in)
+			if err != nil {
+				t.Errorf("%s on %s: %v", s.Name, p.Name, err)
+				continue
+			}
+			if !(1 <= e1 && e1 < e2 && e2 < m) {
+				t.Errorf("%s on %s: invalid exits (%d, %d) for m=%d", s.Name, p.Name, e1, e2, m)
+			}
+		}
+	}
+}
+
+func TestLEIMENeverWorseThanBaselines(t *testing.T) {
+	// LEIME solves P0 exactly, so under the shared cost model no early-exit
+	// baseline can beat it.
+	rng := rand.New(rand.NewSource(9))
+	envs := []cluster.Env{
+		cluster.TestbedEnv(cluster.RaspberryPi3B),
+		cluster.TestbedEnv(cluster.JetsonNano),
+		cluster.TestbedEnv(cluster.RaspberryPi3B).WithEdgeLoad(0.05),
+		randomEnv(rng),
+	}
+	for _, p := range model.All() {
+		for ei, env := range envs {
+			in := paperInstance(t, p, env)
+			leime, err := EvalStrategy(in, LEIME())
+			if err != nil {
+				t.Fatalf("LEIME on %s: %v", p.Name, err)
+			}
+			for _, s := range []Strategy{Edgent(), DDNN(), MinComp(), MinTran(), Mean()} {
+				got, err := EvalStrategy(in, s)
+				if err != nil {
+					t.Fatalf("%s on %s: %v", s.Name, p.Name, err)
+				}
+				if got.Cost < leime.Cost-1e-12 {
+					t.Errorf("%s beat LEIME on %s env %d: %v < %v", s.Name, p.Name, ei, got.Cost, leime.Cost)
+				}
+			}
+		}
+	}
+}
+
+func TestNeurosurgeonSharesLEIMEPartition(t *testing.T) {
+	for _, p := range model.All() {
+		in := paperInstance(t, p, cluster.TestbedEnv(cluster.RaspberryPi3B))
+		l, err := EvalStrategy(in, LEIME())
+		if err != nil {
+			t.Fatalf("LEIME: %v", err)
+		}
+		n, err := EvalStrategy(in, Neurosurgeon())
+		if err != nil {
+			t.Fatalf("Neurosurgeon: %v", err)
+		}
+		if n.E1 != l.E1 || n.E2 != l.E2 {
+			t.Errorf("%s: Neurosurgeon partition (%d,%d) != LEIME (%d,%d)", p.Name, n.E1, n.E2, l.E1, l.E2)
+		}
+		if n.Cost <= l.Cost {
+			t.Errorf("%s: Neurosurgeon (no early exit) should cost more: %v <= %v", p.Name, n.Cost, l.Cost)
+		}
+	}
+}
+
+func TestEdgentPicksSmallestTensors(t *testing.T) {
+	in := paperInstance(t, model.VGG16(), cluster.TestbedEnv(cluster.RaspberryPi3B))
+	e1, e2, err := Edgent().Select(in)
+	if err != nil {
+		t.Fatalf("Edgent: %v", err)
+	}
+	// No other admissible position may have a tensor strictly smaller than
+	// both chosen ones.
+	m := in.Profile.NumExits()
+	smallest := in.Profile.DataBytes(e1)
+	if b := in.Profile.DataBytes(e2); b < smallest {
+		smallest = b
+	}
+	better := 0
+	for i := 1; i < m; i++ {
+		if i != e1 && i != e2 && in.Profile.DataBytes(i) < smallest {
+			better++
+		}
+	}
+	if better > 0 {
+		t.Errorf("Edgent missed %d strictly smaller tensor positions", better)
+	}
+}
+
+func TestMeanDividesChain(t *testing.T) {
+	for _, p := range model.All() {
+		in := paperInstance(t, p, cluster.TestbedEnv(cluster.RaspberryPi3B))
+		e1, e2, err := Mean().Select(in)
+		if err != nil {
+			t.Fatalf("Mean on %s: %v", p.Name, err)
+		}
+		m := p.NumExits()
+		if e1 < m/4 || e1 > m/2 {
+			t.Errorf("%s: mean First-exit %d not near m/3 of %d", p.Name, e1, m)
+		}
+		if e2 < m/2 || e2 > 3*m/4+1 {
+			t.Errorf("%s: mean Second-exit %d not near 2m/3 of %d", p.Name, e2, m)
+		}
+	}
+}
+
+func TestEvalStrategyCostsPositive(t *testing.T) {
+	for _, p := range model.All() {
+		in := paperInstance(t, p, cluster.TestbedEnv(cluster.JetsonNano))
+		for _, s := range append([]Strategy{LEIME()}, Baselines()...) {
+			got, err := EvalStrategy(in, s)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", s.Name, p.Name, err)
+			}
+			if got.Cost <= 0 {
+				t.Errorf("%s on %s: non-positive cost %v", s.Name, p.Name, got.Cost)
+			}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package netem emulates wide-area network conditions on real connections:
+// token-bucket bandwidth shaping, propagation delay and jitter. It is the
+// reproduction's equivalent of the COMCAST tool the paper uses to control
+// bandwidth and latency between testbed tiers.
+package netem
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Link describes emulated path characteristics.
+type Link struct {
+	// BandwidthBps is the link bandwidth in bits per second; zero means
+	// unshaped.
+	BandwidthBps float64
+	// Latency is the one-way propagation delay added to every message.
+	Latency time.Duration
+	// Jitter is the maximum extra random delay (uniform in [0, Jitter]).
+	Jitter time.Duration
+}
+
+// Validate reports whether the link is usable.
+func (l Link) Validate() error {
+	if l.BandwidthBps < 0 {
+		return fmt.Errorf("netem: bandwidth %v must be non-negative", l.BandwidthBps)
+	}
+	if l.Latency < 0 || l.Jitter < 0 {
+		return fmt.Errorf("netem: latency %v and jitter %v must be non-negative", l.Latency, l.Jitter)
+	}
+	return nil
+}
+
+// SerializationDelay returns the time the link needs to clock out the given
+// number of bytes (zero for an unshaped link).
+func (l Link) SerializationDelay(bytes int) time.Duration {
+	if l.BandwidthBps <= 0 || bytes <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) * 8 / l.BandwidthBps * float64(time.Second))
+}
+
+// TransferDelay returns serialization plus propagation delay for one message
+// (excluding jitter).
+func (l Link) TransferDelay(bytes int) time.Duration {
+	return l.SerializationDelay(bytes) + l.Latency
+}
+
+// Shaper paces message sends over a shared link: concurrent senders contend
+// for the serialization capacity (a token-bucket clock), and every message
+// additionally experiences propagation delay and jitter. Its zero value is
+// an unshaped, zero-latency link.
+type Shaper struct {
+	link Link
+
+	mu       sync.Mutex
+	nextFree time.Time
+	rng      *rand.Rand
+}
+
+// NewShaper builds a shaper for the link.
+func NewShaper(link Link, seed int64) (*Shaper, error) {
+	if err := link.Validate(); err != nil {
+		return nil, err
+	}
+	return &Shaper{link: link, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Link returns the shaper's currently configured link.
+func (s *Shaper) Link() Link {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.link
+}
+
+// SetLink replaces the link conditions at runtime (a bandwidth/latency
+// change on a live connection — the wild-edge churn the paper motivates).
+// Messages already admitted keep their old pacing; later messages see the
+// new conditions.
+func (s *Shaper) SetLink(link Link) error {
+	if err := link.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.link = link
+	s.mu.Unlock()
+	return nil
+}
+
+// Acquire blocks the caller for as long as sending a message of the given
+// size over the emulated link would take, and returns the time it slept.
+// Serialization contends with other senders; propagation and jitter do not.
+func (s *Shaper) Acquire(bytes int) time.Duration {
+	now := time.Now()
+
+	s.mu.Lock()
+	start := now
+	if s.nextFree.After(start) {
+		start = s.nextFree
+	}
+	serialized := start.Add(s.link.SerializationDelay(bytes))
+	s.nextFree = serialized
+	var jitter time.Duration
+	if s.link.Jitter > 0 {
+		jitter = time.Duration(s.rng.Int63n(int64(s.link.Jitter) + 1))
+	}
+	s.mu.Unlock()
+
+	deliver := serialized.Add(s.link.Latency + jitter)
+	d := deliver.Sub(now)
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return d
+}
+
+// Conn wraps a real connection so every Write first acquires the emulated
+// link. Callers should issue one Write per application message for the
+// latency semantics to be faithful (the rpc package does).
+func (s *Shaper) Conn(c net.Conn) net.Conn {
+	return &shapedConn{Conn: c, shaper: s}
+}
+
+type shapedConn struct {
+	net.Conn
+	shaper *Shaper
+}
+
+// Write paces the payload through the emulated link before writing it to
+// the underlying connection.
+func (c *shapedConn) Write(p []byte) (int, error) {
+	c.shaper.Acquire(len(p))
+	return c.Conn.Write(p)
+}

@@ -1,0 +1,176 @@
+package netem
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLinkValidate(t *testing.T) {
+	if err := (Link{BandwidthBps: 1e6, Latency: time.Millisecond}).Validate(); err != nil {
+		t.Fatalf("valid link rejected: %v", err)
+	}
+	bad := []Link{
+		{BandwidthBps: -1},
+		{Latency: -time.Second},
+		{Jitter: -time.Second},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSerializationDelay(t *testing.T) {
+	l := Link{BandwidthBps: 8e6} // 1 MB/s
+	if got, want := l.SerializationDelay(1_000_000), time.Second; got != want {
+		t.Errorf("SerializationDelay = %v, want %v", got, want)
+	}
+	if got := (Link{}).SerializationDelay(1000); got != 0 {
+		t.Errorf("unshaped link delay = %v, want 0", got)
+	}
+	if got := l.SerializationDelay(0); got != 0 {
+		t.Errorf("zero bytes delay = %v, want 0", got)
+	}
+}
+
+func TestTransferDelayIncludesLatency(t *testing.T) {
+	l := Link{BandwidthBps: 8e6, Latency: 50 * time.Millisecond}
+	want := 100*time.Millisecond + 50*time.Millisecond
+	if got := l.TransferDelay(100_000); got != want {
+		t.Errorf("TransferDelay = %v, want %v", got, want)
+	}
+}
+
+func TestShaperPacesThroughput(t *testing.T) {
+	s, err := NewShaper(Link{BandwidthBps: 8e6}, 1) // 1 MB/s
+	if err != nil {
+		t.Fatalf("NewShaper: %v", err)
+	}
+	start := time.Now()
+	const msgs, size = 10, 20_000 // 200 KB total => ~200 ms
+	for i := 0; i < msgs; i++ {
+		s.Acquire(size)
+	}
+	elapsed := time.Since(start)
+	want := 200 * time.Millisecond
+	if elapsed < want*8/10 {
+		t.Errorf("shaper too fast: %v for %v of traffic", elapsed, want)
+	}
+	if elapsed > want*3 {
+		t.Errorf("shaper too slow: %v for %v of traffic", elapsed, want)
+	}
+}
+
+func TestShaperAddsLatency(t *testing.T) {
+	s, err := NewShaper(Link{Latency: 30 * time.Millisecond}, 1)
+	if err != nil {
+		t.Fatalf("NewShaper: %v", err)
+	}
+	start := time.Now()
+	s.Acquire(10)
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("latency not applied: %v", elapsed)
+	}
+}
+
+func TestShaperConcurrentSendersShareBandwidth(t *testing.T) {
+	s, err := NewShaper(Link{BandwidthBps: 8e6}, 1) // 1 MB/s
+	if err != nil {
+		t.Fatalf("NewShaper: %v", err)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				s.Acquire(10_000) // 4*5*10 KB = 200 KB total
+			}
+		}()
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed < 160*time.Millisecond {
+		t.Errorf("concurrent senders exceeded link capacity: 200KB in %v", elapsed)
+	}
+}
+
+func TestShapedConnWrites(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	s, err := NewShaper(Link{Latency: 20 * time.Millisecond}, 1)
+	if err != nil {
+		t.Fatalf("NewShaper: %v", err)
+	}
+	shaped := s.Conn(a)
+
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 16)
+		n, _ := b.Read(buf)
+		got <- buf[:n]
+	}()
+	start := time.Now()
+	if _, err := shaped.Write([]byte("hello")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("shaped write returned too fast: %v", elapsed)
+	}
+	if string(<-got) != "hello" {
+		t.Error("payload corrupted by shaping")
+	}
+}
+
+func TestNewShaperRejectsBadLink(t *testing.T) {
+	if _, err := NewShaper(Link{BandwidthBps: -5}, 1); err == nil {
+		t.Error("invalid link accepted")
+	}
+}
+
+func TestSetLinkTakesEffect(t *testing.T) {
+	s, err := NewShaper(Link{Latency: 50 * time.Millisecond}, 1)
+	if err != nil {
+		t.Fatalf("NewShaper: %v", err)
+	}
+	start := time.Now()
+	s.Acquire(10)
+	slow := time.Since(start)
+	if err := s.SetLink(Link{Latency: time.Millisecond}); err != nil {
+		t.Fatalf("SetLink: %v", err)
+	}
+	start = time.Now()
+	s.Acquire(10)
+	fast := time.Since(start)
+	if fast >= slow {
+		t.Errorf("latency change not applied: %v >= %v", fast, slow)
+	}
+	if got := s.Link().Latency; got != time.Millisecond {
+		t.Errorf("Link() = %v after SetLink", got)
+	}
+	if err := s.SetLink(Link{BandwidthBps: -1}); err == nil {
+		t.Error("invalid link accepted by SetLink")
+	}
+}
+
+func TestSetLinkConcurrentWithAcquire(t *testing.T) {
+	s, err := NewShaper(Link{BandwidthBps: 1e9, Latency: time.Millisecond}, 1)
+	if err != nil {
+		t.Fatalf("NewShaper: %v", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			s.Acquire(100)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		_ = s.SetLink(Link{BandwidthBps: 1e9, Latency: time.Duration(i+1) * time.Microsecond})
+	}
+	<-done
+}

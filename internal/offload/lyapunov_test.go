@@ -1,0 +1,73 @@
+package offload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestLemma1DriftBound numerically verifies the paper's Lemma 1: for any
+// decision, the one-slot Lyapunov drift is bounded by
+//
+//	delta(L) <= B + Q(A - b) + H(D - c)
+//
+// with B = max over the slot of (A^2+b^2)/2 - b~A + (D^2+c^2)/2 - c~D,
+// where b~ = min(Q, b) and c~ = min(H, c). The bound comes from squaring the
+// queue recurrences (eqs. 10-11); this test replays it over random states
+// and decisions.
+func TestLemma1DriftBound(t *testing.T) {
+	c := testController(t, 1e4)
+	dev := testDevice()
+	rng := rand.New(rand.NewSource(99))
+	lyap := func(s State) float64 { return 0.5 * (s.Q*s.Q + s.H*s.H) }
+
+	for trial := 0; trial < 2000; trial++ {
+		st := State{Q: 40 * rng.Float64(), H: 40 * rng.Float64()}
+		slot := Slot{
+			Arrivals:       float64(rng.Intn(30)),
+			State:          st,
+			EdgeShareFLOPS: 1e9 + 4e10*rng.Float64(),
+		}
+		x := rng.Float64()
+		costs := c.Eval(dev, slot, x)
+		next := c.StepQueues(dev, slot, x)
+
+		a := (1 - x) * slot.Arrivals
+		d := x * slot.Arrivals
+		b := costs.LocalRate
+		cr := costs.EdgeRate
+		bTilde := math.Min(st.Q, b)
+		cTilde := math.Min(st.H, cr)
+		bConst := (a*a+b*b)/2 - bTilde*a + (d*d+cr*cr)/2 - cTilde*d
+
+		drift := lyap(next) - lyap(st)
+		bound := bConst + st.Q*(a-b) + st.H*(d-cr)
+		if drift > bound+1e-6 {
+			t.Fatalf("trial %d: drift %v exceeds Lemma-1 bound %v (Q=%v H=%v x=%v A=%v)",
+				trial, drift, bound, st.Q, st.H, x, slot.Arrivals)
+		}
+	}
+}
+
+// TestQueueRecurrenceMatchesPaper re-derives eqs. 10-11 by hand for a few
+// states and checks StepQueues against them.
+func TestQueueRecurrenceMatchesPaper(t *testing.T) {
+	c := testController(t, 100)
+	dev := testDevice() // LocalRate = Fd*tau/mu1 = 1.2e9/2e8 = 6 tasks/slot
+	cases := []struct {
+		q, h, arrivals, x float64
+		wantQ             float64
+	}{
+		// Q' = max(Q - b, 0) + A with b = 6.
+		{q: 10, h: 0, arrivals: 4, x: 0, wantQ: 10 - 6 + 4},
+		{q: 2, h: 0, arrivals: 4, x: 0, wantQ: 0 + 4}, // drains past zero
+		{q: 0, h: 0, arrivals: 8, x: 0.5, wantQ: 0 + 4},
+	}
+	for i, tc := range cases {
+		slot := Slot{Arrivals: tc.arrivals, State: State{Q: tc.q, H: tc.h}, EdgeShareFLOPS: 1e10}
+		next := c.StepQueues(dev, slot, tc.x)
+		if math.Abs(next.Q-tc.wantQ) > 1e-9 {
+			t.Errorf("case %d: Q' = %v, want %v", i, next.Q, tc.wantQ)
+		}
+	}
+}

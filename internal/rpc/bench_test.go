@@ -1,0 +1,83 @@
+package rpc
+
+import (
+	"sync"
+	"testing"
+)
+
+func benchServer(b *testing.B) *Server {
+	b.Helper()
+	s, err := Serve("127.0.0.1:0", func(body any) (any, error) {
+		req := body.(echoReq)
+		return echoResp{Text: req.Text, N: req.N}, nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+// BenchmarkCallRoundTrip measures one request/response over loopback TCP.
+func BenchmarkCallRoundTrip(b *testing.B) {
+	s := benchServer(b)
+	c, err := Dial(s.Addr(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	req := echoReq{Text: "payload", N: 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Call(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCallConcurrent measures pipelined throughput on one connection.
+func BenchmarkCallConcurrent(b *testing.B) {
+	s := benchServer(b)
+	c, err := Dial(s.Addr(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	const workers = 16
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N/workers + 1
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := echoReq{Text: "payload"}
+			for i := 0; i < per; i++ {
+				if _, err := c.Call(req); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.ReportMetric(float64(per*workers)/b.Elapsed().Seconds(), "calls/s")
+}
+
+// BenchmarkLargePayload measures a 64 KiB intermediate-tensor-sized message.
+func BenchmarkLargePayload(b *testing.B) {
+	s := benchServer(b)
+	c, err := Dial(s.Addr(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	req := echoReq{Text: string(make([]byte, 64<<10))}
+	b.SetBytes(64 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Call(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+)
+
+type panicReq struct{ Msg string }
+
+func init() { Register(panicReq{}) }
+
+func startHardenedServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := Serve("127.0.0.1:0", func(body any) (any, error) {
+		switch req := body.(type) {
+		case panicReq:
+			panic(req.Msg)
+		case echoReq:
+			return echoResp{Text: req.Text, N: req.N}, nil
+		default:
+			return nil, nil
+		}
+	})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+func TestHandlerPanicBecomesError(t *testing.T) {
+	s := startHardenedServer(t)
+	c, err := Dial(s.Addr(), nil)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Call(panicReq{Msg: "boom"}); err == nil {
+		t.Fatal("panic not surfaced as error")
+	}
+	// The server (and the same connection) must still work afterwards.
+	got, err := c.Call(echoReq{Text: "still alive", N: 1})
+	if err != nil {
+		t.Fatalf("call after panic: %v", err)
+	}
+	if got.(echoResp).Text != "still alive" {
+		t.Errorf("wrong reply %+v", got)
+	}
+}
+
+func TestCorruptFrameClosesOnlyThatConnection(t *testing.T) {
+	s := startHardenedServer(t)
+
+	// A raw connection sends garbage bytes with a plausible length prefix.
+	raw, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatalf("dial raw: %v", err)
+	}
+	defer raw.Close()
+	frame := make([]byte, 4+16)
+	binary.BigEndian.PutUint32(frame[:4], 16)
+	for i := 4; i < len(frame); i++ {
+		frame[i] = 0xff
+	}
+	if _, err := raw.Write(frame); err != nil {
+		t.Fatalf("write garbage: %v", err)
+	}
+	// The server should drop the corrupted connection: a read eventually
+	// returns EOF/reset rather than hanging.
+	_ = raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := raw.Read(buf); err == nil {
+		t.Error("server kept a corrupted connection alive with data")
+	}
+
+	// A healthy client is unaffected.
+	c, err := Dial(s.Addr(), nil)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Call(echoReq{Text: "ok"}); err != nil {
+		t.Errorf("healthy client failed after another connection corrupted: %v", err)
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	s := startHardenedServer(t)
+	raw, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatalf("dial raw: %v", err)
+	}
+	defer raw.Close()
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], MaxMessageBytes+1)
+	if _, err := raw.Write(lenBuf[:]); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	_ = raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := raw.Read(buf); err == nil {
+		t.Error("server accepted an oversized frame announcement")
+	}
+}
+
+func TestClientSurvivesServerRestart(t *testing.T) {
+	s := startHardenedServer(t)
+	addr := s.Addr()
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Call(echoReq{Text: "one"}); err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+	_ = s.Close()
+	// Calls on the dead connection fail fast rather than hanging.
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Call(echoReq{Text: "two"})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("call to closed server succeeded")
+		}
+	case <-time.After(3 * time.Second):
+		t.Error("call to closed server hung")
+	}
+	// A fresh server on a fresh port accepts a fresh client.
+	s2, err := Serve("127.0.0.1:0", func(body any) (any, error) { return body, nil })
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer s2.Close()
+	c2, err := Dial(s2.Addr(), nil)
+	if err != nil {
+		t.Fatalf("redial: %v", err)
+	}
+	defer c2.Close()
+	if _, err := c2.Call(echoReq{Text: "three"}); err != nil {
+		t.Errorf("call after restart: %v", err)
+	}
+}

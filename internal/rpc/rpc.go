@@ -1,0 +1,322 @@
+// Package rpc is a minimal typed message layer over TCP for the testbed
+// runtime: length-prefixed gob envelopes, concurrent request/response with
+// correlation IDs, a handler-based server with graceful shutdown, and
+// optional netem shaping on the client side (emulating the wireless uplink
+// or the edge–cloud Internet path).
+package rpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"leime/internal/netem"
+)
+
+// MaxMessageBytes bounds a single message; larger frames indicate protocol
+// corruption.
+const MaxMessageBytes = 16 << 20
+
+// ErrClosed is returned by calls on a closed client or server.
+var ErrClosed = errors.New("rpc: connection closed")
+
+// envelope is the wire frame. Body carries any gob-registered value.
+type envelope struct {
+	ID      uint64
+	IsReply bool
+	Err     string
+	Body    any
+}
+
+// Register makes a message type transportable. Call it once per concrete
+// type, typically from an init-free setup function in the owning package.
+func Register(v any) { gob.Register(v) }
+
+// writeFrame gob-encodes the envelope and writes it as one length-prefixed
+// frame with a single Write (one message per Write keeps netem shaping
+// faithful).
+func writeFrame(w io.Writer, env *envelope) error {
+	var body bytes.Buffer
+	body.Write(make([]byte, 4)) // length placeholder
+	if err := gob.NewEncoder(&body).Encode(env); err != nil {
+		return fmt.Errorf("rpc: encode: %w", err)
+	}
+	frame := body.Bytes()
+	payload := len(frame) - 4
+	if payload > MaxMessageBytes {
+		return fmt.Errorf("rpc: message of %d bytes exceeds limit", payload)
+	}
+	binary.BigEndian.PutUint32(frame[:4], uint32(payload))
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("rpc: write: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads one length-prefixed envelope.
+func readFrame(r io.Reader) (*envelope, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > MaxMessageBytes {
+		return nil, fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("rpc: decode: %w", err)
+	}
+	return &env, nil
+}
+
+// Handler processes one request body and returns a reply body or an error.
+type Handler func(body any) (any, error)
+
+// Server accepts connections and dispatches requests to a handler. Each
+// request runs in its own goroutine; replies serialize on a per-connection
+// write lock.
+type Server struct {
+	handler Handler
+	ln      net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts a server on addr ("127.0.0.1:0" for an ephemeral port) and
+// returns it; the returned server is already accepting.
+func Serve(addr string, handler Handler) (*Server, error) {
+	if handler == nil {
+		return nil, errors.New("rpc: nil handler")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: listen: %w", err)
+	}
+	s := &Server{handler: handler, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	var writeMu sync.Mutex
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+	for {
+		env, err := readFrame(conn)
+		if err != nil {
+			return // connection closed or corrupted
+		}
+		reqWG.Add(1)
+		go func(env *envelope) {
+			defer reqWG.Done()
+			reply := &envelope{ID: env.ID, IsReply: true}
+			body, err := s.safeHandle(env.Body)
+			if err != nil {
+				reply.Err = err.Error()
+			} else {
+				reply.Body = body
+			}
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			_ = writeFrame(conn, reply)
+		}(env)
+	}
+}
+
+// safeHandle invokes the handler, converting a panic into an error so one
+// bad request cannot take the whole server (and every other tenant's
+// connection) down.
+func (s *Server) safeHandle(body any) (reply any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			reply = nil
+			err = fmt.Errorf("rpc: handler panic: %v", r)
+		}
+	}()
+	return s.handler(body)
+}
+
+// Close stops accepting, closes all connections and waits for in-flight
+// requests to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Client is a connection to a Server supporting concurrent correlated
+// calls. An optional netem shaper paces outgoing messages.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+	nextID  uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan *envelope
+	closed  bool
+	readErr error
+
+	wg sync.WaitGroup
+}
+
+// Dial connects to addr. If shaper is non-nil, outgoing messages are paced
+// through it.
+func Dial(addr string, shaper *netem.Shaper) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	if shaper != nil {
+		conn = shaper.Conn(conn)
+	}
+	c := &Client{conn: conn, pending: make(map[uint64]chan *envelope)}
+	c.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	for {
+		env, err := readFrame(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		if !env.IsReply {
+			continue // this client does not serve requests
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[env.ID]
+		if ok {
+			delete(c.pending, env.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- env
+		}
+	}
+}
+
+// Call sends body and waits for the correlated reply.
+func (c *Client) Call(body any) (any, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c.readErr != nil {
+		// The reader has exited (peer closed or connection corrupted): no
+		// reply can ever arrive, and a TCP write might still "succeed" into
+		// the dead socket, so fail fast instead of waiting forever.
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, fmt.Errorf("rpc: connection lost: %w", err)
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan *envelope, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := writeFrame(c.conn, &envelope{ID: id, Body: body})
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	env, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		readErr := c.readErr
+		c.mu.Unlock()
+		if readErr != nil {
+			return nil, fmt.Errorf("rpc: connection lost: %w", readErr)
+		}
+		return nil, ErrClosed
+	}
+	if env.Err != "" {
+		return nil, fmt.Errorf("rpc: remote: %s", env.Err)
+	}
+	return env.Body, nil
+}
+
+// Close tears down the connection and waits for the reader to exit.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}

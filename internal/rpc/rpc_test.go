@@ -1,0 +1,221 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"leime/internal/netem"
+)
+
+type echoReq struct {
+	Text string
+	N    int
+}
+
+type echoResp struct {
+	Text string
+	N    int
+}
+
+type slowReq struct {
+	Delay time.Duration
+	Tag   int
+}
+
+type slowResp struct {
+	Tag int
+}
+
+func init() {
+	Register(echoReq{})
+	Register(echoResp{})
+	Register(slowReq{})
+	Register(slowResp{})
+}
+
+func startEcho(t *testing.T) *Server {
+	t.Helper()
+	s, err := Serve("127.0.0.1:0", func(body any) (any, error) {
+		switch req := body.(type) {
+		case echoReq:
+			if req.Text == "boom" {
+				return nil, errors.New("requested failure")
+			}
+			return echoResp{Text: req.Text, N: req.N * 2}, nil
+		case slowReq:
+			time.Sleep(req.Delay)
+			return slowResp{Tag: req.Tag}, nil
+		default:
+			return nil, fmt.Errorf("unknown request %T", body)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	s := startEcho(t)
+	c, err := Dial(s.Addr(), nil)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	got, err := c.Call(echoReq{Text: "hi", N: 21})
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	resp, ok := got.(echoResp)
+	if !ok {
+		t.Fatalf("reply type %T", got)
+	}
+	if resp.Text != "hi" || resp.N != 42 {
+		t.Errorf("reply = %+v", resp)
+	}
+}
+
+func TestCallRemoteError(t *testing.T) {
+	s := startEcho(t)
+	c, err := Dial(s.Addr(), nil)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Call(echoReq{Text: "boom"}); err == nil {
+		t.Error("expected remote error")
+	}
+}
+
+func TestConcurrentCallsCorrelate(t *testing.T) {
+	s := startEcho(t)
+	c, err := Dial(s.Addr(), nil)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Randomize completion order with varying delays.
+			delay := time.Duration(i%7) * time.Millisecond
+			got, err := c.Call(slowReq{Delay: delay, Tag: i})
+			if err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+			if resp := got.(slowResp); resp.Tag != i {
+				t.Errorf("call %d got reply for %d", i, resp.Tag)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestMultipleClients(t *testing.T) {
+	s := startEcho(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(s.Addr(), nil)
+			if err != nil {
+				t.Errorf("Dial: %v", err)
+				return
+			}
+			defer c.Close()
+			got, err := c.Call(echoReq{N: i})
+			if err != nil {
+				t.Errorf("Call: %v", err)
+				return
+			}
+			if got.(echoResp).N != i*2 {
+				t.Errorf("client %d: wrong reply %+v", i, got)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestCallAfterClose(t *testing.T) {
+	s := startEcho(t)
+	c, err := Dial(s.Addr(), nil)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := c.Call(echoReq{}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Call after close = %v, want ErrClosed", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	s := startEcho(t)
+	c, err := Dial(s.Addr(), nil)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Call(slowReq{Delay: 5 * time.Second})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if err := s.Close(); err != nil {
+		t.Fatalf("server Close: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("call succeeded after server close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("call not unblocked by server close")
+	}
+}
+
+func TestShapedClientSlowsLargeMessages(t *testing.T) {
+	s := startEcho(t)
+	shaper, err := netem.NewShaper(netem.Link{BandwidthBps: 8e6}, 3) // 1 MB/s
+	if err != nil {
+		t.Fatalf("NewShaper: %v", err)
+	}
+	c, err := Dial(s.Addr(), shaper)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	big := echoReq{Text: string(make([]byte, 200_000))} // ~200 KB => >= ~200 ms
+	start := time.Now()
+	if _, err := c.Call(big); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Errorf("shaped call too fast: %v", elapsed)
+	}
+}
+
+func TestDialUnreachable(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", nil); err == nil {
+		t.Error("expected dial error")
+	}
+}
+
+func TestServeNilHandler(t *testing.T) {
+	if _, err := Serve("127.0.0.1:0", nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package runtime
+
+import (
+	"fmt"
+
+	"leime/internal/rpc"
+)
+
+// CloudConfig configures the cloud tier.
+type CloudConfig struct {
+	// Addr is the listen address ("127.0.0.1:0" for ephemeral).
+	Addr string
+	// FLOPS is the cloud capability F^c.
+	FLOPS float64
+	// Block3FLOPs is mu_3: the third block's operation count.
+	Block3FLOPs float64
+	// TimeScale compresses testbed time.
+	TimeScale Scale
+}
+
+// Cloud serves third-block continuations.
+type Cloud struct {
+	srv  *rpc.Server
+	exec *Executor
+}
+
+// StartCloud launches the cloud server.
+func StartCloud(cfg CloudConfig) (*Cloud, error) {
+	if cfg.FLOPS <= 0 || cfg.Block3FLOPs <= 0 {
+		return nil, fmt.Errorf("runtime: cloud FLOPS (%v) and block-3 FLOPs (%v) must be positive", cfg.FLOPS, cfg.Block3FLOPs)
+	}
+	RegisterMessages()
+	exec, err := NewExecutor(cfg.FLOPS, cfg.TimeScale)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cloud{exec: exec}
+	srv, err := rpc.Serve(cfg.Addr, func(body any) (any, error) {
+		req, ok := body.(ThirdBlockReq)
+		if !ok {
+			return nil, fmt.Errorf("cloud: unexpected request %T", body)
+		}
+		flops := req.FLOPs
+		if flops <= 0 {
+			flops = cfg.Block3FLOPs
+		}
+		if err := c.exec.Do(flops); err != nil {
+			return nil, err
+		}
+		return TaskResp{TaskID: req.TaskID, ExitStage: 3}, nil
+	})
+	if err != nil {
+		exec.Close()
+		return nil, err
+	}
+	c.srv = srv
+	return c, nil
+}
+
+// Addr returns the cloud's listen address.
+func (c *Cloud) Addr() string { return c.srv.Addr() }
+
+// Pending returns the number of third-block jobs accepted but unfinished.
+func (c *Cloud) Pending() int { return c.exec.Pending() }
+
+// Close stops serving and releases the executor.
+func (c *Cloud) Close() error {
+	err := c.srv.Close()
+	c.exec.Close()
+	return err
+}

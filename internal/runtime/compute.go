@@ -1,0 +1,121 @@
+package runtime
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Executor models one compute resource (a device CPU, a per-device edge
+// share, the cloud GPU) as a single-server FIFO queue: jobs burn wall-clock
+// time proportional to their FLOPs at the executor's current rate. The rate
+// can change at runtime (re-allocation when devices join), affecting jobs
+// that start after the change — the behaviour of a Docker CPU-quota update.
+type Executor struct {
+	rateBits uint64 // atomic float64 bits: effective FLOPS
+	scale    Scale
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []job
+	closed  bool
+	pending int32 // atomic: accepted but unfinished jobs
+
+	wg sync.WaitGroup
+}
+
+type job struct {
+	flops float64
+	done  chan struct{}
+}
+
+// NewExecutor starts an executor at the given FLOPS rating. Close releases
+// its worker.
+func NewExecutor(flops float64, scale Scale) (*Executor, error) {
+	if flops <= 0 {
+		return nil, fmt.Errorf("runtime: executor FLOPS %v must be positive", flops)
+	}
+	e := &Executor{scale: scale}
+	atomic.StoreUint64(&e.rateBits, math.Float64bits(flops))
+	e.cond = sync.NewCond(&e.mu)
+	e.wg.Add(1)
+	go e.worker()
+	return e, nil
+}
+
+// Rate returns the current FLOPS rating.
+func (e *Executor) Rate() float64 {
+	return math.Float64frombits(atomic.LoadUint64(&e.rateBits))
+}
+
+// SetRate updates the FLOPS rating for subsequently started jobs.
+func (e *Executor) SetRate(flops float64) error {
+	if flops <= 0 {
+		return fmt.Errorf("runtime: executor FLOPS %v must be positive", flops)
+	}
+	atomic.StoreUint64(&e.rateBits, math.Float64bits(flops))
+	return nil
+}
+
+// Pending returns the number of accepted-but-unfinished jobs (queue plus the
+// one in service).
+func (e *Executor) Pending() int { return int(atomic.LoadInt32(&e.pending)) }
+
+// Do enqueues a job of the given FLOPs and blocks until it completes. It
+// returns an error if the executor is closed.
+func (e *Executor) Do(flops float64) error {
+	if flops < 0 {
+		flops = 0
+	}
+	j := job{flops: flops, done: make(chan struct{})}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return fmt.Errorf("runtime: executor closed")
+	}
+	atomic.AddInt32(&e.pending, 1)
+	e.queue = append(e.queue, j)
+	e.cond.Signal()
+	e.mu.Unlock()
+	<-j.done
+	return nil
+}
+
+func (e *Executor) worker() {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		for len(e.queue) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if len(e.queue) == 0 && e.closed {
+			e.mu.Unlock()
+			return
+		}
+		j := e.queue[0]
+		e.queue = e.queue[1:]
+		e.mu.Unlock()
+
+		if d := e.scale.Seconds(j.flops / e.Rate()); d > 0 {
+			time.Sleep(d)
+		}
+		atomic.AddInt32(&e.pending, -1)
+		close(j.done)
+	}
+}
+
+// Close drains queued jobs and stops the worker. Do calls issued after
+// Close fail; calls already queued still complete.
+func (e *Executor) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
+}

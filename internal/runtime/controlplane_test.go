@@ -1,0 +1,142 @@
+package runtime
+
+import (
+	"math"
+	"testing"
+
+	"leime/internal/trace"
+)
+
+func TestEdgeUpdateRebalancesShares(t *testing.T) {
+	_, edge := startTestbed(t)
+	if _, err := edge.register(RegisterReq{DeviceID: "a", FLOPS: 1.2e9, ArrivalMean: 10}); err != nil {
+		t.Fatalf("register a: %v", err)
+	}
+	if _, err := edge.register(RegisterReq{DeviceID: "b", FLOPS: 1.2e9, ArrivalMean: 10}); err != nil {
+		t.Fatalf("register b: %v", err)
+	}
+	// Equal demand: equal shares.
+	st := edge.stats()
+	if math.Abs(st.Shares["a"]-0.5) > 0.01 {
+		t.Fatalf("equal-demand share = %v, want ~0.5", st.Shares["a"])
+	}
+	// Device a reports a much higher rate: its share must grow.
+	got, err := edge.update(UpdateReq{DeviceID: "a", ArrivalMean: 60})
+	if err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	newShare := got.(RegisterResp).ShareFLOPS / 6e10
+	if newShare <= 0.55 {
+		t.Errorf("share after 6x demand increase = %v, want > 0.55", newShare)
+	}
+	st = edge.stats()
+	if math.Abs(st.Shares["a"]+st.Shares["b"]-1) > 1e-9 {
+		t.Errorf("shares no longer sum to 1: %v", st.Shares)
+	}
+}
+
+func TestEdgeUpdateUnknownDevice(t *testing.T) {
+	_, edge := startTestbed(t)
+	if _, err := edge.update(UpdateReq{DeviceID: "ghost", ArrivalMean: 5}); err == nil {
+		t.Error("update for unknown device accepted")
+	}
+}
+
+func TestEdgeUnregisterRedistributes(t *testing.T) {
+	_, edge := startTestbed(t)
+	for _, id := range []string{"a", "b", "c"} {
+		if _, err := edge.register(RegisterReq{DeviceID: id, FLOPS: 1.2e9, ArrivalMean: 10}); err != nil {
+			t.Fatalf("register %s: %v", id, err)
+		}
+	}
+	got, err := edge.unregister(UnregisterReq{DeviceID: "b"})
+	if err != nil {
+		t.Fatalf("unregister: %v", err)
+	}
+	if got.(UnregisterResp).RemainingTenants != 2 {
+		t.Errorf("remaining = %d, want 2", got.(UnregisterResp).RemainingTenants)
+	}
+	st := edge.stats()
+	if st.Tenants != 2 {
+		t.Fatalf("stats tenants = %d, want 2", st.Tenants)
+	}
+	var sum float64
+	for id, share := range st.Shares {
+		if id == "b" {
+			t.Error("departed device still has a share")
+		}
+		sum += share
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("shares after departure sum to %v", sum)
+	}
+	// Requests for the departed device must fail.
+	if _, err := edge.handle(FirstBlockReq{DeviceID: "b", TaskID: 1, ExitStage: 1}); err == nil {
+		t.Error("task for departed device accepted")
+	}
+	// Double unregister must fail cleanly.
+	if _, err := edge.unregister(UnregisterReq{DeviceID: "b"}); err == nil {
+		t.Error("double unregister accepted")
+	}
+}
+
+func TestEdgeUnregisterLastTenant(t *testing.T) {
+	_, edge := startTestbed(t)
+	if _, err := edge.register(RegisterReq{DeviceID: "only", FLOPS: 1e9, ArrivalMean: 3}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	got, err := edge.unregister(UnregisterReq{DeviceID: "only"})
+	if err != nil {
+		t.Fatalf("unregister last: %v", err)
+	}
+	if got.(UnregisterResp).RemainingTenants != 0 {
+		t.Errorf("remaining = %d, want 0", got.(UnregisterResp).RemainingTenants)
+	}
+	if st := edge.stats(); st.Tenants != 0 {
+		t.Errorf("stats tenants = %d, want 0", st.Tenants)
+	}
+}
+
+func TestAdaptiveDeviceRenegotiatesShare(t *testing.T) {
+	_, edge := startTestbed(t)
+	// A competitor occupies half the edge so the adaptive device's share
+	// change is observable.
+	if _, err := edge.register(RegisterReq{DeviceID: "static", FLOPS: 1.2e9, ArrivalMean: 5}); err != nil {
+		t.Fatalf("register static: %v", err)
+	}
+	cfg := testDeviceConfig(edge.Addr(), "adaptive")
+	cfg.ArrivalMean = 2 // initial low estimate
+	proc := &trace.Constant{PerSlot: 12}
+	cfg.Arrivals = proc // actual load is 6x the estimate
+	cfg.AdaptEvery = 5
+	cfg.Slots = 25
+	stats, err := RunDevice(cfg)
+	if err != nil {
+		t.Fatalf("RunDevice: %v", err)
+	}
+	if stats.Errors != 0 {
+		t.Errorf("%d task errors", stats.Errors)
+	}
+	// After adaptation, the edge's view of the adaptive device's demand must
+	// have risen well above the initial estimate of 2.
+	st := edge.stats()
+	if st.Tenants != 2 {
+		t.Fatalf("tenants = %d, want 2", st.Tenants)
+	}
+	// With true rate 12 vs the competitor's 5, the adaptive device should
+	// hold the larger share.
+	if st.Shares["adaptive"] <= st.Shares["static"] {
+		t.Errorf("adaptive device share %v not above static's %v after renegotiation",
+			st.Shares["adaptive"], st.Shares["static"])
+	}
+}
+
+func TestEdgeStatsCountsBacklog(t *testing.T) {
+	_, edge := startTestbed(t)
+	if _, err := edge.register(RegisterReq{DeviceID: "a", FLOPS: 1e9, ArrivalMean: 3}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if st := edge.stats(); st.PendingFirstBlock != 0 {
+		t.Errorf("fresh edge backlog = %d", st.PendingFirstBlock)
+	}
+}

@@ -1,0 +1,352 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"leime/internal/metrics"
+	"leime/internal/netem"
+	"leime/internal/offload"
+	"leime/internal/rpc"
+	"leime/internal/trace"
+)
+
+// DeviceConfig configures one end-device agent.
+type DeviceConfig struct {
+	// ID uniquely names the device at the edge.
+	ID string
+	// FLOPS is the device capability F_i^d.
+	FLOPS float64
+	// Model is the deployed ME-DNN.
+	Model offload.ModelParams
+	// EdgeAddr is the edge server address.
+	EdgeAddr string
+	// Uplink shapes the device–edge path (the WiFi of the testbed).
+	Uplink netem.Link
+	// Arrivals yields per-slot task counts; nil defaults to Poisson with
+	// ArrivalMean.
+	Arrivals trace.Process
+	// ArrivalMean is k_i, used for registration and the default process.
+	ArrivalMean float64
+	// Policy decides per-slot offloading; nil defaults to LEIME's Lyapunov
+	// policy.
+	Policy *offload.Policy
+	// TauSec is the slot length (model seconds).
+	TauSec float64
+	// V is the Lyapunov penalty weight.
+	V float64
+	// Slots is the number of slots to generate.
+	Slots int
+	// WarmupSlots excludes early tasks from the statistics.
+	WarmupSlots int
+	// TimeScale compresses testbed time.
+	TimeScale Scale
+	// AdaptEvery, when positive, makes the device report an exponentially
+	// weighted estimate of its observed arrival rate to the edge every
+	// AdaptEvery slots; the edge re-solves the KKT allocation and the device
+	// adopts the returned share (the runtime fine-tuning loop).
+	AdaptEvery int
+	// Seed drives arrival, exit and offloading randomness.
+	Seed int64
+}
+
+// Validate reports whether the configuration is runnable.
+func (c DeviceConfig) Validate() error {
+	if c.ID == "" {
+		return fmt.Errorf("runtime: device needs an ID")
+	}
+	if c.FLOPS <= 0 {
+		return fmt.Errorf("runtime: device FLOPS %v must be positive", c.FLOPS)
+	}
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if c.EdgeAddr == "" {
+		return fmt.Errorf("runtime: device needs an edge address")
+	}
+	if err := c.Uplink.Validate(); err != nil {
+		return err
+	}
+	if c.TauSec <= 0 || c.V <= 0 {
+		return fmt.Errorf("runtime: TauSec (%v) and V (%v) must be positive", c.TauSec, c.V)
+	}
+	if c.Slots <= 0 || c.WarmupSlots < 0 || c.WarmupSlots >= c.Slots {
+		return fmt.Errorf("runtime: bad horizon (slots=%d, warmup=%d)", c.Slots, c.WarmupSlots)
+	}
+	return nil
+}
+
+// DeviceStats is the outcome of one device run.
+type DeviceStats struct {
+	// TCT summarizes post-warmup end-to-end completion times, in model
+	// seconds (wall time divided by the time scale).
+	TCT metrics.Summary
+	// Ratio is the per-slot offloading decision.
+	Ratio metrics.Series
+	// ExitCounts tallies completions by exit stage.
+	ExitCounts [3]int
+	// LocalStage summarizes per-task time spent on the device CPU (queueing
+	// plus first-block service), in model seconds; zero entries for fully
+	// offloaded tasks are included.
+	LocalStage metrics.Summary
+	// RemoteStage summarizes per-task time spent beyond the device (uplink,
+	// edge queueing/compute, cloud), in model seconds.
+	RemoteStage metrics.Summary
+	// Generated and Completed count tasks.
+	Generated, Completed int
+	// Errors counts tasks that failed (RPC errors); zero in healthy runs.
+	Errors int
+	// Fallbacks counts offloaded tasks the edge rejected with backpressure
+	// that were re-run locally instead.
+	Fallbacks int
+}
+
+// RunDevice executes the full device lifecycle: register at the edge,
+// generate tasks slot by slot, decide offloading online, execute and collect
+// completion statistics. It returns when every generated task finishes.
+func RunDevice(cfg DeviceConfig) (*DeviceStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	RegisterMessages()
+
+	shaper, err := netem.NewShaper(scaleLink(cfg.Uplink, cfg.TimeScale), cfg.Seed^0xde)
+	if err != nil {
+		return nil, err
+	}
+	client, err := rpc.Dial(cfg.EdgeAddr, shaper)
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+
+	got, err := client.Call(RegisterReq{DeviceID: cfg.ID, FLOPS: cfg.FLOPS, ArrivalMean: cfg.ArrivalMean, Model: cfg.Model})
+	if err != nil {
+		return nil, fmt.Errorf("runtime: register: %w", err)
+	}
+	reg, ok := got.(RegisterResp)
+	if !ok {
+		return nil, fmt.Errorf("runtime: unexpected register reply %T", got)
+	}
+
+	arrivals := cfg.Arrivals
+	if arrivals == nil {
+		p, err := trace.NewPoisson(cfg.ArrivalMean, cfg.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+		arrivals = p
+	}
+	policy := offload.Lyapunov()
+	if cfg.Policy != nil {
+		policy = *cfg.Policy
+	}
+	ctrl, err := offload.NewController(offload.Config{Model: cfg.Model, TauSec: cfg.TauSec, V: cfg.V})
+	if err != nil {
+		return nil, err
+	}
+	local, err := NewExecutor(cfg.FLOPS, cfg.TimeScale)
+	if err != nil {
+		return nil, err
+	}
+	defer local.Close()
+
+	dev := offload.Device{
+		FLOPS:        cfg.FLOPS,
+		BandwidthBps: cfg.Uplink.BandwidthBps,
+		LatencySec:   cfg.Uplink.Latency.Seconds(),
+		ArrivalMean:  cfg.ArrivalMean,
+	}
+
+	d := &deviceRun{
+		cfg:    cfg,
+		client: client,
+		local:  local,
+		rng:    rand.New(rand.NewSource(cfg.Seed ^ 0x7a5)),
+	}
+
+	start := time.Now()
+	var taskID uint64
+	rateEstimate := cfg.ArrivalMean
+	shareFLOPS := reg.ShareFLOPS
+	for t := 0; t < cfg.Slots; t++ {
+		// Align to the slot boundary on the compressed clock.
+		boundary := start.Add(cfg.TimeScale.Seconds(float64(t) * cfg.TauSec))
+		if wait := time.Until(boundary); wait > 0 {
+			time.Sleep(wait)
+		}
+		m := arrivals.Next()
+		// Track the observed rate and periodically renegotiate the edge
+		// share so the allocation follows the live workload.
+		const ewma = 0.15
+		rateEstimate = (1-ewma)*rateEstimate + ewma*float64(m)
+		if cfg.AdaptEvery > 0 && t > 0 && t%cfg.AdaptEvery == 0 {
+			if got, err := client.Call(UpdateReq{DeviceID: cfg.ID, ArrivalMean: rateEstimate}); err == nil {
+				if resp, ok := got.(RegisterResp); ok && resp.ShareFLOPS > 0 {
+					shareFLOPS = resp.ShareFLOPS
+				}
+			}
+		}
+		slot := offload.Slot{
+			Arrivals:       float64(m),
+			State:          offload.State{Q: float64(local.Pending()), H: float64(d.edgeBacklog())},
+			EdgeShareFLOPS: shareFLOPS,
+		}
+		x := policy.Decide(ctrl, dev, slot)
+		d.mu.Lock()
+		d.stats.Ratio.Append(x)
+		d.stats.Generated += m
+		d.mu.Unlock()
+		for j := 0; j < m; j++ {
+			taskID++
+			d.wg.Add(1)
+			go d.runTask(taskID, t, d.rngExit(), d.rngCoin() < x)
+		}
+	}
+	d.wg.Wait()
+	stats := d.stats
+	return &stats, nil
+}
+
+// deviceRun is the mutable state of one device lifecycle.
+type deviceRun struct {
+	cfg    DeviceConfig
+	client *rpc.Client
+	local  *Executor
+
+	mu    sync.Mutex
+	rngMu sync.Mutex
+	rng   *rand.Rand
+	stats DeviceStats
+	wg    sync.WaitGroup
+}
+
+func (d *deviceRun) rngExit() int {
+	d.rngMu.Lock()
+	defer d.rngMu.Unlock()
+	r := d.rng.Float64()
+	switch {
+	case r < d.cfg.Model.Sigma[0]:
+		return 1
+	case r < d.cfg.Model.Sigma[1]:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func (d *deviceRun) rngCoin() float64 {
+	d.rngMu.Lock()
+	defer d.rngMu.Unlock()
+	return d.rng.Float64()
+}
+
+// edgeBacklog asks the edge how many of this device's first-block tasks are
+// pending (the H_i observation of the controller).
+func (d *deviceRun) edgeBacklog() int {
+	got, err := d.client.Call(QueueStatReq{DeviceID: d.cfg.ID})
+	if err != nil {
+		return 0
+	}
+	resp, ok := got.(QueueStatResp)
+	if !ok {
+		return 0
+	}
+	return resp.PendingFirstBlock
+}
+
+// runTask executes one task end-to-end and records its completion time.
+func (d *deviceRun) runTask(id uint64, slot, exitStage int, offloaded bool) {
+	defer d.wg.Done()
+	began := time.Now()
+
+	var err error
+	var finalExit int
+	var localDur time.Duration
+	fellBack := false
+	if offloaded {
+		finalExit, err = d.offloadedPath(id, exitStage)
+		if err != nil && strings.Contains(err.Error(), BusyMessage) {
+			// The edge applied backpressure: execute locally instead.
+			fellBack = true
+			finalExit, localDur, err = d.localPath(id, exitStage)
+		}
+	} else {
+		finalExit, localDur, err = d.localPath(id, exitStage)
+	}
+
+	scale := float64(d.cfg.TimeScale)
+	if scale <= 0 {
+		scale = 1
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err != nil {
+		d.stats.Errors++
+		d.stats.Completed++ // still accounted; latency excluded
+		return
+	}
+	d.stats.Completed++
+	d.stats.ExitCounts[finalExit-1]++
+	if fellBack {
+		d.stats.Fallbacks++
+	}
+	if slot >= d.cfg.WarmupSlots {
+		elapsed := time.Since(began).Seconds() / scale
+		local := localDur.Seconds() / scale
+		d.stats.TCT.Add(elapsed)
+		d.stats.LocalStage.Add(local)
+		d.stats.RemoteStage.Add(elapsed - local)
+	}
+}
+
+// localPath runs block 1 on the device CPU, then continues at the edge if
+// the task survives the First exit. It returns the final exit and the time
+// spent on the device (queueing plus service).
+func (d *deviceRun) localPath(id uint64, exitStage int) (int, time.Duration, error) {
+	start := time.Now()
+	if err := d.local.Do(d.cfg.Model.Mu[0]); err != nil {
+		return 0, 0, err
+	}
+	localDur := time.Since(start)
+	if exitStage <= 1 {
+		return 1, localDur, nil
+	}
+	payload := make([]byte, int(d.cfg.Model.D[1]))
+	got, err := d.client.Call(SecondBlockReq{
+		DeviceID:  d.cfg.ID,
+		TaskID:    id,
+		Payload:   payload,
+		ExitStage: exitStage,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	resp, ok := got.(TaskResp)
+	if !ok {
+		return 0, 0, fmt.Errorf("runtime: unexpected reply %T", got)
+	}
+	return resp.ExitStage, localDur, nil
+}
+
+// offloadedPath ships the raw input to the edge, which runs everything.
+func (d *deviceRun) offloadedPath(id uint64, exitStage int) (int, error) {
+	payload := make([]byte, int(d.cfg.Model.D[0]))
+	got, err := d.client.Call(FirstBlockReq{
+		DeviceID:  d.cfg.ID,
+		TaskID:    id,
+		Payload:   payload,
+		ExitStage: exitStage,
+	})
+	if err != nil {
+		return 0, err
+	}
+	resp, ok := got.(TaskResp)
+	if !ok {
+		return 0, fmt.Errorf("runtime: unexpected reply %T", got)
+	}
+	return resp.ExitStage, nil
+}

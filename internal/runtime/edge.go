@@ -1,0 +1,335 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"leime/internal/netem"
+	"leime/internal/offload"
+	"leime/internal/rpc"
+)
+
+// BusyMessage is the error text the edge returns when admission control
+// rejects an offloaded task; devices detect it and fall back to local
+// execution.
+const BusyMessage = "edge busy: first-block backlog limit reached"
+
+// EdgeConfig configures the edge tier.
+type EdgeConfig struct {
+	// Addr is the listen address.
+	Addr string
+	// FLOPS is the edge capability F^e.
+	FLOPS float64
+	// MaxPendingPerTenant, when positive, caps each device's first-block
+	// backlog: offloads beyond it are rejected with BusyMessage (admission
+	// control / backpressure), and well-behaved devices fall back to local
+	// execution instead of piling onto a saturated edge.
+	MaxPendingPerTenant int
+	// Model is the deployed ME-DNN (block FLOPs, data sizes, exit rates).
+	Model offload.ModelParams
+	// CloudAddr is the cloud server to forward third-block work to; empty
+	// disables the cloud tier (tasks then always exit by the Second exit).
+	CloudAddr string
+	// CloudLink shapes the edge–cloud path (the Internet of the testbed).
+	CloudLink netem.Link
+	// TimeScale compresses testbed time.
+	TimeScale Scale
+}
+
+// Edge serves first- and second-block work with per-device resource shares
+// (the Docker-quota equivalent), recomputing the KKT allocation whenever a
+// device registers.
+type Edge struct {
+	cfg EdgeConfig
+	srv *rpc.Server
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+
+	cloud *rpc.Client
+}
+
+// tenant is the edge-side state of one registered device.
+type tenant struct {
+	dev   offload.Device
+	model offload.ModelParams
+	exec  *Executor
+	h1    int32 // atomic: pending first-block tasks
+	share float64
+}
+
+// StartEdge launches the edge server.
+func StartEdge(cfg EdgeConfig) (*Edge, error) {
+	if cfg.FLOPS <= 0 {
+		return nil, fmt.Errorf("runtime: edge FLOPS %v must be positive", cfg.FLOPS)
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	RegisterMessages()
+	e := &Edge{cfg: cfg, tenants: make(map[string]*tenant)}
+	if cfg.CloudAddr != "" {
+		shaper, err := netem.NewShaper(scaleLink(cfg.CloudLink, cfg.TimeScale), 0x0edc)
+		if err != nil {
+			return nil, err
+		}
+		cloud, err := rpc.Dial(cfg.CloudAddr, shaper)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: edge cannot reach cloud: %w", err)
+		}
+		e.cloud = cloud
+	}
+	srv, err := rpc.Serve(cfg.Addr, e.handle)
+	if err != nil {
+		if e.cloud != nil {
+			_ = e.cloud.Close()
+		}
+		return nil, err
+	}
+	e.srv = srv
+	return e, nil
+}
+
+// scaleLink compresses a link's delays by the time scale: latency shrinks
+// directly, bandwidth grows inversely so serialization time shrinks equally.
+func scaleLink(l netem.Link, s Scale) netem.Link {
+	if s <= 0 || s == 1 {
+		return l
+	}
+	out := l
+	if out.BandwidthBps > 0 {
+		out.BandwidthBps /= float64(s)
+	}
+	out.Latency = s.D(out.Latency)
+	out.Jitter = s.D(out.Jitter)
+	return out
+}
+
+// Addr returns the edge's listen address.
+func (e *Edge) Addr() string { return e.srv.Addr() }
+
+func (e *Edge) handle(body any) (any, error) {
+	switch req := body.(type) {
+	case RegisterReq:
+		return e.register(req)
+	case FirstBlockReq:
+		return e.firstBlock(req)
+	case SecondBlockReq:
+		return e.secondBlock(req)
+	case QueueStatReq:
+		t, err := e.tenant(req.DeviceID)
+		if err != nil {
+			return nil, err
+		}
+		return QueueStatResp{PendingFirstBlock: int(atomic.LoadInt32(&t.h1))}, nil
+	case UpdateReq:
+		return e.update(req)
+	case UnregisterReq:
+		return e.unregister(req)
+	case EdgeStatsReq:
+		return e.stats(), nil
+	default:
+		return nil, fmt.Errorf("edge: unexpected request %T", body)
+	}
+}
+
+// update revises a tenant's expected arrival rate and rebalances all shares.
+func (e *Edge) update(req UpdateReq) (any, error) {
+	e.mu.Lock()
+	t, ok := e.tenants[req.DeviceID]
+	if !ok {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("edge: unknown device %q", req.DeviceID)
+	}
+	flops := t.dev.FLOPS
+	model := t.model
+	e.mu.Unlock()
+	return e.register(RegisterReq{DeviceID: req.DeviceID, FLOPS: flops, ArrivalMean: req.ArrivalMean, Model: model})
+}
+
+// unregister removes a tenant and redistributes its edge share. The tenant's
+// executor drains any accepted work and is then released; requests for the
+// departed device fail with "unknown device".
+func (e *Edge) unregister(req UnregisterReq) (any, error) {
+	e.mu.Lock()
+	t, ok := e.tenants[req.DeviceID]
+	if !ok {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("edge: unknown device %q", req.DeviceID)
+	}
+	delete(e.tenants, req.DeviceID)
+	remaining := len(e.tenants)
+	ids := make([]string, 0, remaining)
+	devs := make([]offload.Device, 0, remaining)
+	for id, tn := range e.tenants {
+		ids = append(ids, id)
+		devs = append(devs, tn.dev)
+	}
+	var shares []float64
+	var err error
+	if remaining > 0 {
+		shares, err = offload.Allocate(devs, e.cfg.FLOPS)
+		if err != nil {
+			e.mu.Unlock()
+			return nil, fmt.Errorf("edge: reallocation after departure: %w", err)
+		}
+		for i, id := range ids {
+			tn := e.tenants[id]
+			tn.share = shares[i]
+			if err := tn.exec.SetRate(shares[i] * e.cfg.FLOPS); err != nil {
+				e.mu.Unlock()
+				return nil, err
+			}
+		}
+	}
+	e.mu.Unlock()
+	t.exec.Close()
+	return UnregisterResp{RemainingTenants: remaining}, nil
+}
+
+// stats snapshots the edge's tenancy state.
+func (e *Edge) stats() EdgeStatsResp {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := EdgeStatsResp{
+		Tenants: len(e.tenants),
+		Shares:  make(map[string]float64, len(e.tenants)),
+	}
+	for id, t := range e.tenants {
+		out.Shares[id] = t.share
+		out.PendingFirstBlock += int(atomic.LoadInt32(&t.h1))
+	}
+	return out
+}
+
+// register admits a device and rebalances every tenant's edge share with the
+// KKT allocation (eq. 27).
+func (e *Edge) register(req RegisterReq) (any, error) {
+	if req.DeviceID == "" {
+		return nil, fmt.Errorf("edge: empty device id")
+	}
+	dev := offload.Device{
+		FLOPS:        req.FLOPS,
+		BandwidthBps: 1, // placeholder; allocation only uses FLOPS and k_i
+		ArrivalMean:  req.ArrivalMean,
+	}
+	if req.FLOPS <= 0 {
+		return nil, fmt.Errorf("edge: device %q FLOPS %v must be positive", req.DeviceID, req.FLOPS)
+	}
+
+	model := req.Model
+	if model.Validate() != nil {
+		// Zero or malformed model: serve this tenant with the edge default.
+		model = e.cfg.Model
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, exists := e.tenants[req.DeviceID]
+	if !exists {
+		exec, err := NewExecutor(e.cfg.FLOPS, e.cfg.TimeScale) // rate fixed below
+		if err != nil {
+			return nil, err
+		}
+		t = &tenant{exec: exec}
+		e.tenants[req.DeviceID] = t
+	}
+	t.dev = dev
+	t.model = model
+
+	ids := make([]string, 0, len(e.tenants))
+	devs := make([]offload.Device, 0, len(e.tenants))
+	for id, tn := range e.tenants {
+		ids = append(ids, id)
+		devs = append(devs, tn.dev)
+	}
+	shares, err := offload.Allocate(devs, e.cfg.FLOPS)
+	if err != nil {
+		return nil, fmt.Errorf("edge: allocation: %w", err)
+	}
+	for i, id := range ids {
+		tn := e.tenants[id]
+		tn.share = shares[i]
+		if err := tn.exec.SetRate(shares[i] * e.cfg.FLOPS); err != nil {
+			return nil, err
+		}
+	}
+	return RegisterResp{ShareFLOPS: t.share * e.cfg.FLOPS}, nil
+}
+
+func (e *Edge) tenant(id string) (*tenant, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tenants[id]
+	if !ok {
+		return nil, fmt.Errorf("edge: unknown device %q", id)
+	}
+	return t, nil
+}
+
+// firstBlock runs block 1 (and onward) for an offloaded raw task, applying
+// admission control on the tenant's backlog.
+func (e *Edge) firstBlock(req FirstBlockReq) (any, error) {
+	t, err := e.tenant(req.DeviceID)
+	if err != nil {
+		return nil, err
+	}
+	if limit := e.cfg.MaxPendingPerTenant; limit > 0 && int(atomic.LoadInt32(&t.h1)) >= limit {
+		return nil, fmt.Errorf("%s (device %q, limit %d)", BusyMessage, req.DeviceID, limit)
+	}
+	atomic.AddInt32(&t.h1, 1)
+	err = t.exec.Do(t.model.Mu[0])
+	atomic.AddInt32(&t.h1, -1)
+	if err != nil {
+		return nil, err
+	}
+	if req.ExitStage <= 1 {
+		return TaskResp{TaskID: req.TaskID, ExitStage: 1}, nil
+	}
+	return e.continueSecond(t, req.TaskID, req.ExitStage)
+}
+
+// secondBlock runs block 2 for a task whose first block ran on the device.
+func (e *Edge) secondBlock(req SecondBlockReq) (any, error) {
+	t, err := e.tenant(req.DeviceID)
+	if err != nil {
+		return nil, err
+	}
+	return e.continueSecond(t, req.TaskID, req.ExitStage)
+}
+
+func (e *Edge) continueSecond(t *tenant, taskID uint64, exitStage int) (any, error) {
+	if err := t.exec.Do(t.model.Mu[1]); err != nil {
+		return nil, err
+	}
+	if exitStage <= 2 || e.cloud == nil {
+		return TaskResp{TaskID: taskID, ExitStage: 2}, nil
+	}
+	payload := make([]byte, int(t.model.D[2]))
+	got, err := e.cloud.Call(ThirdBlockReq{TaskID: taskID, Payload: payload, FLOPs: t.model.Mu[2]})
+	if err != nil {
+		return nil, fmt.Errorf("edge: cloud continuation: %w", err)
+	}
+	resp, ok := got.(TaskResp)
+	if !ok {
+		return nil, fmt.Errorf("edge: unexpected cloud reply %T", got)
+	}
+	return resp, nil
+}
+
+// Close stops serving, releases tenant executors and the cloud client.
+func (e *Edge) Close() error {
+	err := e.srv.Close()
+	e.mu.Lock()
+	for _, t := range e.tenants {
+		t.exec.Close()
+	}
+	e.mu.Unlock()
+	if e.cloud != nil {
+		if cerr := e.cloud.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

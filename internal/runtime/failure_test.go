@@ -1,0 +1,161 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"leime/internal/netem"
+	"leime/internal/offload"
+)
+
+func TestDeviceSurvivesCloudFailure(t *testing.T) {
+	// The cloud dies mid-run: tasks that need the third block fail, tasks
+	// exiting at the first two exits keep completing, and the device run
+	// finishes (no hang) with the failures accounted.
+	cloud, err := StartCloud(CloudConfig{
+		Addr:        "127.0.0.1:0",
+		FLOPS:       2e12,
+		Block3FLOPs: testModel().Mu[2],
+		TimeScale:   testScale,
+	})
+	if err != nil {
+		t.Fatalf("StartCloud: %v", err)
+	}
+	edge, err := StartEdge(EdgeConfig{
+		Addr:      "127.0.0.1:0",
+		FLOPS:     6e10,
+		Model:     testModel(),
+		CloudAddr: cloud.Addr(),
+		CloudLink: netem.Link{BandwidthBps: 5e7, Latency: 10 * time.Millisecond},
+		TimeScale: testScale,
+	})
+	if err != nil {
+		t.Fatalf("StartEdge: %v", err)
+	}
+	defer edge.Close()
+
+	// Kill the cloud shortly after the run starts.
+	killed := make(chan struct{})
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		_ = cloud.Close()
+		close(killed)
+	}()
+
+	cfg := testDeviceConfig(edge.Addr(), "survivor")
+	cfg.Slots = 40
+	stats, err := RunDevice(cfg)
+	if err != nil {
+		t.Fatalf("RunDevice: %v", err)
+	}
+	<-killed
+	if stats.Completed != stats.Generated {
+		t.Errorf("accounting broken: completed %d != generated %d", stats.Completed, stats.Generated)
+	}
+	// Some cloud-bound tasks after the kill must have failed, but exits 1
+	// and 2 keep working, so successes dominate.
+	successes := stats.ExitCounts[0] + stats.ExitCounts[1] + stats.ExitCounts[2]
+	if stats.Errors == 0 {
+		t.Log("no task errors observed (cloud died between third-block tasks); acceptable but unusual")
+	}
+	if successes == 0 {
+		t.Error("no tasks succeeded after cloud failure; exits 1-2 should be unaffected")
+	}
+	if stats.Errors > stats.Generated/2 {
+		t.Errorf("%d of %d tasks failed; only third-block tasks should", stats.Errors, stats.Generated)
+	}
+}
+
+func TestRunDeviceUnreachableEdge(t *testing.T) {
+	cfg := testDeviceConfig("127.0.0.1:1", "lost")
+	if _, err := RunDevice(cfg); err == nil {
+		t.Error("device connected to an unreachable edge")
+	}
+}
+
+func TestEdgeStartFailsWithUnreachableCloud(t *testing.T) {
+	_, err := StartEdge(EdgeConfig{
+		Addr:      "127.0.0.1:0",
+		FLOPS:     6e10,
+		Model:     testModel(),
+		CloudAddr: "127.0.0.1:1",
+		TimeScale: testScale,
+	})
+	if err == nil {
+		t.Error("edge started despite unreachable cloud")
+	}
+}
+
+func TestConcurrentRegistrationAndTraffic(t *testing.T) {
+	// Devices registering while others are mid-run (shares rebalancing
+	// underneath live traffic) must not corrupt anything.
+	_, edge := startTestbed(t)
+	first := make(chan error, 1)
+	go func() {
+		cfg := testDeviceConfig(edge.Addr(), "early")
+		cfg.Slots = 30
+		_, err := RunDevice(cfg)
+		first <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cfg := testDeviceConfig(edge.Addr(), "late")
+	cfg.Slots = 15
+	cfg.Seed = 99
+	late, err := RunDevice(cfg)
+	if err != nil {
+		t.Fatalf("late device: %v", err)
+	}
+	if err := <-first; err != nil {
+		t.Fatalf("early device: %v", err)
+	}
+	if late.Errors != 0 {
+		t.Errorf("late device saw %d errors during rebalancing", late.Errors)
+	}
+}
+
+func TestAdmissionControlTriggersLocalFallback(t *testing.T) {
+	// A tiny backlog cap on a heavily offloading device forces rejections;
+	// the device must fall back to local execution and still complete every
+	// task without errors.
+	edge, err := StartEdge(EdgeConfig{
+		Addr:                "127.0.0.1:0",
+		FLOPS:               2e9, // slow edge: backlog actually builds
+		Model:               testModel(),
+		MaxPendingPerTenant: 1,
+		TimeScale:           testScale,
+	})
+	if err != nil {
+		t.Fatalf("StartEdge: %v", err)
+	}
+	defer edge.Close()
+
+	cfg := testDeviceConfig(edge.Addr(), "pressured")
+	eOnly := offload.EdgeOnly()
+	cfg.Policy = &eOnly // insist on offloading so the cap must trip
+	cfg.ArrivalMean = 8
+	cfg.Slots = 25
+	stats, err := RunDevice(cfg)
+	if err != nil {
+		t.Fatalf("RunDevice: %v", err)
+	}
+	if stats.Errors != 0 {
+		t.Errorf("%d task errors despite fallback", stats.Errors)
+	}
+	if stats.Completed != stats.Generated {
+		t.Errorf("conservation: %d != %d", stats.Completed, stats.Generated)
+	}
+	if stats.Fallbacks == 0 {
+		t.Error("admission control never tripped; test configuration too lenient")
+	}
+}
+
+func TestNoFallbacksWithoutAdmissionControl(t *testing.T) {
+	_, edge := startTestbed(t)
+	stats, err := RunDevice(testDeviceConfig(edge.Addr(), "free"))
+	if err != nil {
+		t.Fatalf("RunDevice: %v", err)
+	}
+	if stats.Fallbacks != 0 {
+		t.Errorf("fallbacks counted with no backlog cap: %d", stats.Fallbacks)
+	}
+}

@@ -1,0 +1,165 @@
+// Package runtime is the testbed of the reproduction: real device, edge and
+// cloud agents talking over TCP with netem-shaped links, burning calibrated
+// compute per DNN block, and running LEIME's online offloading controller on
+// real queue observations. It mirrors the paper's prototype (Raspberry
+// Pis/Jetson Nanos + i7 edge + V100 cloud, COMCAST shaping, Docker per-device
+// quotas) with configured FLOPS ratings replacing owned hardware.
+package runtime
+
+import (
+	"time"
+
+	"leime/internal/offload"
+	"leime/internal/rpc"
+)
+
+// Message types exchanged between tiers. Payloads carry real bytes so netem
+// shaping sees authentic message sizes.
+
+// RegisterReq announces a device to the edge server.
+type RegisterReq struct {
+	// DeviceID uniquely names the device.
+	DeviceID string
+	// FLOPS is the device capability (used by the KKT allocation).
+	FLOPS float64
+	// ArrivalMean is the device's expected tasks per slot (k_i).
+	ArrivalMean float64
+	// Model is the device's deployed ME-DNN. A zero value keeps the edge's
+	// default model; a populated one lets heterogeneous applications share
+	// one edge (each tenant's blocks are executed with its own FLOPs and
+	// exit rates).
+	Model offload.ModelParams
+}
+
+// RegisterResp acknowledges registration.
+type RegisterResp struct {
+	// ShareFLOPS is p_i * F^e: the edge compute reserved for the device.
+	ShareFLOPS float64
+}
+
+// FirstBlockReq offloads a raw task to the edge: the edge runs block 1 and
+// everything after it.
+type FirstBlockReq struct {
+	DeviceID string
+	TaskID   uint64
+	// Payload is the raw input (d_0 bytes).
+	Payload []byte
+	// ExitStage is the exit the task will leave through (1, 2 or 3),
+	// determined by the confidence model from the sample's difficulty.
+	ExitStage int
+}
+
+// SecondBlockReq continues a task whose first block ran on the device: the
+// edge runs block 2 and, if needed, forwards to the cloud.
+type SecondBlockReq struct {
+	DeviceID string
+	TaskID   uint64
+	// Payload is the First-exit intermediate tensor (d_1 bytes).
+	Payload []byte
+	// ExitStage is the task's predetermined exit (2 or 3).
+	ExitStage int
+}
+
+// ThirdBlockReq continues a task on the cloud after the Second exit.
+type ThirdBlockReq struct {
+	TaskID uint64
+	// Payload is the Second-exit intermediate tensor (d_2 bytes).
+	Payload []byte
+	// FLOPs is the third block's operation count; zero uses the cloud's
+	// default.
+	FLOPs float64
+}
+
+// TaskResp reports a finished inference.
+type TaskResp struct {
+	TaskID uint64
+	// ExitStage is where the task actually left the network.
+	ExitStage int
+}
+
+// UpdateReq revises a device's expected arrival rate; the edge re-solves the
+// KKT allocation and returns the device's new share. This is the runtime
+// "fine-tuning" loop: devices report their observed load and the edge
+// rebalances, responding to the transient mismatch between historical
+// statistics and the live workload.
+type UpdateReq struct {
+	DeviceID string
+	// ArrivalMean is the device's revised k_i estimate.
+	ArrivalMean float64
+}
+
+// UnregisterReq removes a device; its edge share is redistributed to the
+// remaining tenants.
+type UnregisterReq struct {
+	DeviceID string
+}
+
+// UnregisterResp acknowledges removal.
+type UnregisterResp struct {
+	// RemainingTenants is the number of devices still registered.
+	RemainingTenants int
+}
+
+// EdgeStatsReq asks the edge for a snapshot of its tenancy state.
+type EdgeStatsReq struct{}
+
+// EdgeStatsResp is the edge's tenancy snapshot.
+type EdgeStatsResp struct {
+	// Tenants is the number of registered devices.
+	Tenants int
+	// PendingFirstBlock is the total first-block backlog across tenants.
+	PendingFirstBlock int
+	// Shares maps device IDs to their current edge share (fractions of F^e,
+	// summing to 1).
+	Shares map[string]float64
+}
+
+// QueueStatReq asks the edge for the device's pending first-block backlog.
+type QueueStatReq struct {
+	DeviceID string
+}
+
+// QueueStatResp carries the backlog H_i observed at the edge.
+type QueueStatResp struct {
+	// PendingFirstBlock is the number of the device's first-block tasks
+	// accepted but not yet finished at the edge.
+	PendingFirstBlock int
+}
+
+// RegisterMessages registers all protocol types with the rpc layer. It is
+// idempotent per process and must be called by every tier before serving or
+// dialing.
+func RegisterMessages() {
+	rpc.Register(RegisterReq{})
+	rpc.Register(RegisterResp{})
+	rpc.Register(FirstBlockReq{})
+	rpc.Register(SecondBlockReq{})
+	rpc.Register(ThirdBlockReq{})
+	rpc.Register(TaskResp{})
+	rpc.Register(QueueStatReq{})
+	rpc.Register(QueueStatResp{})
+	rpc.Register(UpdateReq{})
+	rpc.Register(UnregisterReq{})
+	rpc.Register(UnregisterResp{})
+	rpc.Register(EdgeStatsReq{})
+	rpc.Register(EdgeStatsResp{})
+}
+
+// Scale compresses testbed time so experiments finish quickly: all compute
+// burns, link delays and slot lengths are multiplied by the factor. 1.0 is
+// real time; 0.01 runs a 100-second experiment in one second. Latency
+// ordering and ratios are preserved exactly.
+type Scale float64
+
+// D scales a duration.
+func (s Scale) D(d time.Duration) time.Duration {
+	if s <= 0 {
+		return d
+	}
+	return time.Duration(float64(d) * float64(s))
+}
+
+// Seconds scales a duration expressed in seconds.
+func (s Scale) Seconds(sec float64) time.Duration {
+	return s.D(time.Duration(sec * float64(time.Second)))
+}

@@ -1,0 +1,31 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoad feeds arbitrary JSON to the scenario loader: it must never panic,
+// and anything it accepts must validate cleanly a second time (idempotent
+// defaulting).
+func FuzzLoad(f *testing.F) {
+	f.Add(validJSON)
+	f.Add(`{}`)
+	f.Add(`{"name":"x","devices":[{}]}`)
+	f.Add(`{"devices":[{"count":1000000}]}`)
+	f.Add(`[1,2,3]`)
+	f.Add(`{"name":"x","devices":[{"policy":"fixed:0.5"}],"simulator":"event"}`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		s, err := Load(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted scenario fails re-validation: %v", err)
+		}
+		if len(s.Devices) == 0 || s.Slots < 10 {
+			t.Fatalf("accepted scenario with bad defaults: %+v", s)
+		}
+	})
+}

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"testing"
+
+	"leime/internal/offload"
+)
+
+// TestSlotAndEventSimulatorsAgree cross-checks the two independent
+// implementations of the system: the analytic slot model (the paper's
+// equations) and the discrete-event pipeline. They model queueing at
+// different granularities, so exact agreement is not expected — but on the
+// same workload their mean TCTs must land within a small factor, and they
+// must order offloading ratios the same way (which is all the experiments
+// rely on).
+func TestSlotAndEventSimulatorsAgree(t *testing.T) {
+	ratios := []float64{0, 0.5, 1}
+	slotTCT := make([]float64, len(ratios))
+	eventTCT := make([]float64, len(ratios))
+	for i, r := range ratios {
+		policy := offload.FixedRatio(r)
+
+		slotCfg := baseSlotConfig(1, 6)
+		slotCfg.Devices[0].Policy = &policy
+		slotCfg.Slots = 400
+		slotCfg.WarmupSlots = 50
+		sres, err := RunSlots(slotCfg)
+		if err != nil {
+			t.Fatalf("RunSlots(r=%v): %v", r, err)
+		}
+		slotTCT[i] = sres.MeanTCT
+
+		evCfg := baseEventConfig(1, 6)
+		evCfg.Devices[0].Policy = &policy
+		evCfg.Slots = 400
+		evCfg.WarmupSlots = 50
+		eres, err := RunEvents(evCfg)
+		if err != nil {
+			t.Fatalf("RunEvents(r=%v): %v", r, err)
+		}
+		eventTCT[i] = eres.TCT.Mean()
+	}
+	for i, r := range ratios {
+		ratio := slotTCT[i] / eventTCT[i]
+		if ratio < 0.3 || ratio > 3 {
+			t.Errorf("r=%v: simulators disagree by %vx (slot %v, event %v)",
+				r, ratio, slotTCT[i], eventTCT[i])
+		}
+	}
+	// Ordering agreement between the extreme ratios.
+	slotPrefersLocal := slotTCT[0] < slotTCT[len(ratios)-1]
+	eventPrefersLocal := eventTCT[0] < eventTCT[len(ratios)-1]
+	if slotPrefersLocal != eventPrefersLocal {
+		t.Errorf("simulators order the extreme ratios differently: slot %v, event %v", slotTCT, eventTCT)
+	}
+}

@@ -1,0 +1,328 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"leime/internal/cluster"
+	"leime/internal/metrics"
+	"leime/internal/offload"
+	"leime/internal/trace"
+)
+
+// EventConfig configures an EventSim run. The fields mirror SlotConfig; the
+// event simulator executes every task end-to-end through explicit CPU and
+// link stations instead of evaluating the slot-model cost expressions.
+type EventConfig struct {
+	// Model is the deployed ME-DNN.
+	Model offload.ModelParams
+	// Devices are the end devices.
+	Devices []DeviceSpec
+	// EdgeFLOPS and CloudFLOPS are the shared server capabilities.
+	EdgeFLOPS  float64
+	CloudFLOPS float64
+	// EdgeCloud is the edge–cloud path.
+	EdgeCloud cluster.Path
+	// TauSec is the slot length for decision epochs.
+	TauSec float64
+	// V is the Lyapunov penalty weight.
+	V float64
+	// Slots is the generation horizon; the simulation drains afterwards.
+	Slots int
+	// WarmupSlots excludes early arrivals from statistics.
+	WarmupSlots int
+	// DeadlineSec, when positive, marks tasks completing later than this
+	// many (model) seconds after generation as deadline misses. The paper
+	// lists deadline requirements among the wild edge's application
+	// characteristics (§II-A); this knob measures them.
+	DeadlineSec float64
+	// Seed drives arrival sampling, exit sampling and offload coin flips.
+	Seed int64
+}
+
+// EventResult is the outcome of an EventSim run.
+type EventResult struct {
+	// TCT summarizes end-to-end completion times of post-warmup tasks.
+	TCT metrics.Summary
+	// SlotTCT is the mean TCT of tasks generated in each slot.
+	SlotTCT metrics.Series
+	// PerDeviceTCT summarizes completion times per device (post-warmup).
+	PerDeviceTCT []metrics.Summary
+	// Ratio is the per-slot mean offloading decision across devices.
+	Ratio metrics.Series
+	// ExitCounts tallies tasks by the exit they left through.
+	ExitCounts [3]int
+	// Generated and Completed count tasks; they must match after draining.
+	Generated, Completed int
+	// DeadlineMisses counts post-warmup tasks exceeding the configured
+	// deadline (zero when no deadline is set).
+	DeadlineMisses int
+	// Utilization maps each station (per-device CPUs, uplinks, edge shares,
+	// the edge-cloud link and the cloud CPU) to the fraction of the
+	// generation horizon it spent serving.
+	Utilization map[string]float64
+}
+
+// RunEvents executes the per-task discrete-event simulation.
+func RunEvents(cfg EventConfig) (*EventResult, error) {
+	n := len(cfg.Devices)
+	if n == 0 {
+		return nil, fmt.Errorf("sim: no devices configured")
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.EdgeFLOPS <= 0 || cfg.CloudFLOPS <= 0 {
+		return nil, fmt.Errorf("sim: edge (%v) and cloud (%v) FLOPS must be positive", cfg.EdgeFLOPS, cfg.CloudFLOPS)
+	}
+	if cfg.EdgeCloud.BandwidthBps <= 0 {
+		return nil, fmt.Errorf("sim: edge-cloud bandwidth %v must be positive", cfg.EdgeCloud.BandwidthBps)
+	}
+	if cfg.TauSec <= 0 || cfg.V <= 0 {
+		return nil, fmt.Errorf("sim: TauSec (%v) and V (%v) must be positive", cfg.TauSec, cfg.V)
+	}
+	if cfg.Slots <= 0 || cfg.WarmupSlots < 0 || cfg.WarmupSlots >= cfg.Slots {
+		return nil, fmt.Errorf("sim: bad horizon (slots=%d, warmup=%d)", cfg.Slots, cfg.WarmupSlots)
+	}
+
+	ctrl, err := offload.NewController(offload.Config{Model: cfg.Model, TauSec: cfg.TauSec, V: cfg.V})
+	if err != nil {
+		return nil, err
+	}
+	devices := make([]offload.Device, n)
+	for i, d := range cfg.Devices {
+		if err := d.Device.Validate(); err != nil {
+			return nil, fmt.Errorf("device %d: %w", i, err)
+		}
+		devices[i] = d.Device
+	}
+	shares, err := offload.Allocate(devices, cfg.EdgeFLOPS)
+	if err != nil {
+		return nil, err
+	}
+	arrivals := make([]trace.Process, n)
+	policies := make([]offload.Policy, n)
+	for i, d := range cfg.Devices {
+		arrivals[i] = d.Arrivals
+		if arrivals[i] == nil {
+			p, err := trace.NewPoisson(d.Device.ArrivalMean, cfg.Seed+int64(i)*104729)
+			if err != nil {
+				return nil, err
+			}
+			arrivals[i] = p
+		}
+		if d.Policy != nil {
+			policies[i] = *d.Policy
+		} else {
+			policies[i] = offload.Lyapunov()
+		}
+	}
+
+	s := &eventState{
+		cfg:      cfg,
+		ctrl:     ctrl,
+		devices:  devices,
+		shares:   shares,
+		rng:      rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		res:      &EventResult{PerDeviceTCT: make([]metrics.Summary, n)},
+		devCPU:   make([]*Station, n),
+		uplink:   make([]*Station, n),
+		edgeCPU:  make([]*Station, n),
+		h1:       make([]int, n),
+		slotTCT:  make([]float64, cfg.Slots),
+		slotDone: make([]int, cfg.Slots),
+		slotGen:  make([]int, cfg.Slots),
+	}
+	for i := range s.devCPU {
+		s.devCPU[i] = NewStation(fmt.Sprintf("dev%d-cpu", i))
+		s.uplink[i] = NewStation(fmt.Sprintf("dev%d-uplink", i))
+		s.edgeCPU[i] = NewStation(fmt.Sprintf("edge-share%d", i))
+	}
+	s.cloudLink = NewStation("edge-cloud-link")
+	s.cloudCPU = NewStation("cloud-cpu")
+
+	// Drive slot by slot: generate this slot's tasks, then advance the
+	// engine to the slot boundary so queue observations at the next decision
+	// epoch reflect completed work.
+	for t := 0; t < cfg.Slots; t++ {
+		slotStart := float64(t) * cfg.TauSec
+		s.eng.RunUntil(slotStart)
+		var ratioSum float64
+		for i := range devices {
+			s.devices[i] = cfg.Devices[i].linkAt(t)
+			m := arrivals[i].Next()
+			slot := offload.Slot{
+				Arrivals:       float64(m),
+				State:          offload.State{Q: float64(s.devCPU[i].QueueLen()), H: float64(s.h1[i])},
+				EdgeShareFLOPS: shares[i] * cfg.EdgeFLOPS,
+			}
+			x := policies[i].Decide(ctrl, s.devices[i], slot)
+			ratioSum += x
+			for j := 0; j < m; j++ {
+				s.generate(i, t, slotStart, x)
+			}
+		}
+		s.res.Ratio.Append(ratioSum / float64(n))
+	}
+	// Drain: every generated task must complete.
+	budget := 100 * (s.res.Generated + 1) * 8
+	if _, err := s.eng.Run(budget); err != nil {
+		return nil, err
+	}
+	for t := 0; t < cfg.Slots; t++ {
+		if s.slotDone[t] > 0 {
+			s.res.SlotTCT.Append(s.slotTCT[t] / float64(s.slotDone[t]))
+		} else {
+			s.res.SlotTCT.Append(0)
+		}
+	}
+	horizon := float64(cfg.Slots) * cfg.TauSec
+	s.res.Utilization = make(map[string]float64)
+	for _, group := range [][]*Station{s.devCPU, s.uplink, s.edgeCPU, {s.cloudLink, s.cloudCPU}} {
+		for _, st := range group {
+			s.res.Utilization[st.Name()] = st.Utilization(horizon)
+		}
+	}
+	if s.res.Completed != s.res.Generated {
+		return nil, fmt.Errorf("sim: conservation violated: generated %d, completed %d", s.res.Generated, s.res.Completed)
+	}
+	return s.res, nil
+}
+
+// eventState is the mutable state of one EventSim run.
+type eventState struct {
+	cfg     EventConfig
+	ctrl    *offload.Controller
+	devices []offload.Device
+	shares  []float64
+	rng     *rand.Rand
+	eng     Engine
+	res     *EventResult
+
+	devCPU  []*Station // per-device local CPU
+	uplink  []*Station // per-device uplink to the edge
+	edgeCPU []*Station // per-device edge share (Docker-quota equivalent)
+	h1      []int      // per-device first-block tasks pending at the edge
+
+	cloudLink *Station
+	cloudCPU  *Station
+
+	slotTCT  []float64
+	slotDone []int
+	slotGen  []int
+}
+
+// sampleExit picks the exit a task will leave through from the sigma vector.
+func (s *eventState) sampleExit() int {
+	r := s.rng.Float64()
+	switch {
+	case r < s.cfg.Model.Sigma[0]:
+		return 1
+	case r < s.cfg.Model.Sigma[1]:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// generate creates one task on device i in slot t and routes it through the
+// pipeline. The offloading coin uses this slot's ratio x.
+func (s *eventState) generate(i, t int, at float64, x float64) {
+	s.res.Generated++
+	s.slotGen[t]++
+	exit := s.sampleExit()
+	offloaded := s.rng.Float64() < x
+	task := &simTask{dev: i, slot: t, born: at, exit: exit}
+	s.eng.At(at, func() {
+		if offloaded {
+			s.launchEdge(task)
+		} else {
+			s.launchLocal(task)
+		}
+	})
+}
+
+type simTask struct {
+	dev  int
+	slot int
+	born float64
+	exit int
+}
+
+// launchLocal runs the first block on the device CPU.
+func (s *eventState) launchLocal(task *simTask) {
+	i := task.dev
+	dur := s.cfg.Model.Mu[0] / s.devices[i].FLOPS
+	s.devCPU[i].Submit(&s.eng, dur, 0, func(fin float64) {
+		if task.exit == 1 {
+			s.complete(task, fin)
+			return
+		}
+		// Ship the First-exit intermediate tensor to the edge.
+		s.transferToEdge(task, s.cfg.Model.D[1], s.secondBlock)
+	})
+}
+
+// launchEdge ships the raw input to the edge and runs the first block there
+// on the device's edge share.
+func (s *eventState) launchEdge(task *simTask) {
+	i := task.dev
+	s.h1[i]++
+	s.transferToEdge(task, s.cfg.Model.D[0], func(task *simTask) {
+		dur := s.cfg.Model.Mu[0] / (s.shares[i] * s.cfg.EdgeFLOPS)
+		s.edgeCPU[i].Submit(&s.eng, dur, 0, func(fin float64) {
+			s.h1[i]--
+			if task.exit == 1 {
+				s.complete(task, fin)
+				return
+			}
+			s.secondBlock(task)
+		})
+	})
+}
+
+// transferToEdge serializes bytes on the device's uplink, then hands the
+// task to next after the propagation delay.
+func (s *eventState) transferToEdge(task *simTask, bytes float64, next func(*simTask)) {
+	i := task.dev
+	dur := bytes * 8 / s.devices[i].BandwidthBps
+	s.uplink[i].Submit(&s.eng, dur, s.devices[i].LatencySec, func(float64) {
+		next(task)
+	})
+}
+
+// secondBlock runs block 2 on the device's edge share; tasks surviving the
+// Second exit continue to the cloud.
+func (s *eventState) secondBlock(task *simTask) {
+	i := task.dev
+	dur := s.cfg.Model.Mu[1] / (s.shares[i] * s.cfg.EdgeFLOPS)
+	s.edgeCPU[i].Submit(&s.eng, dur, 0, func(fin float64) {
+		if task.exit == 2 {
+			s.complete(task, fin)
+			return
+		}
+		linkDur := s.cfg.Model.D[2] * 8 / s.cfg.EdgeCloud.BandwidthBps
+		s.cloudLink.Submit(&s.eng, linkDur, s.cfg.EdgeCloud.LatencySec, func(float64) {
+			cloudDur := s.cfg.Model.Mu[2] / s.cfg.CloudFLOPS
+			s.cloudCPU.Submit(&s.eng, cloudDur, 0, func(fin float64) {
+				s.complete(task, fin)
+			})
+		})
+	})
+}
+
+// complete records a finished task.
+func (s *eventState) complete(task *simTask, at float64) {
+	s.res.Completed++
+	s.res.ExitCounts[task.exit-1]++
+	tct := at - task.born
+	s.slotTCT[task.slot] += tct
+	s.slotDone[task.slot]++
+	if task.slot >= s.cfg.WarmupSlots {
+		s.res.TCT.Add(tct)
+		s.res.PerDeviceTCT[task.dev].Add(tct)
+		if s.cfg.DeadlineSec > 0 && tct > s.cfg.DeadlineSec {
+			s.res.DeadlineMisses++
+		}
+	}
+}

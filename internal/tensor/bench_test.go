@@ -1,0 +1,46 @@
+package tensor
+
+import (
+	"testing"
+
+	"leime/internal/model"
+)
+
+func BenchmarkConv2D3x3(b *testing.B) {
+	in := New(32, 32, 64)
+	w := NewConvWeights(3, 64, 64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Conv2D(in, w, 1, 1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// 2*K*K*Cin*H*W*Cout FLOPs per call.
+	b.ReportMetric(2*9*64*32*32*64*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+}
+
+func BenchmarkPool3x3(b *testing.B) {
+	in := New(32, 32, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Pool(in, 3, 1, 1, true, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSqueezeNetForward(b *testing.B) {
+	p := model.SqueezeNet10()
+	net, err := NewGraphNet(p, nil, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := New(32, 32, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.BackboneFLOPs(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(p.TotalFLOPs()*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+}

@@ -1,0 +1,178 @@
+package tensor
+
+import (
+	"fmt"
+
+	"leime/internal/model"
+)
+
+// GraphNet executes a full chain profile for real: every element's internal
+// graph (convolutions, pools, residual adds, concatenations) runs on the
+// tensor engine, with early-exit classifiers at the configured positions.
+// All four paper architectures are executable; the engine's counted FLOPs
+// cross-check the analytic profile exactly.
+type GraphNet struct {
+	profile *model.Profile
+	weights [][]*ConvWeights // per element, per conv node (nil for non-conv)
+	exits   map[int]*exitHead
+}
+
+// exitHead is one early-exit classifier: global pool + two dense layers.
+type exitHead struct {
+	fc1 *DenseWeights
+	fc2 *DenseWeights
+}
+
+// NewGraphNet builds an executable network from a profile with exit
+// classifiers after the 1-based exit indices in exits. Every element must
+// carry an internal graph (true for all built-in architectures).
+func NewGraphNet(p *model.Profile, exits []int, seed int64) (*GraphNet, error) {
+	n := &GraphNet{
+		profile: p,
+		weights: make([][]*ConvWeights, len(p.Elements)),
+		exits:   make(map[int]*exitHead),
+	}
+	for i, e := range p.Elements {
+		if e.Graph == nil {
+			return nil, fmt.Errorf("tensor: element %d (%s) has no executable graph", i+1, e.Name)
+		}
+		ws := make([]*ConvWeights, len(e.Graph.Nodes))
+		for j, node := range e.Graph.Nodes {
+			if node.Kind == model.OpConv {
+				ws[j] = NewConvWeights(node.Conv.Kernel, node.Conv.In.C, node.Conv.OutC,
+					seed+int64(i)*1009+int64(j)*31)
+			}
+		}
+		n.weights[i] = ws
+	}
+	for _, e := range exits {
+		if e < 1 || e > len(p.Elements) {
+			return nil, fmt.Errorf("tensor: exit %d out of range [1, %d]", e, len(p.Elements))
+		}
+		c := p.Elements[e-1].Out.C
+		n.exits[e] = &exitHead{
+			fc1: NewDenseWeights(c, model.ExitHiddenUnits, seed+int64(e)*977),
+			fc2: NewDenseWeights(model.ExitHiddenUnits, model.NumClasses, seed+int64(e)*1499),
+		}
+	}
+	return n, nil
+}
+
+// Prediction is the outcome of running one input through the network.
+type Prediction struct {
+	// Exit is the 1-based exit the input left through.
+	Exit int
+	// Class is the predicted label.
+	Class int
+	// Confidence is the winning softmax probability.
+	Confidence float32
+	// FLOPs is the executed operation count, including classifiers tried.
+	FLOPs float64
+}
+
+// runElement executes one element's graph.
+func (n *GraphNet) runElement(idx int, in *Tensor, ops *Ops) (*Tensor, error) {
+	g := n.profile.Elements[idx].Graph
+	values := make([]*Tensor, len(g.Nodes))
+	values[0] = in
+	for j := 1; j < len(g.Nodes); j++ {
+		node := g.Nodes[j]
+		var err error
+		switch node.Kind {
+		case model.OpConv:
+			values[j], err = Conv2D(values[node.Inputs[0]], n.weights[idx][j], node.Conv.Stride, node.Conv.Pad, ops)
+		case model.OpReLU:
+			t := values[node.Inputs[0]].Clone()
+			ReLU(t, ops)
+			values[j] = t
+		case model.OpMaxPool:
+			values[j], err = Pool(values[node.Inputs[0]], node.Kernel, node.Stride, node.Pad, true, ops)
+		case model.OpAvgPool:
+			values[j], err = Pool(values[node.Inputs[0]], node.Kernel, node.Stride, node.Pad, false, ops)
+		case model.OpAdd:
+			values[j], err = Add(values[node.Inputs[0]], values[node.Inputs[1]], ops)
+		case model.OpConcat:
+			ins := make([]*Tensor, len(node.Inputs))
+			for k, src := range node.Inputs {
+				ins[k] = values[src]
+			}
+			values[j], err = Concat(ins, ops)
+		default:
+			err = fmt.Errorf("tensor: unexpected op %v", node.Kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("tensor: element %d node %d: %w", idx+1, j, err)
+		}
+	}
+	return values[len(values)-1], nil
+}
+
+// Run executes the network on one input. At each configured exit the
+// classifier runs; if its confidence clears the threshold, the input leaves
+// early. The deepest configured exit always accepts; with no exits
+// configured the network runs to the end and the final activation's
+// classifier-free prediction is reported with Exit = 0.
+func (n *GraphNet) Run(in *Tensor, threshold float32) (Prediction, error) {
+	var ops Ops
+	t := in
+	lastExit := 0
+	for e := range n.exits {
+		if e > lastExit {
+			lastExit = e
+		}
+	}
+	for i := range n.profile.Elements {
+		var err error
+		t, err = n.runElement(i, t, &ops)
+		if err != nil {
+			return Prediction{}, err
+		}
+		idx := i + 1
+		head, hasExit := n.exits[idx]
+		if !hasExit {
+			continue
+		}
+		probs, err := head.classify(t, &ops)
+		if err != nil {
+			return Prediction{}, err
+		}
+		class, conf := ArgMax(probs)
+		if conf >= threshold || idx == lastExit {
+			return Prediction{Exit: idx, Class: class, Confidence: conf, FLOPs: ops.FLOPs}, nil
+		}
+	}
+	return Prediction{Exit: 0, Class: -1, FLOPs: ops.FLOPs}, nil
+}
+
+func (h *exitHead) classify(t *Tensor, ops *Ops) ([]float32, error) {
+	pooled := GlobalAvgPool(t, ops)
+	hidden, err := Dense(pooled, h.fc1, ops)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range hidden {
+		if v < 0 {
+			hidden[i] = 0
+		}
+	}
+	logits, err := Dense(hidden, h.fc2, ops)
+	if err != nil {
+		return nil, err
+	}
+	return Softmax(logits, ops), nil
+}
+
+// BackboneFLOPs executes the full chain (no exits) and returns the executed
+// operation count; tests compare it against the profile's analytic total.
+func (n *GraphNet) BackboneFLOPs(in *Tensor) (float64, error) {
+	var ops Ops
+	t := in
+	for i := range n.profile.Elements {
+		var err error
+		t, err = n.runElement(i, t, &ops)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return ops.FLOPs, nil
+}

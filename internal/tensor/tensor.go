@@ -1,0 +1,356 @@
+// Package tensor is a small dense-tensor inference engine: convolution,
+// pooling, fully-connected layers, ReLU and softmax over float32 HWC
+// tensors. It exists for two reasons: (1) it executes profile-shaped
+// networks for real, so the repository's compute paths are not stubs, and
+// (2) every operation counts its floating-point operations, letting tests
+// cross-check the analytic FLOP model in internal/model against an actually
+// executing implementation.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"leime/internal/model"
+)
+
+// Tensor is a dense float32 tensor in HWC layout.
+type Tensor struct {
+	H, W, C int
+	Data    []float32
+}
+
+// New allocates a zero tensor of the given shape.
+func New(h, w, c int) *Tensor {
+	return &Tensor{H: h, W: w, C: c, Data: make([]float32, h*w*c)}
+}
+
+// Shape returns the tensor's shape in the model package's terms.
+func (t *Tensor) Shape() model.Shape { return model.Shape{H: t.H, W: t.W, C: t.C} }
+
+// At returns the element at (y, x, c).
+func (t *Tensor) At(y, x, c int) float32 { return t.Data[(y*t.W+x)*t.C+c] }
+
+// Set writes the element at (y, x, c).
+func (t *Tensor) Set(y, x, c int, v float32) { t.Data[(y*t.W+x)*t.C+c] = v }
+
+// FromImage converts an 8-bit HWC image (as produced by the dataset package)
+// into a normalized tensor.
+func FromImage(img []byte, h, w, c int) (*Tensor, error) {
+	if len(img) != h*w*c {
+		return nil, fmt.Errorf("tensor: image has %d bytes, want %d", len(img), h*w*c)
+	}
+	t := New(h, w, c)
+	for i, b := range img {
+		t.Data[i] = float32(b)/127.5 - 1
+	}
+	return t, nil
+}
+
+// ConvWeights hold one convolution's parameters.
+type ConvWeights struct {
+	Kernel, InC, OutC int
+	// W is laid out [ky][kx][inC][outC].
+	W []float32
+	// B is the per-output-channel bias.
+	B []float32
+}
+
+// NewConvWeights initializes He-scaled random weights, deterministic per seed.
+func NewConvWeights(kernel, inC, outC int, seed int64) *ConvWeights {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float32, kernel*kernel*inC*outC)
+	scale := float32(math.Sqrt(2 / float64(kernel*kernel*inC)))
+	for i := range w {
+		w[i] = scale * float32(rng.NormFloat64())
+	}
+	return &ConvWeights{Kernel: kernel, InC: inC, OutC: outC, W: w, B: make([]float32, outC)}
+}
+
+// Ops accumulates floating-point operation counts during execution.
+type Ops struct {
+	// FLOPs is the running operation total (multiply-adds count as 2).
+	FLOPs float64
+}
+
+// Conv2D applies a convolution with the given stride and padding, counting
+// 2*K*K*Cin FLOPs per output element (the same accounting as
+// model.ConvSpec.FLOPs).
+func Conv2D(in *Tensor, w *ConvWeights, stride, pad int, ops *Ops) (*Tensor, error) {
+	if in.C != w.InC {
+		return nil, fmt.Errorf("tensor: conv input has %d channels, weights expect %d", in.C, w.InC)
+	}
+	if stride <= 0 {
+		return nil, fmt.Errorf("tensor: stride %d must be positive", stride)
+	}
+	outH := (in.H+2*pad-w.Kernel)/stride + 1
+	outW := (in.W+2*pad-w.Kernel)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		return nil, fmt.Errorf("tensor: conv output would be empty (%dx%d)", outH, outW)
+	}
+	out := New(outH, outW, w.OutC)
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			for ky := 0; ky < w.Kernel; ky++ {
+				iy := oy*stride + ky - pad
+				if iy < 0 || iy >= in.H {
+					continue
+				}
+				for kx := 0; kx < w.Kernel; kx++ {
+					ix := ox*stride + kx - pad
+					if ix < 0 || ix >= in.W {
+						continue
+					}
+					inBase := (iy*in.W + ix) * in.C
+					wBase := ((ky*w.Kernel + kx) * w.InC) * w.OutC
+					outBase := (oy*outW + ox) * w.OutC
+					for ic := 0; ic < w.InC; ic++ {
+						v := in.Data[inBase+ic]
+						wRow := wBase + ic*w.OutC
+						for oc := 0; oc < w.OutC; oc++ {
+							out.Data[outBase+oc] += v * w.W[wRow+oc]
+						}
+					}
+				}
+			}
+			outBase := (oy*outW + ox) * w.OutC
+			for oc := 0; oc < w.OutC; oc++ {
+				out.Data[outBase+oc] += w.B[oc]
+			}
+		}
+	}
+	if ops != nil {
+		ops.FLOPs += 2 * float64(w.Kernel) * float64(w.Kernel) * float64(w.InC) *
+			float64(outH) * float64(outW) * float64(w.OutC)
+	}
+	return out, nil
+}
+
+// ReLU applies max(0, x) in place, counting one FLOP per element.
+func ReLU(t *Tensor, ops *Ops) {
+	for i, v := range t.Data {
+		if v < 0 {
+			t.Data[i] = 0
+		}
+	}
+	if ops != nil {
+		ops.FLOPs += float64(len(t.Data))
+	}
+}
+
+// Clone returns a deep copy of the tensor.
+func (t *Tensor) Clone() *Tensor {
+	out := New(t.H, t.W, t.C)
+	copy(out.Data, t.Data)
+	return out
+}
+
+// MaxPool2 applies a 2x2 stride-2 max pool, counting 4 comparisons per
+// output element (the model package's pool accounting).
+func MaxPool2(in *Tensor, ops *Ops) *Tensor {
+	out, err := Pool(in, 2, 2, 0, true, ops)
+	if err != nil {
+		// A 2x2/2 pool on any tensor with H, W >= 2 cannot fail; smaller
+		// inputs yield an empty pool, which Pool reports.
+		panic(err)
+	}
+	return out
+}
+
+// Pool applies a kernel x kernel pooling window with the given stride and
+// padding; max selects max pooling, otherwise average pooling (padding
+// positions count toward the average divisor of in-bounds samples). It
+// counts kernel^2 operations per output element, matching the analytic
+// model's accounting.
+func Pool(in *Tensor, kernel, stride, pad int, max bool, ops *Ops) (*Tensor, error) {
+	if kernel <= 0 || stride <= 0 || pad < 0 {
+		return nil, fmt.Errorf("tensor: bad pool parameters k=%d s=%d p=%d", kernel, stride, pad)
+	}
+	outH := (in.H+2*pad-kernel)/stride + 1
+	outW := (in.W+2*pad-kernel)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		return nil, fmt.Errorf("tensor: pool output would be empty (%dx%d)", outH, outW)
+	}
+	out := New(outH, outW, in.C)
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			for c := 0; c < in.C; c++ {
+				var acc float32
+				count := 0
+				first := true
+				for ky := 0; ky < kernel; ky++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= in.H {
+						continue
+					}
+					for kx := 0; kx < kernel; kx++ {
+						ix := ox*stride + kx - pad
+						if ix < 0 || ix >= in.W {
+							continue
+						}
+						v := in.At(iy, ix, c)
+						if max {
+							if first || v > acc {
+								acc = v
+							}
+						} else {
+							acc += v
+						}
+						first = false
+						count++
+					}
+				}
+				if !max && count > 0 {
+					acc /= float32(count)
+				}
+				out.Set(oy, ox, c, acc)
+			}
+		}
+	}
+	if ops != nil {
+		ops.FLOPs += float64(kernel*kernel) * float64(out.H*out.W*out.C)
+	}
+	return out, nil
+}
+
+// Add returns the elementwise sum of two same-shape tensors, counting one
+// operation per element.
+func Add(a, b *Tensor, ops *Ops) (*Tensor, error) {
+	if a.H != b.H || a.W != b.W || a.C != b.C {
+		return nil, fmt.Errorf("tensor: add shape mismatch %v vs %v", a.Shape(), b.Shape())
+	}
+	out := New(a.H, a.W, a.C)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	if ops != nil {
+		ops.FLOPs += float64(len(out.Data))
+	}
+	return out, nil
+}
+
+// Concat concatenates tensors along the channel axis, counting one operation
+// per output element (the copy/bookkeeping cost the analytic model charges).
+func Concat(ins []*Tensor, ops *Ops) (*Tensor, error) {
+	if len(ins) < 2 {
+		return nil, fmt.Errorf("tensor: concat needs at least 2 inputs")
+	}
+	h, w := ins[0].H, ins[0].W
+	c := 0
+	for _, t := range ins {
+		if t.H != h || t.W != w {
+			return nil, fmt.Errorf("tensor: concat spatial mismatch %v vs %dx%d", t.Shape(), h, w)
+		}
+		c += t.C
+	}
+	out := New(h, w, c)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			off := 0
+			for _, t := range ins {
+				base := (y*w + x) * t.C
+				copy(out.Data[(y*w+x)*c+off:(y*w+x)*c+off+t.C], t.Data[base:base+t.C])
+				off += t.C
+			}
+		}
+	}
+	if ops != nil {
+		ops.FLOPs += float64(len(out.Data))
+	}
+	return out, nil
+}
+
+// GlobalAvgPool reduces each channel to its mean, counting one FLOP per
+// input element.
+func GlobalAvgPool(in *Tensor, ops *Ops) []float32 {
+	out := make([]float32, in.C)
+	for y := 0; y < in.H; y++ {
+		for x := 0; x < in.W; x++ {
+			for c := 0; c < in.C; c++ {
+				out[c] += in.At(y, x, c)
+			}
+		}
+	}
+	n := float32(in.H * in.W)
+	for c := range out {
+		out[c] /= n
+	}
+	if ops != nil {
+		ops.FLOPs += float64(in.H * in.W * in.C)
+	}
+	return out
+}
+
+// DenseWeights hold a fully-connected layer's parameters.
+type DenseWeights struct {
+	In, Out int
+	W       []float32 // [in][out]
+	B       []float32
+}
+
+// NewDenseWeights initializes He-scaled random weights, deterministic per seed.
+func NewDenseWeights(in, out int, seed int64) *DenseWeights {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float32, in*out)
+	scale := float32(math.Sqrt(2 / float64(in)))
+	for i := range w {
+		w[i] = scale * float32(rng.NormFloat64())
+	}
+	return &DenseWeights{In: in, Out: out, W: w, B: make([]float32, out)}
+}
+
+// Dense applies a fully-connected layer, counting 2*in*out FLOPs.
+func Dense(in []float32, w *DenseWeights, ops *Ops) ([]float32, error) {
+	if len(in) != w.In {
+		return nil, fmt.Errorf("tensor: dense input has %d values, weights expect %d", len(in), w.In)
+	}
+	out := make([]float32, w.Out)
+	copy(out, w.B)
+	for i, v := range in {
+		row := i * w.Out
+		for o := 0; o < w.Out; o++ {
+			out[o] += v * w.W[row+o]
+		}
+	}
+	if ops != nil {
+		ops.FLOPs += 2 * float64(w.In) * float64(w.Out)
+	}
+	return out, nil
+}
+
+// Softmax normalizes logits into a distribution, counting 3 FLOPs per value.
+func Softmax(in []float32, ops *Ops) []float32 {
+	out := make([]float32, len(in))
+	maxV := in[0]
+	for _, v := range in {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float32
+	for i, v := range in {
+		e := float32(math.Exp(float64(v - maxV)))
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	if ops != nil {
+		ops.FLOPs += 3 * float64(len(in))
+	}
+	return out
+}
+
+// ArgMax returns the index of the largest value and its value (confidence
+// when applied to softmax output).
+func ArgMax(v []float32) (int, float32) {
+	best, bestV := 0, v[0]
+	for i, x := range v {
+		if x > bestV {
+			best, bestV = i, x
+		}
+	}
+	return best, bestV
+}

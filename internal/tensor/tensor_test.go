@@ -1,0 +1,361 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"leime/internal/dataset"
+	"leime/internal/model"
+)
+
+func TestConv2DIdentityKernel(t *testing.T) {
+	// A 1x1 convolution with identity weights must copy the input.
+	in := New(2, 2, 1)
+	in.Data = []float32{1, 2, 3, 4}
+	w := &ConvWeights{Kernel: 1, InC: 1, OutC: 1, W: []float32{1}, B: []float32{0}}
+	var ops Ops
+	out, err := Conv2D(in, w, 1, 0, &ops)
+	if err != nil {
+		t.Fatalf("Conv2D: %v", err)
+	}
+	for i := range in.Data {
+		if out.Data[i] != in.Data[i] {
+			t.Errorf("out[%d] = %v, want %v", i, out.Data[i], in.Data[i])
+		}
+	}
+	if want := 2.0 * 1 * 1 * 1 * 4; ops.FLOPs != want {
+		t.Errorf("FLOPs = %v, want %v", ops.FLOPs, want)
+	}
+}
+
+func TestConv2DHandComputed(t *testing.T) {
+	// 2x2 input, 3x3 kernel of ones, pad 1: each output is the sum of the
+	// input values under the kernel window.
+	in := New(2, 2, 1)
+	in.Data = []float32{1, 2, 3, 4}
+	w := &ConvWeights{Kernel: 3, InC: 1, OutC: 1, W: ones(9), B: []float32{0}}
+	out, err := Conv2D(in, w, 1, 1, nil)
+	if err != nil {
+		t.Fatalf("Conv2D: %v", err)
+	}
+	// All four positions see the whole input (2x2 inside a 3x3 window).
+	for i, want := range []float32{10, 10, 10, 10} {
+		if out.Data[i] != want {
+			t.Errorf("out[%d] = %v, want %v", i, out.Data[i], want)
+		}
+	}
+}
+
+func ones(n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+func TestConv2DBias(t *testing.T) {
+	in := New(1, 1, 1)
+	in.Data = []float32{5}
+	w := &ConvWeights{Kernel: 1, InC: 1, OutC: 2, W: []float32{2, 3}, B: []float32{10, 20}}
+	out, err := Conv2D(in, w, 1, 0, nil)
+	if err != nil {
+		t.Fatalf("Conv2D: %v", err)
+	}
+	if out.Data[0] != 20 || out.Data[1] != 35 {
+		t.Errorf("out = %v, want [20 35]", out.Data)
+	}
+}
+
+func TestConv2DShapeChecks(t *testing.T) {
+	in := New(4, 4, 3)
+	w := NewConvWeights(3, 8, 16, 1) // channel mismatch
+	if _, err := Conv2D(in, w, 1, 1, nil); err == nil {
+		t.Error("channel mismatch accepted")
+	}
+	w2 := NewConvWeights(3, 3, 4, 1)
+	if _, err := Conv2D(in, w2, 0, 1, nil); err == nil {
+		t.Error("zero stride accepted")
+	}
+	tiny := New(1, 1, 3)
+	if _, err := Conv2D(tiny, NewConvWeights(5, 3, 4, 1), 1, 0, nil); err == nil {
+		t.Error("empty output accepted")
+	}
+}
+
+func TestReLU(t *testing.T) {
+	tt := New(1, 1, 4)
+	tt.Data = []float32{-1, 0, 2, -3}
+	var ops Ops
+	ReLU(tt, &ops)
+	for i, want := range []float32{0, 0, 2, 0} {
+		if tt.Data[i] != want {
+			t.Errorf("data[%d] = %v, want %v", i, tt.Data[i], want)
+		}
+	}
+	if ops.FLOPs != 4 {
+		t.Errorf("FLOPs = %v, want 4", ops.FLOPs)
+	}
+}
+
+func TestMaxPool2(t *testing.T) {
+	in := New(2, 2, 1)
+	in.Data = []float32{1, 5, 3, 2}
+	out := MaxPool2(in, nil)
+	if out.H != 1 || out.W != 1 || out.Data[0] != 5 {
+		t.Errorf("pool = %+v", out)
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	in := New(2, 2, 2)
+	// Channel 0: 1,2,3,4 => 2.5; channel 1: 10,20,30,40 => 25.
+	vals := []float32{1, 10, 2, 20, 3, 30, 4, 40}
+	copy(in.Data, vals)
+	out := GlobalAvgPool(in, nil)
+	if math.Abs(float64(out[0]-2.5)) > 1e-6 || math.Abs(float64(out[1]-25)) > 1e-5 {
+		t.Errorf("pool = %v, want [2.5 25]", out)
+	}
+}
+
+func TestDenseHandComputed(t *testing.T) {
+	w := &DenseWeights{In: 2, Out: 2, W: []float32{1, 2, 3, 4}, B: []float32{10, 20}}
+	out, err := Dense([]float32{1, 1}, w, nil)
+	if err != nil {
+		t.Fatalf("Dense: %v", err)
+	}
+	if out[0] != 14 || out[1] != 26 {
+		t.Errorf("out = %v, want [14 26]", out)
+	}
+	if _, err := Dense([]float32{1}, w, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestSoftmaxNormalizes(t *testing.T) {
+	out := Softmax([]float32{1, 2, 3}, nil)
+	var sum float32
+	for _, v := range out {
+		sum += v
+	}
+	if math.Abs(float64(sum-1)) > 1e-6 {
+		t.Errorf("softmax sums to %v", sum)
+	}
+	if !(out[2] > out[1] && out[1] > out[0]) {
+		t.Errorf("softmax not monotone: %v", out)
+	}
+}
+
+func TestFromImage(t *testing.T) {
+	ds, _ := dataset.Generate(dataset.CIFAR10Like, 4, 5)
+	img := ds.Image(0)
+	tt, err := FromImage(img, 32, 32, 3)
+	if err != nil {
+		t.Fatalf("FromImage: %v", err)
+	}
+	for _, v := range tt.Data {
+		if v < -1 || v > 1 {
+			t.Fatalf("normalized pixel %v out of [-1, 1]", v)
+		}
+	}
+	if _, err := FromImage(img[:10], 32, 32, 3); err == nil {
+		t.Error("short image accepted")
+	}
+}
+
+func TestExecutedFLOPsMatchAnalyticModelAllArchitectures(t *testing.T) {
+	// The headline cross-check: executing every architecture's full graph
+	// chain — including residual adds, inception branches and fire modules —
+	// must count exactly the FLOPs the analytic profile declares.
+	if testing.Short() {
+		t.Skip("multi-GFLOP executions; skipped with -short")
+	}
+	for _, p := range model.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			net, err := NewGraphNet(p, nil, 7)
+			if err != nil {
+				t.Fatalf("NewGraphNet: %v", err)
+			}
+			in := New(32, 32, 3)
+			got, err := net.BackboneFLOPs(in)
+			if err != nil {
+				t.Fatalf("BackboneFLOPs: %v", err)
+			}
+			want := p.TotalFLOPs()
+			if math.Abs(got-want) > 1e-6*want {
+				t.Errorf("executed FLOPs %v != analytic %v", got, want)
+			}
+		})
+	}
+}
+
+func TestGraphNetRejectsGraphlessProfiles(t *testing.T) {
+	synthetic := &model.Profile{
+		Name:       "synthetic",
+		Input:      model.Shape{H: 8, W: 8, C: 3},
+		InputBytes: 100,
+		Elements: []model.Element{
+			{Name: "x", FLOPs: 1, Out: model.Shape{H: 8, W: 8, C: 3}},
+		},
+	}
+	if _, err := NewGraphNet(synthetic, nil, 1); err == nil {
+		t.Error("graph-less profile accepted by executor")
+	}
+}
+
+func TestGraphNetRunWithExits(t *testing.T) {
+	p := model.SqueezeNet10() // smallest network: keeps real execution fast
+	net, err := NewGraphNet(p, []int{2, 6, 10}, 21)
+	if err != nil {
+		t.Fatalf("NewGraphNet: %v", err)
+	}
+	ds, _ := dataset.Generate(dataset.CIFAR10Like, 5, 9)
+	sawEarly, sawLate := false, false
+	for i := 0; i < ds.Len(); i++ {
+		in, err := FromImage(ds.Image(i), 32, 32, 3)
+		if err != nil {
+			t.Fatalf("FromImage: %v", err)
+		}
+		// Threshold 0 exits at the first classifier; threshold > 1 runs to
+		// the last one.
+		pr, err := net.Run(in, 0)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if pr.Exit == 2 {
+			sawEarly = true
+		}
+		if pr.Class < 0 || pr.Class >= model.NumClasses {
+			t.Errorf("class %d out of range", pr.Class)
+		}
+		pr2, err := net.Run(in, 1.1)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if pr2.Exit == 10 {
+			sawLate = true
+		}
+		if pr2.FLOPs <= pr.FLOPs {
+			t.Errorf("running deeper should cost more FLOPs: %v <= %v", pr2.FLOPs, pr.FLOPs)
+		}
+	}
+	if !sawEarly || !sawLate {
+		t.Errorf("exit behaviour not exercised (early=%v late=%v)", sawEarly, sawLate)
+	}
+}
+
+func TestGraphNetResidualArchitectureRuns(t *testing.T) {
+	// One real forward pass through a residual block network (ResNet-34 up
+	// to its first exit), exercising OpAdd paths.
+	p := model.ResNet34()
+	net, err := NewGraphNet(p, []int{2}, 5)
+	if err != nil {
+		t.Fatalf("NewGraphNet: %v", err)
+	}
+	ds, _ := dataset.Generate(dataset.CIFAR10Like, 1, 3)
+	in, err := FromImage(ds.Image(0), 32, 32, 3)
+	if err != nil {
+		t.Fatalf("FromImage: %v", err)
+	}
+	pr, err := net.Run(in, 0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if pr.Exit != 2 {
+		t.Errorf("exit = %d, want 2 (threshold 0 accepts at the first exit)", pr.Exit)
+	}
+	want := p.CumulativeFLOPs(2) + model.ExitFLOPs(p.Elements[1].Out)
+	if math.Abs(pr.FLOPs-want) > 1e-6*want {
+		t.Errorf("executed FLOPs %v != analytic prefix+classifier %v", pr.FLOPs, want)
+	}
+}
+
+func TestGraphNetExitValidation(t *testing.T) {
+	p := model.VGG16()
+	if _, err := NewGraphNet(p, []int{0}, 1); err == nil {
+		t.Error("exit 0 accepted")
+	}
+	if _, err := NewGraphNet(p, []int{99}, 1); err == nil {
+		t.Error("out-of-range exit accepted")
+	}
+}
+
+func TestPoolAverageAndPadding(t *testing.T) {
+	in := New(2, 2, 1)
+	in.Data = []float32{1, 2, 3, 4}
+	// 3x3 avg pool, stride 1, pad 1: center output averages all 4 values.
+	out, err := Pool(in, 3, 1, 1, false, nil)
+	if err != nil {
+		t.Fatalf("Pool: %v", err)
+	}
+	if out.H != 2 || out.W != 2 {
+		t.Fatalf("out shape %dx%d", out.H, out.W)
+	}
+	// Position (0,0) sees values {1,2,3,4} minus out-of-bounds; window rows
+	// -1..1 x cols -1..1 covers (0,0),(0,1),(1,0),(1,1) => mean 2.5.
+	if math.Abs(float64(out.At(0, 0, 0)-2.5)) > 1e-6 {
+		t.Errorf("avg pool (0,0) = %v, want 2.5", out.At(0, 0, 0))
+	}
+	// Max pool over the same window picks 4.
+	mx, err := Pool(in, 3, 1, 1, true, nil)
+	if err != nil {
+		t.Fatalf("Pool: %v", err)
+	}
+	if mx.At(0, 0, 0) != 4 {
+		t.Errorf("max pool (0,0) = %v, want 4", mx.At(0, 0, 0))
+	}
+	if _, err := Pool(in, 0, 1, 0, true, nil); err == nil {
+		t.Error("zero kernel accepted")
+	}
+	if _, err := Pool(New(1, 1, 1), 5, 1, 0, true, nil); err == nil {
+		t.Error("empty pool output accepted")
+	}
+}
+
+func TestAddAndConcat(t *testing.T) {
+	a := New(1, 1, 2)
+	a.Data = []float32{1, 2}
+	b := New(1, 1, 2)
+	b.Data = []float32{10, 20}
+	sum, err := Add(a, b, nil)
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if sum.Data[0] != 11 || sum.Data[1] != 22 {
+		t.Errorf("Add = %v", sum.Data)
+	}
+	if _, err := Add(a, New(2, 1, 2), nil); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	cat, err := Concat([]*Tensor{a, b}, nil)
+	if err != nil {
+		t.Fatalf("Concat: %v", err)
+	}
+	if cat.C != 4 || cat.Data[0] != 1 || cat.Data[2] != 10 {
+		t.Errorf("Concat = %+v", cat)
+	}
+	if _, err := Concat([]*Tensor{a}, nil); err == nil {
+		t.Error("single-input concat accepted")
+	}
+	if _, err := Concat([]*Tensor{a, New(2, 2, 1)}, nil); err == nil {
+		t.Error("spatial mismatch accepted")
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := New(1, 1, 2)
+	a.Data = []float32{5, 6}
+	b := a.Clone()
+	b.Data[0] = 99
+	if a.Data[0] != 5 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	idx, v := ArgMax([]float32{0.1, 0.7, 0.2})
+	if idx != 1 || v != 0.7 {
+		t.Errorf("ArgMax = (%d, %v)", idx, v)
+	}
+}

@@ -1,0 +1,212 @@
+package leime
+
+import (
+	"testing"
+)
+
+func buildSystem(t *testing.T, arch string, env Env) *System {
+	t.Helper()
+	sys, err := Build(Options{Arch: arch, Env: env})
+	if err != nil {
+		t.Fatalf("Build(%s): %v", arch, err)
+	}
+	return sys
+}
+
+func TestArchitectures(t *testing.T) {
+	archs := Architectures()
+	if len(archs) != 4 {
+		t.Fatalf("Architectures() = %v", archs)
+	}
+	for _, a := range archs {
+		sys := buildSystem(t, a, TestbedEnv(RaspberryPi3B))
+		if sys.Arch() != a {
+			t.Errorf("Arch() = %q, want %q", sys.Arch(), a)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Options{Arch: "alexnet", Env: TestbedEnv(RaspberryPi3B)}); err == nil {
+		t.Error("unknown arch accepted")
+	}
+	if _, err := Build(Options{Arch: "vgg-16"}); err == nil {
+		t.Error("zero environment accepted")
+	}
+}
+
+func TestBuildProducesConsistentSystem(t *testing.T) {
+	sys := buildSystem(t, "inception-v3", TestbedEnv(RaspberryPi3B))
+	e1, e2, e3 := sys.Exits()
+	if !(1 <= e1 && e1 < e2 && e2 < e3) {
+		t.Errorf("invalid exits (%d, %d, %d)", e1, e2, e3)
+	}
+	if sys.ExpectedTCT() <= 0 {
+		t.Errorf("ExpectedTCT = %v", sys.ExpectedTCT())
+	}
+	params := sys.Params()
+	if err := params.Validate(); err != nil {
+		t.Errorf("Params invalid: %v", err)
+	}
+	sigma := sys.Sigma()
+	if len(sigma) == 0 || sigma[len(sigma)-1] != 1 {
+		t.Errorf("Sigma malformed: %v", sigma)
+	}
+	// Sigma() must return a defensive copy.
+	sigma[0] = 99
+	if sys.Sigma()[0] == 99 {
+		t.Error("Sigma() exposes internal state")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := buildSystem(t, "resnet-34", TestbedEnv(JetsonNano))
+	b := buildSystem(t, "resnet-34", TestbedEnv(JetsonNano))
+	ae1, ae2, _ := a.Exits()
+	be1, be2, _ := b.Exits()
+	if ae1 != be1 || ae2 != be2 {
+		t.Errorf("same options diverged: (%d,%d) vs (%d,%d)", ae1, ae2, be1, be2)
+	}
+}
+
+func TestCompareStrategiesLEIMEWins(t *testing.T) {
+	sys := buildSystem(t, "inception-v3", TestbedEnv(RaspberryPi3B))
+	costs, err := sys.CompareStrategies()
+	if err != nil {
+		t.Fatalf("CompareStrategies: %v", err)
+	}
+	if len(costs) < 4 {
+		t.Fatalf("too few strategies: %v", costs)
+	}
+	if costs[0].Name != "LEIME" {
+		t.Fatalf("first strategy %q, want LEIME", costs[0].Name)
+	}
+	for _, c := range costs[1:] {
+		if c.TCT < costs[0].TCT-1e-12 {
+			t.Errorf("%s (%v) beat LEIME (%v)", c.Name, c.TCT, costs[0].TCT)
+		}
+	}
+}
+
+func TestEasyWorkloadExitsEarlier(t *testing.T) {
+	easy, err := Build(Options{Arch: "inception-v3", Env: TestbedEnv(RaspberryPi3B), EasyFraction: 0.9})
+	if err != nil {
+		t.Fatalf("Build easy: %v", err)
+	}
+	hard, err := Build(Options{Arch: "inception-v3", Env: TestbedEnv(RaspberryPi3B), EasyFraction: 0.05})
+	if err != nil {
+		t.Fatalf("Build hard: %v", err)
+	}
+	se, sh := easy.Sigma(), hard.Sigma()
+	mid := len(se) / 2
+	if se[mid] <= sh[mid] {
+		t.Errorf("easier workload should exit earlier: %v <= %v", se[mid], sh[mid])
+	}
+}
+
+func TestSimulateSlots(t *testing.T) {
+	sys := buildSystem(t, "squeezenet-1.0", TestbedEnv(JetsonNano))
+	res, err := sys.SimulateSlots(SimOptions{Devices: 2, ArrivalRate: 4, Slots: 100})
+	if err != nil {
+		t.Fatalf("SimulateSlots: %v", err)
+	}
+	if res.MeanTCT <= 0 {
+		t.Errorf("MeanTCT = %v", res.MeanTCT)
+	}
+	if len(res.PerDevice) != 2 {
+		t.Errorf("PerDevice = %d entries, want 2", len(res.PerDevice))
+	}
+}
+
+func TestSimulateTasks(t *testing.T) {
+	sys := buildSystem(t, "vgg-16", TestbedEnv(RaspberryPi3B))
+	res, err := sys.SimulateTasks(SimOptions{ArrivalRate: 3, Slots: 80})
+	if err != nil {
+		t.Fatalf("SimulateTasks: %v", err)
+	}
+	if res.Completed != res.Generated || res.Generated == 0 {
+		t.Errorf("conservation: generated %d completed %d", res.Generated, res.Completed)
+	}
+	if res.TCT.Mean() <= 0 {
+		t.Errorf("mean TCT = %v", res.TCT.Mean())
+	}
+}
+
+func TestSimulatePolicyOverride(t *testing.T) {
+	sys := buildSystem(t, "inception-v3", TestbedEnv(RaspberryPi3B))
+	dOnly := DeviceOnly()
+	base, err := sys.SimulateSlots(SimOptions{ArrivalRate: 10, Slots: 150})
+	if err != nil {
+		t.Fatalf("SimulateSlots: %v", err)
+	}
+	fixed, err := sys.SimulateSlots(SimOptions{ArrivalRate: 10, Slots: 150, Policy: &dOnly})
+	if err != nil {
+		t.Fatalf("SimulateSlots(D-only): %v", err)
+	}
+	if base.MeanTCT > fixed.MeanTCT+1e-9 {
+		t.Errorf("LEIME policy (%v) should not lose to D-only (%v) under load", base.MeanTCT, fixed.MeanTCT)
+	}
+}
+
+func TestNanoPrefersDeeperFirstExitThanPi(t *testing.T) {
+	pi := buildSystem(t, "inception-v3", TestbedEnv(RaspberryPi3B))
+	nano := buildSystem(t, "inception-v3", TestbedEnv(JetsonNano))
+	p1, _, _ := pi.Exits()
+	n1, _, _ := nano.Exits()
+	if p1 > n1 {
+		t.Errorf("Pi First-exit (%d) deeper than Nano's (%d)", p1, n1)
+	}
+}
+
+func TestRunLocalTestbed(t *testing.T) {
+	sys := buildSystem(t, "inception-v3", TestbedEnv(RaspberryPi3B))
+	res, err := sys.RunLocalTestbed(TestbedOptions{
+		Devices: []TestbedDevice{
+			{Node: RaspberryPi3B, ArrivalRate: 3},
+			{Node: JetsonNano, ArrivalRate: 6, UplinkMbps: 20},
+		},
+		Slots:     20,
+		TimeScale: 0.01,
+	})
+	if err != nil {
+		t.Fatalf("RunLocalTestbed: %v", err)
+	}
+	if len(res.Stats) != 2 {
+		t.Fatalf("Stats = %d entries", len(res.Stats))
+	}
+	for i, st := range res.Stats {
+		if st.Generated == 0 || st.Completed != st.Generated {
+			t.Errorf("device %d: generated %d completed %d", i, st.Generated, st.Completed)
+		}
+		if st.Errors != 0 {
+			t.Errorf("device %d: %d errors", i, st.Errors)
+		}
+		if st.TCT.Mean() <= 0 {
+			t.Errorf("device %d: mean TCT %v", i, st.TCT.Mean())
+		}
+	}
+}
+
+func TestRunLocalTestbedValidation(t *testing.T) {
+	sys := buildSystem(t, "vgg-16", TestbedEnv(RaspberryPi3B))
+	if _, err := sys.RunLocalTestbed(TestbedOptions{}); err == nil {
+		t.Error("empty fleet accepted")
+	}
+}
+
+func TestSolveJoint(t *testing.T) {
+	sys := buildSystem(t, "inception-v3", TestbedEnv(JetsonNano))
+	plan, err := sys.SolveJoint()
+	if err != nil {
+		t.Fatalf("SolveJoint: %v", err)
+	}
+	if !(1 <= plan.E1 && plan.E1 < plan.E2 && plan.E2 < plan.E3) {
+		t.Errorf("invalid joint exits %+v", plan)
+	}
+	if plan.Ratio < 0 || plan.Ratio > 1 {
+		t.Errorf("ratio %v out of range", plan.Ratio)
+	}
+	if plan.TCT > plan.SequentialTCT+1e-12 {
+		t.Errorf("joint TCT %v exceeds sequential %v", plan.TCT, plan.SequentialTCT)
+	}
+}

@@ -1,0 +1,139 @@
+package leime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"leime/internal/netem"
+	"leime/internal/runtime"
+)
+
+// TestbedDevice configures one device of a local testbed run.
+type TestbedDevice struct {
+	// ID names the device; empty IDs are auto-numbered.
+	ID string
+	// Node is the hardware preset (e.g. leime.RaspberryPi3B).
+	Node Node
+	// ArrivalRate is the mean tasks per slot.
+	ArrivalRate float64
+	// UplinkMbps and UplinkLatency shape the device-edge WiFi path
+	// (defaults: 10 Mbps, 20 ms).
+	UplinkMbps    float64
+	UplinkLatency time.Duration
+	// Policy overrides the offloading policy (nil = LEIME's).
+	Policy *Policy
+}
+
+// TestbedOptions configure RunLocalTestbed.
+type TestbedOptions struct {
+	// Devices is the fleet; at least one entry.
+	Devices []TestbedDevice
+	// Slots is the per-device horizon (default 40).
+	Slots int
+	// TimeScale compresses wall-clock time; 0 defaults to 0.02 (50x faster
+	// than real time).
+	TimeScale float64
+	// Seed fixes randomness (default 1).
+	Seed int64
+}
+
+// TestbedResult holds per-device outcomes of a local testbed run, in the
+// order the devices were configured.
+type TestbedResult struct {
+	// Stats are the per-device completion statistics.
+	Stats []*runtime.DeviceStats
+}
+
+// RunLocalTestbed spins up the full LEIME prototype in-process — a cloud
+// server, an edge server and the configured devices, all speaking real TCP
+// over loopback with netem-shaped links — runs the workload, and tears
+// everything down. It is the programmatic form of the three
+// cmd/leime-{cloud,edge,device} binaries.
+func (s *System) RunLocalTestbed(opts TestbedOptions) (*TestbedResult, error) {
+	if len(opts.Devices) == 0 {
+		return nil, errors.New("leime: testbed needs at least one device")
+	}
+	if opts.Slots == 0 {
+		opts.Slots = 40
+	}
+	if opts.TimeScale == 0 {
+		opts.TimeScale = 0.02
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	scale := runtime.Scale(opts.TimeScale)
+	params := s.Params()
+
+	cloud, err := runtime.StartCloud(runtime.CloudConfig{
+		Addr:        "127.0.0.1:0",
+		FLOPS:       s.env.CloudFLOPS,
+		Block3FLOPs: params.Mu[2],
+		TimeScale:   scale,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("leime: testbed cloud: %w", err)
+	}
+	defer cloud.Close()
+
+	edge, err := runtime.StartEdge(runtime.EdgeConfig{
+		Addr:      "127.0.0.1:0",
+		FLOPS:     s.env.EdgeFLOPS,
+		Model:     params,
+		CloudAddr: cloud.Addr(),
+		CloudLink: netem.Link{
+			BandwidthBps: s.env.EdgeCloud.BandwidthBps,
+			Latency:      time.Duration(s.env.EdgeCloud.LatencySec * float64(time.Second)),
+		},
+		TimeScale: scale,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("leime: testbed edge: %w", err)
+	}
+	defer edge.Close()
+
+	res := &TestbedResult{Stats: make([]*runtime.DeviceStats, len(opts.Devices))}
+	errs := make([]error, len(opts.Devices))
+	var wg sync.WaitGroup
+	for i, d := range opts.Devices {
+		if d.ID == "" {
+			d.ID = fmt.Sprintf("device-%d", i+1)
+		}
+		if d.UplinkMbps == 0 {
+			d.UplinkMbps = 10
+		}
+		if d.UplinkLatency == 0 {
+			d.UplinkLatency = 20 * time.Millisecond
+		}
+		if d.ArrivalRate == 0 {
+			d.ArrivalRate = 4
+		}
+		wg.Add(1)
+		go func(i int, d TestbedDevice) {
+			defer wg.Done()
+			res.Stats[i], errs[i] = runtime.RunDevice(runtime.DeviceConfig{
+				ID:       d.ID,
+				FLOPS:    d.Node.FLOPS,
+				Model:    params,
+				EdgeAddr: edge.Addr(),
+				Uplink: netem.Link{
+					BandwidthBps: Mbps(d.UplinkMbps),
+					Latency:      d.UplinkLatency,
+				},
+				ArrivalMean: d.ArrivalRate,
+				Policy:      d.Policy,
+				TauSec:      1,
+				V:           1e4,
+				Slots:       opts.Slots,
+				WarmupSlots: opts.Slots / 10,
+				TimeScale:   scale,
+				AdaptEvery:  10,
+				Seed:        opts.Seed + int64(i)*97,
+			})
+		}(i, d)
+	}
+	wg.Wait()
+	return res, errors.Join(errs...)
+}
