@@ -44,6 +44,26 @@ func BenchmarkFig10aExitAblation(b *testing.B)    { benchExperiment(b, "fig10a")
 func BenchmarkFig10bOffloadAblation(b *testing.B) { benchExperiment(b, "fig10b") }
 func BenchmarkFig11Scaling(b *testing.B)          { benchExperiment(b, "fig11") }
 
+// BenchmarkRunAllSerial and BenchmarkRunAllParallel time the full
+// experiment suite through the runner at parallelism 1 vs NumCPU; their
+// ratio is the wall-clock payoff of the parallel runner (bounded below by
+// the crosscheck experiment, which sleeps on a real socket testbed).
+func BenchmarkRunAllSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunAll(io.Discard, true, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunAllParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunAll(io.Discard, true, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Beyond-paper ablation, extension and validation experiments.
 func BenchmarkAblationV(b *testing.B)      { benchExperiment(b, "ablation-v") }
 func BenchmarkAblationAlloc(b *testing.B)  { benchExperiment(b, "ablation-alloc") }

@@ -52,7 +52,9 @@ func runFig7(w io.Writer, quick bool) error {
 }
 
 // fig7Sweep runs the four schemes across one network parameter sweep and
-// prints the TCT table plus the LEIME speedup summary.
+// prints the TCT table plus the LEIME speedup summary. The value × scheme
+// grid fans out on the shared worker pool; the table is assembled from the
+// gathered grid afterwards, so the output is independent of parallelism.
 func fig7Sweep(w io.Writer, p *model.Profile, sigma []float64, label string, values []float64,
 	modify func(cluster.Env, float64) cluster.Env) error {
 	schemes := paperSchemes()
@@ -60,17 +62,26 @@ func fig7Sweep(w io.Writer, p *model.Profile, sigma []float64, label string, val
 	for _, sc := range schemes {
 		header = append(header, sc.name)
 	}
+	tcts := make([]float64, len(values)*len(schemes))
+	if err := parallelFor(len(tcts), func(k int) error {
+		v, sc := values[k/len(schemes)], schemes[k%len(schemes)]
+		env := modify(cluster.TestbedEnv(cluster.RaspberryPi3B), v)
+		tct, err := schemeTCT(sc, p, sigma, env, fig7Workload())
+		if err != nil {
+			return fmt.Errorf("%s at %s=%v: %w", sc.name, label, v, err)
+		}
+		tcts[k] = tct
+		return nil
+	}); err != nil {
+		return err
+	}
 	tbl := metrics.NewTable(header...)
 	speedups := make(map[string]float64)
-	for _, v := range values {
-		env := modify(cluster.TestbedEnv(cluster.RaspberryPi3B), v)
+	for vi, v := range values {
 		row := []any{v}
 		var leimeTCT float64
-		for _, sc := range schemes {
-			tct, err := schemeTCT(sc, p, sigma, env, fig7Workload())
-			if err != nil {
-				return fmt.Errorf("%s at %s=%v: %w", sc.name, label, v, err)
-			}
+		for si, sc := range schemes {
+			tct := tcts[vi*len(schemes)+si]
 			row = append(row, tct)
 			if sc.name == "LEIME" {
 				leimeTCT = tct

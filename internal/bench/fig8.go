@@ -38,18 +38,30 @@ func runFig8(w io.Writer, quick bool) error {
 		header = append(header, "best_speedup_vs_leime")
 		tbl := metrics.NewTable(header...)
 		env := cluster.TestbedEnv(dev)
-		for _, p := range profiles {
+		// The model × scheme grid fans out on the shared worker pool; rows
+		// are assembled from the gathered grid, so the table is independent
+		// of parallelism.
+		tcts := make([]float64, len(profiles)*len(schemes))
+		if err := parallelFor(len(tcts), func(k int) error {
+			p, sc := profiles[k/len(schemes)], schemes[k%len(schemes)]
 			sigma, err := calibrated(p)
 			if err != nil {
 				return err
 			}
+			tct, err := schemeTCT(sc, p, sigma, env, fig7Workload())
+			if err != nil {
+				return fmt.Errorf("%s on %s/%s: %w", sc.name, dev.Name, p.Name, err)
+			}
+			tcts[k] = tct
+			return nil
+		}); err != nil {
+			return err
+		}
+		for pi, p := range profiles {
 			row := []any{p.Name}
 			var leimeTCT, worst float64
-			for _, sc := range schemes {
-				tct, err := schemeTCT(sc, p, sigma, env, fig7Workload())
-				if err != nil {
-					return fmt.Errorf("%s on %s/%s: %w", sc.name, dev.Name, p.Name, err)
-				}
+			for si, sc := range schemes {
+				tct := tcts[pi*len(schemes)+si]
 				row = append(row, tct)
 				if sc.name == "LEIME" {
 					leimeTCT = tct

@@ -70,7 +70,12 @@ func runFig9(w io.Writer, quick bool) error {
 		header = append(header, "final_backlog", "stddev")
 		tbl := metrics.NewTable(header...)
 
-		for _, sc := range paperSchemes() {
+		// The four schemes' slot simulations are independent; fan them out
+		// and add the gathered rows in scheme order.
+		schemes := paperSchemes()
+		rows := make([][]any, len(schemes))
+		if err := parallelFor(len(schemes), func(si int) error {
+			sc := schemes[si]
 			params, _, _, err := schemeParams(sc, p, sigma, env)
 			if err != nil {
 				return err
@@ -112,7 +117,12 @@ func runFig9(w io.Writer, quick bool) error {
 				row = append(row, series.Window(at, at+ph.Slots))
 				at += ph.Slots
 			}
-			row = append(row, res.FinalBacklog, res.PerDevice[0].TCT.Stddev())
+			rows[si] = append(row, res.FinalBacklog, res.PerDevice[0].TCT.Stddev())
+			return nil
+		}); err != nil {
+			return err
+		}
+		for _, row := range rows {
 			tbl.AddRow(row...)
 		}
 		fmt.Fprint(w, tbl.String())

@@ -29,48 +29,58 @@ func runMotivation(w io.Writer, quick bool) error {
 	// classes, compare every admissible exit combination's expected TCT to
 	// the optimum.
 	tbl := metrics.NewTable("model", "environment", "optimal_tct_s", "mean_degradation_x", "worst_degradation_x")
-	var degradations []float64
 	profiles := model.All()
 	if quick {
 		profiles = profiles[:2]
 	}
-	for _, p := range profiles {
+	envs := []struct {
+		name string
+		env  cluster.Env
+	}{
+		{"testbed", cluster.TestbedEnv(cluster.RaspberryPi3B)},
+		{"testbed", cluster.TestbedEnv(cluster.JetsonNano)},
+		{"poor-net", cluster.TestbedEnv(cluster.RaspberryPi3B).
+			WithDeviceEdge(cluster.Path{BandwidthBps: cluster.Mbps(2), LatencySec: 0.15})},
+		{"loaded-edge", cluster.TestbedEnv(cluster.JetsonNano).WithEdgeLoad(0.05)},
+	}
+	// The model × environment grid fans out on the shared worker pool; rows
+	// and the degradation summary are assembled in grid order afterwards.
+	type exitCell struct {
+		best, mean, worst float64
+	}
+	cells := make([]exitCell, len(profiles)*len(envs))
+	if err := parallelFor(len(cells), func(k int) error {
+		p, e := profiles[k/len(envs)], envs[k%len(envs)]
 		sigma, err := calibrated(p)
 		if err != nil {
 			return err
 		}
-		envs := []struct {
-			name string
-			env  cluster.Env
-		}{
-			{"testbed", cluster.TestbedEnv(cluster.RaspberryPi3B)},
-			{"testbed", cluster.TestbedEnv(cluster.JetsonNano)},
-			{"poor-net", cluster.TestbedEnv(cluster.RaspberryPi3B).
-				WithDeviceEdge(cluster.Path{BandwidthBps: cluster.Mbps(2), LatencySec: 0.15})},
-			{"loaded-edge", cluster.TestbedEnv(cluster.JetsonNano).WithEdgeLoad(0.05)},
+		in, err := exitsetting.NewInstance(p, sigma, e.env)
+		if err != nil {
+			return err
 		}
-		for _, e := range envs {
-			in, err := exitsetting.NewInstance(p, sigma, e.env)
-			if err != nil {
-				return err
-			}
-			best := in.Exhaustive()
-			var sum, worst float64
-			count := 0
-			for e1 := 1; e1 < p.NumExits()-1; e1++ {
-				for e2 := e1 + 1; e2 < p.NumExits(); e2++ {
-					ratio := in.Cost(e1, e2) / best.Cost
-					sum += ratio
-					if ratio > worst {
-						worst = ratio
-					}
-					count++
+		best := in.Exhaustive()
+		var sum, worst float64
+		count := 0
+		for e1 := 1; e1 < p.NumExits()-1; e1++ {
+			for e2 := e1 + 1; e2 < p.NumExits(); e2++ {
+				ratio := in.Cost(e1, e2) / best.Cost
+				sum += ratio
+				if ratio > worst {
+					worst = ratio
 				}
+				count++
 			}
-			mean := sum / float64(count)
-			degradations = append(degradations, mean)
-			tbl.AddRow(p.Name, e.name, best.Cost, mean, worst)
 		}
+		cells[k] = exitCell{best: best.Cost, mean: sum / float64(count), worst: worst}
+		return nil
+	}); err != nil {
+		return err
+	}
+	degradations := make([]float64, 0, len(cells))
+	for k, c := range cells {
+		degradations = append(degradations, c.mean)
+		tbl.AddRow(profiles[k/len(envs)].Name, envs[k%len(envs)].name, c.best, c.mean, c.worst)
 	}
 	var total float64
 	for _, d := range degradations {
@@ -99,30 +109,40 @@ func runMotivation(w io.Writer, quick bool) error {
 	}
 	ratios := []float64{0, 0.2, 0.4, 0.6, 0.8, 1}
 	tbl2 := metrics.NewTable("arrival_rate", "bandwidth_mbps", "best_ratio", "best_tct_s", "mean_degradation_x")
-	var offDegr []float64
-	for _, rate := range rates {
-		for _, bw := range bandwidths {
-			tcts := make([]float64, len(ratios))
-			best := math.Inf(1)
-			bestRatio := 0.0
-			for ri, r := range ratios {
-				tct, err := motivationSlotTCT(params, rate, bw, r)
-				if err != nil {
-					return err
-				}
-				tcts[ri] = tct
-				if tct < best {
-					best, bestRatio = tct, r
-				}
+	// Fan out the (rate, bandwidth) grid; each cell sweeps its fixed
+	// offloading ratios serially inside the worker.
+	type offCell struct {
+		bestRatio, best, mean float64
+	}
+	offCells := make([]offCell, len(rates)*len(bandwidths))
+	if err := parallelFor(len(offCells), func(k int) error {
+		rate, bw := rates[k/len(bandwidths)], bandwidths[k%len(bandwidths)]
+		tcts := make([]float64, len(ratios))
+		best := math.Inf(1)
+		bestRatio := 0.0
+		for ri, r := range ratios {
+			tct, err := motivationSlotTCT(params, rate, bw, r)
+			if err != nil {
+				return err
 			}
-			var sum float64
-			for _, tct := range tcts {
-				sum += tct / best
+			tcts[ri] = tct
+			if tct < best {
+				best, bestRatio = tct, r
 			}
-			mean := sum / float64(len(tcts))
-			offDegr = append(offDegr, mean)
-			tbl2.AddRow(rate, bw/1e6, bestRatio, best, mean)
 		}
+		var sum float64
+		for _, tct := range tcts {
+			sum += tct / best
+		}
+		offCells[k] = offCell{bestRatio: bestRatio, best: best, mean: sum / float64(len(tcts))}
+		return nil
+	}); err != nil {
+		return err
+	}
+	offDegr := make([]float64, 0, len(offCells))
+	for k, c := range offCells {
+		offDegr = append(offDegr, c.mean)
+		tbl2.AddRow(rates[k/len(bandwidths)], bandwidths[k%len(bandwidths)]/1e6, c.bestRatio, c.best, c.mean)
 	}
 	var total2 float64
 	for _, d := range offDegr {

@@ -36,11 +36,75 @@ type Costs struct {
 
 // Instance bundles everything the cost model needs: the chain profile, the
 // per-exit cumulative exit rates, and the environment.
+//
+// NewInstance precomputes per-cut transfer times, so together with the
+// profile's prefix-sum caches every cost evaluation is O(1); both solvers
+// run millions of evaluations when re-solving online. Instances built as
+// bare struct literals (and environments mutated after construction) lose
+// the tables and fall back to recomputing transfers per evaluation.
 type Instance struct {
 	Profile *model.Profile
 	// Sigma is the cumulative exit-rate vector (len m, monotone, last == 1).
 	Sigma []float64
 	Env   cluster.Env
+
+	// xferDE[i] / xferEC[i] are the device→edge and edge→cloud transfer
+	// times of the tensor at cut i (0..m), hoisted out of the cost model's
+	// inner loop by NewInstance.
+	xferDE, xferEC []float64
+	// Flattened per-exit stage terms (0..m), also built by NewInstance, so
+	// the three-exit cost is a handful of table lookups:
+	//
+	//	Cost(e1, e2) = devT[e1] + (1-Sigma[e1-1])*(edgeA[e2]+edgeB[e1])
+	//	             + (1-Sigma[e2-1])*cloudT[e2]
+	//
+	// devT[i] is the device stage ending at exit i; edgeA[i]+edgeB[j] is
+	// the edge stage running from cut j to exit i (classifier included);
+	// cloudT[i] is the cloud stage from cut i to the final exit.
+	devT, edgeA, edgeB, cloudT []float64
+}
+
+// buildTables precomputes the per-cut transfer-time and stage-term tables
+// from the current profile and environment.
+func (in *Instance) buildTables() {
+	p, env := in.Profile, in.Env
+	m := p.NumExits()
+	in.xferDE = make([]float64, m+1)
+	in.xferEC = make([]float64, m+1)
+	in.devT = make([]float64, m+1)
+	in.edgeA = make([]float64, m+1)
+	in.edgeB = make([]float64, m+1)
+	in.cloudT = make([]float64, m+1)
+	for i := 0; i <= m; i++ {
+		b := p.DataBytes(i)
+		in.xferDE[i] = env.DeviceEdge.TransferSeconds(b)
+		in.xferEC[i] = env.EdgeCloud.TransferSeconds(b)
+		cum := p.CumulativeFLOPs(i)
+		if i > 0 {
+			exit := p.ExitClassifierFLOPs(i)
+			in.devT[i] = (cum + exit) / env.DeviceFLOPS
+			in.edgeA[i] = (cum + exit) / env.EdgeFLOPS
+		}
+		in.edgeB[i] = in.xferDE[i] - cum/env.EdgeFLOPS
+		in.cloudT[i] = (p.RangeFLOPs(i, m)+p.ExitClassifierFLOPs(m))/env.CloudFLOPS + in.xferEC[i]
+	}
+}
+
+// deviceEdgeXfer returns the device→edge transfer time of the tensor at
+// cut i, from the table when present.
+func (in *Instance) deviceEdgeXfer(i int) float64 {
+	if len(in.xferDE) > i {
+		return in.xferDE[i]
+	}
+	return in.Env.DeviceEdge.TransferSeconds(in.Profile.DataBytes(i))
+}
+
+// edgeCloudXfer is deviceEdgeXfer for the edge→cloud hop.
+func (in *Instance) edgeCloudXfer(i int) float64 {
+	if len(in.xferEC) > i {
+		return in.xferEC[i]
+	}
+	return in.Env.EdgeCloud.TransferSeconds(in.Profile.DataBytes(i))
 }
 
 // NewInstance validates and builds a cost-model instance.
@@ -65,7 +129,9 @@ func NewInstance(p *model.Profile, sigma []float64, env cluster.Env) (*Instance,
 	if math.Abs(sigma[m-1]-1) > 1e-9 {
 		return nil, fmt.Errorf("exitsetting: sigma_m = %v, want 1", sigma[m-1])
 	}
-	return &Instance{Profile: p, Sigma: sigma, Env: env}, nil
+	in := &Instance{Profile: p, Sigma: sigma, Env: env}
+	in.buildTables()
+	return in, nil
 }
 
 // StageCosts returns the three stage terms for the exit combination
@@ -76,9 +142,9 @@ func (in *Instance) StageCosts(e1, e2 int) Costs {
 	return Costs{
 		Device: (p.RangeFLOPs(0, e1) + p.ExitClassifierFLOPs(e1)) / env.DeviceFLOPS,
 		Edge: (p.RangeFLOPs(e1, e2)+p.ExitClassifierFLOPs(e2))/env.EdgeFLOPS +
-			env.DeviceEdge.TransferSeconds(p.DataBytes(e1)),
+			in.deviceEdgeXfer(e1),
 		Cloud: (p.RangeFLOPs(e2, m)+p.ExitClassifierFLOPs(m))/env.CloudFLOPS +
-			env.EdgeCloud.TransferSeconds(p.DataBytes(e2)),
+			in.edgeCloudXfer(e2),
 	}
 }
 
@@ -89,6 +155,12 @@ func (in *Instance) StageCosts(e1, e2 int) Costs {
 // i.e. every task pays the device stage; tasks that survive the First exit
 // pay the edge stage; tasks that survive the Second exit pay the cloud stage.
 func (in *Instance) Cost(e1, e2 int) float64 {
+	if len(in.devT) > e2 {
+		// Flattened form of the stage-cost formula below; equal to it up to
+		// floating-point re-association (see the differential test).
+		return in.devT[e1] + (1-in.Sigma[e1-1])*(in.edgeA[e2]+in.edgeB[e1]) +
+			(1-in.Sigma[e2-1])*in.cloudT[e2]
+	}
 	c := in.StageCosts(e1, e2)
 	s1, s2 := in.Sigma[e1-1], in.Sigma[e2-1]
 	return (c.Device + c.Edge + c.Cloud) - (s1*c.Edge + s2*c.Cloud)
@@ -102,8 +174,8 @@ func (in *Instance) CostNoExits(e1, e2 int) float64 {
 	p, env := in.Profile, in.Env
 	m := p.NumExits()
 	td := p.RangeFLOPs(0, e1) / env.DeviceFLOPS
-	te := p.RangeFLOPs(e1, e2)/env.EdgeFLOPS + env.DeviceEdge.TransferSeconds(p.DataBytes(e1))
-	tc := (p.RangeFLOPs(e2, m)+p.ExitClassifierFLOPs(m))/env.CloudFLOPS + env.EdgeCloud.TransferSeconds(p.DataBytes(e2))
+	te := p.RangeFLOPs(e1, e2)/env.EdgeFLOPS + in.deviceEdgeXfer(e1)
+	tc := (p.RangeFLOPs(e2, m)+p.ExitClassifierFLOPs(m))/env.CloudFLOPS + in.edgeCloudXfer(e2)
 	return td + te + tc
 }
 
@@ -115,7 +187,7 @@ func (in *Instance) TwoExitCost(i int) float64 {
 	m := p.NumExits()
 	td := (p.RangeFLOPs(0, i) + p.ExitClassifierFLOPs(i)) / env.DeviceFLOPS
 	te := (p.RangeFLOPs(i, m)+p.ExitClassifierFLOPs(m))/env.EdgeFLOPS +
-		env.DeviceEdge.TransferSeconds(p.DataBytes(i))
+		in.deviceEdgeXfer(i)
 	return (td + te) - in.Sigma[i-1]*te
 }
 

@@ -223,7 +223,7 @@ func SqueezeNet10() *Profile {
 
 func (c *chain) done() *Profile {
 	out := c.p
-	return &out
+	return out.BuildCaches()
 }
 
 // All returns the four paper architectures, in the paper's evaluation order.

@@ -106,6 +106,19 @@ func ExitFLOPs(s Shape) float64 {
 // Profile is a full chain profile of one DNN: the input, the ordered
 // elements, and (implicitly) one candidate exit after each element. Exits
 // are addressed with 1-based indices exit-1..exit-m to match the paper.
+//
+// Profiles built by this package (the architecture constructors and
+// ReadJSON) carry prefix-sum caches that make CumulativeFLOPs, RangeFLOPs,
+// DataBytes, ExitClassifierFLOPs and TotalFLOPs O(1); the exit-setting cost
+// model and both solvers depend on this for their advertised complexity.
+// The caches are derived from Elements and InputBytes: any code that
+// mutates either after construction must call BuildCaches again, or the
+// cached accessors will serve stale numbers. A cache whose length no longer
+// matches len(Elements) is ignored (the accessors fall back to the naive
+// O(m) loops), so appending or truncating elements degrades to correct but
+// slow; in-place FLOPs/shape edits are the silent-staleness case. A profile
+// whose caches are built and never mutated afterwards is safe for
+// concurrent readers.
 type Profile struct {
 	// Name is the architecture name (e.g. "inception-v3").
 	Name string
@@ -114,9 +127,41 @@ type Profile struct {
 	// InputBytes is the size of a raw task input as transmitted over the
 	// network (d_0). CIFAR-10 images travel as 8-bit pixels.
 	InputBytes float64
-	// Elements is the layer/block chain, in execution order.
+	// Elements is the layer/block chain, in execution order. See the type
+	// comment: mutating this slice invalidates the prefix-sum caches.
 	Elements []Element
+
+	// prefixFLOPs[i] is the backbone operation count of elements 1..i
+	// (prefixFLOPs[0] == 0, len m+1).
+	prefixFLOPs []float64
+	// exitFLOPs[i-1] is ExitFLOPs(Elements[i-1].Out) (len m).
+	exitFLOPs []float64
+	// outBytes[i] is DataBytes(i): outBytes[0] == InputBytes, then the
+	// per-element intermediate-data sizes (len m+1).
+	outBytes []float64
 }
+
+// BuildCaches (re)computes the profile's prefix-sum caches from Elements
+// and InputBytes. Architecture constructors and ReadJSON call it; callers
+// only need it after mutating Elements in place. It returns the profile for
+// chaining.
+func (p *Profile) BuildCaches() *Profile {
+	m := len(p.Elements)
+	p.prefixFLOPs = make([]float64, m+1)
+	p.exitFLOPs = make([]float64, m)
+	p.outBytes = make([]float64, m+1)
+	p.outBytes[0] = p.InputBytes
+	for i, e := range p.Elements {
+		p.prefixFLOPs[i+1] = p.prefixFLOPs[i] + e.FLOPs
+		p.exitFLOPs[i] = ExitFLOPs(e.Out)
+		p.outBytes[i+1] = e.OutBytes()
+	}
+	return p
+}
+
+// cached reports whether the prefix-sum caches match the current element
+// count; stale or absent caches route accessors to the naive loops.
+func (p *Profile) cached() bool { return len(p.prefixFLOPs) == len(p.Elements)+1 }
 
 // NumExits returns m, the number of candidate exits (one after each element).
 func (p *Profile) NumExits() int { return len(p.Elements) }
@@ -128,6 +173,9 @@ func (p *Profile) LayerFLOPs(i int) float64 { return p.Elements[i-1].FLOPs }
 // cut after the 1-based element index i. DataBytes(0) returns the raw input
 // size d_0.
 func (p *Profile) DataBytes(i int) float64 {
+	if p.cached() {
+		return p.outBytes[i]
+	}
 	if i == 0 {
 		return p.InputBytes
 	}
@@ -136,21 +184,23 @@ func (p *Profile) DataBytes(i int) float64 {
 
 // ExitClassifierFLOPs returns mu_exit_i for the 1-based exit index i.
 func (p *Profile) ExitClassifierFLOPs(i int) float64 {
+	if p.cached() {
+		return p.exitFLOPs[i-1]
+	}
 	return ExitFLOPs(p.Elements[i-1].Out)
 }
 
 // TotalFLOPs returns the backbone operation count (no exit classifiers).
 func (p *Profile) TotalFLOPs() float64 {
-	var sum float64
-	for _, e := range p.Elements {
-		sum += e.FLOPs
-	}
-	return sum
+	return p.CumulativeFLOPs(len(p.Elements))
 }
 
 // CumulativeFLOPs returns the backbone operation count of elements 1..i
 // (1-based, inclusive); CumulativeFLOPs(0) is 0.
 func (p *Profile) CumulativeFLOPs(i int) float64 {
+	if p.cached() {
+		return p.prefixFLOPs[i]
+	}
 	var sum float64
 	for j := 0; j < i; j++ {
 		sum += p.Elements[j].FLOPs

@@ -307,3 +307,46 @@ func TestReadJSONRejectsGarbage(t *testing.T) {
 		}
 	}
 }
+
+// uncached returns a copy of p without prefix-sum caches, so its accessors
+// take the naive O(m) loops.
+func uncached(p *Profile) *Profile {
+	return &Profile{Name: p.Name, Input: p.Input, InputBytes: p.InputBytes, Elements: p.Elements}
+}
+
+func TestPrefixSumCachesMatchNaive(t *testing.T) {
+	for _, p := range All() {
+		q := uncached(p)
+		m := p.NumExits()
+		for i := 0; i <= m; i++ {
+			if got, want := p.CumulativeFLOPs(i), q.CumulativeFLOPs(i); got != want {
+				t.Errorf("%s: CumulativeFLOPs(%d) = %v cached, %v naive", p.Name, i, got, want)
+			}
+			if got, want := p.DataBytes(i), q.DataBytes(i); got != want {
+				t.Errorf("%s: DataBytes(%d) = %v cached, %v naive", p.Name, i, got, want)
+			}
+		}
+		for i := 1; i <= m; i++ {
+			if got, want := p.ExitClassifierFLOPs(i), q.ExitClassifierFLOPs(i); got != want {
+				t.Errorf("%s: ExitClassifierFLOPs(%d) = %v cached, %v naive", p.Name, i, got, want)
+			}
+		}
+		if got, want := p.TotalFLOPs(), q.TotalFLOPs(); got != want {
+			t.Errorf("%s: TotalFLOPs = %v cached, %v naive", p.Name, got, want)
+		}
+	}
+}
+
+func TestStaleCacheFallsBackAfterAppend(t *testing.T) {
+	p := VGG16()
+	extra := p.Elements[len(p.Elements)-1]
+	extra.FLOPs = 12345678
+	p.Elements = append(p.Elements, extra)
+	want := uncached(p).TotalFLOPs()
+	if got := p.TotalFLOPs(); got != want {
+		t.Fatalf("stale cache served: TotalFLOPs = %v, want %v", got, want)
+	}
+	if got := p.BuildCaches().TotalFLOPs(); got != want {
+		t.Fatalf("after BuildCaches: TotalFLOPs = %v, want %v", got, want)
+	}
+}

@@ -77,5 +77,5 @@ func ReadJSON(r io.Reader) (*Profile, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return p, nil
+	return p.BuildCaches(), nil
 }

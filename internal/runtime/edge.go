@@ -268,10 +268,23 @@ func (e *Edge) tenant(id string) (*tenant, error) {
 	return t, nil
 }
 
+// tenantSnapshot returns the tenant plus a copy of its deployed model taken
+// under the lock: register/update rewrite t.model concurrently with task
+// handlers, so handlers must work from the snapshot, never t.model.
+func (e *Edge) tenantSnapshot(id string) (*tenant, offload.ModelParams, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tenants[id]
+	if !ok {
+		return nil, offload.ModelParams{}, fmt.Errorf("edge: unknown device %q", id)
+	}
+	return t, t.model, nil
+}
+
 // firstBlock runs block 1 (and onward) for an offloaded raw task, applying
 // admission control on the tenant's backlog.
 func (e *Edge) firstBlock(req FirstBlockReq) (any, error) {
-	t, err := e.tenant(req.DeviceID)
+	t, model, err := e.tenantSnapshot(req.DeviceID)
 	if err != nil {
 		return nil, err
 	}
@@ -279,7 +292,7 @@ func (e *Edge) firstBlock(req FirstBlockReq) (any, error) {
 		return nil, fmt.Errorf("%s (device %q, limit %d)", BusyMessage, req.DeviceID, limit)
 	}
 	atomic.AddInt32(&t.h1, 1)
-	err = t.exec.Do(t.model.Mu[0])
+	err = t.exec.Do(model.Mu[0])
 	atomic.AddInt32(&t.h1, -1)
 	if err != nil {
 		return nil, err
@@ -287,27 +300,27 @@ func (e *Edge) firstBlock(req FirstBlockReq) (any, error) {
 	if req.ExitStage <= 1 {
 		return TaskResp{TaskID: req.TaskID, ExitStage: 1}, nil
 	}
-	return e.continueSecond(t, req.TaskID, req.ExitStage)
+	return e.continueSecond(t, model, req.TaskID, req.ExitStage)
 }
 
 // secondBlock runs block 2 for a task whose first block ran on the device.
 func (e *Edge) secondBlock(req SecondBlockReq) (any, error) {
-	t, err := e.tenant(req.DeviceID)
+	t, model, err := e.tenantSnapshot(req.DeviceID)
 	if err != nil {
 		return nil, err
 	}
-	return e.continueSecond(t, req.TaskID, req.ExitStage)
+	return e.continueSecond(t, model, req.TaskID, req.ExitStage)
 }
 
-func (e *Edge) continueSecond(t *tenant, taskID uint64, exitStage int) (any, error) {
-	if err := t.exec.Do(t.model.Mu[1]); err != nil {
+func (e *Edge) continueSecond(t *tenant, model offload.ModelParams, taskID uint64, exitStage int) (any, error) {
+	if err := t.exec.Do(model.Mu[1]); err != nil {
 		return nil, err
 	}
 	if exitStage <= 2 || e.cloud == nil {
 		return TaskResp{TaskID: taskID, ExitStage: 2}, nil
 	}
-	payload := make([]byte, int(t.model.D[2]))
-	got, err := e.cloud.Call(ThirdBlockReq{TaskID: taskID, Payload: payload, FLOPs: t.model.Mu[2]})
+	payload := make([]byte, int(model.D[2]))
+	got, err := e.cloud.Call(ThirdBlockReq{TaskID: taskID, Payload: payload, FLOPs: model.Mu[2]})
 	if err != nil {
 		return nil, fmt.Errorf("edge: cloud continuation: %w", err)
 	}
