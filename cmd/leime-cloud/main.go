@@ -5,29 +5,51 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"leime"
 	"leime/internal/runtime"
+	"leime/internal/telemetry"
 )
 
 func main() {
-	if err := run(); err != nil {
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		close(stop)
+	}()
+	if err := run(os.Args[1:], os.Stdout, stop); err != nil {
 		fmt.Fprintln(os.Stderr, "leime-cloud:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run is the daemon body; main wires it to os.Args, stdout and signals, and
+// tests drive it directly with a synthetic stop channel.
+func run(args []string, out io.Writer, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("leime-cloud", flag.ContinueOnError)
 	var (
-		addr  = flag.String("addr", "127.0.0.1:7103", "listen address")
-		arch  = flag.String("arch", "inception-v3", "DNN profile (fixes the third block's FLOPs)")
-		flops = flag.Float64("flops", leime.CloudV100.FLOPS, "cloud capability in FLOPS")
-		scale = flag.Float64("scale", 1, "time compression factor (1 = real time)")
+		addr  = fs.String("addr", "127.0.0.1:7103", "listen address")
+		arch  = fs.String("arch", "inception-v3", "DNN profile (fixes the third block's FLOPs)")
+		flops = fs.Float64("flops", leime.CloudV100.FLOPS, "cloud capability in FLOPS")
+		scale = fs.Float64("scale", 1, "time compression factor (1 = real time)")
+		admin = fs.String("admin", "", "admin HTTP address serving /metrics, /healthz and /debug/traces (empty = telemetry off)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var tracer *telemetry.Tracer
+	var reg *telemetry.Registry
+	if *admin != "" {
+		tracer = telemetry.NewTracer(4096)
+		reg = telemetry.NewRegistry()
+	}
 
 	sys, err := leime.Build(leime.Options{Arch: *arch, Env: leime.TestbedEnv(leime.RaspberryPi3B)})
 	if err != nil {
@@ -38,17 +60,25 @@ func run() error {
 		FLOPS:       *flops,
 		Block3FLOPs: sys.Params().Mu[2],
 		TimeScale:   runtime.Scale(*scale),
+		Tracer:      tracer,
+		Metrics:     reg,
 	})
 	if err != nil {
 		return err
 	}
 	defer cloud.Close()
-	fmt.Printf("leime-cloud: serving %s third blocks on %s (%.3g FLOPS, scale %g)\n",
+	if *admin != "" {
+		adm, err := telemetry.ServeAdmin(*admin, reg, tracer)
+		if err != nil {
+			return err
+		}
+		defer adm.Close()
+		fmt.Fprintf(out, "leime-cloud: admin on %s\n", adm.Addr())
+	}
+	fmt.Fprintf(out, "leime-cloud: serving %s third blocks on %s (%.3g FLOPS, scale %g)\n",
 		*arch, cloud.Addr(), *flops, *scale)
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	fmt.Println("leime-cloud: shutting down")
+	fmt.Fprintln(out, "leime-cloud: shutting down")
 	return nil
 }

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe output sink for in-process daemon runs.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var adminLine = regexp.MustCompile(`admin on (\S+)`)
+
+// waitForAdmin polls the daemon's output for the printed admin address.
+func waitForAdmin(t *testing.T, out *syncBuffer) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := adminLine.FindStringSubmatch(out.String()); m != nil {
+			return m[1]
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("admin address never printed; output:\n%s", out.String())
+	return ""
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestCloudDaemonServesAdminAndStopsCleanly(t *testing.T) {
+	out := &syncBuffer{}
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-admin", "127.0.0.1:0"}, out, stop)
+	}()
+	admin := waitForAdmin(t, out)
+
+	if code, body := getBody(t, fmt.Sprintf("http://%s/healthz", admin)); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("healthz: code %d body %q", code, body)
+	}
+	if code, _ := getBody(t, fmt.Sprintf("http://%s/metrics", admin)); code != http.StatusOK {
+		t.Errorf("metrics: code %d", code)
+	}
+
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not stop after the stop signal")
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("no shutdown message in output:\n%s", out.String())
+	}
+}

@@ -6,37 +6,56 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"leime"
 	"leime/internal/netem"
 	"leime/internal/offload"
 	"leime/internal/runtime"
+	"leime/internal/telemetry"
 )
 
 func main() {
-	if err := run(); err != nil {
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		close(stop)
+	}()
+	if err := run(os.Args[1:], os.Stdout, stop); err != nil {
 		fmt.Fprintln(os.Stderr, "leime-device:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run is the daemon body; main wires it to os.Args, stdout and signals, and
+// tests drive it directly with a synthetic stop channel. On stop the device
+// abandons remaining slots, drains in-flight tasks and still prints its
+// statistics.
+func run(args []string, out io.Writer, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("leime-device", flag.ContinueOnError)
 	var (
-		id       = flag.String("id", "device-1", "device identifier")
-		edgeAddr = flag.String("edge", "127.0.0.1:7102", "edge server address")
-		arch     = flag.String("arch", "inception-v3", "DNN profile (must match the edge)")
-		device   = flag.String("device", "pi", "hardware preset: pi or nano")
-		rate     = flag.Float64("rate", 5, "mean task arrivals per slot")
-		slots    = flag.Int("slots", 60, "number of slots to generate")
-		bw       = flag.Float64("bandwidth", 10, "uplink bandwidth in Mbps")
-		lat      = flag.Float64("latency", 0.02, "uplink latency in seconds")
-		policy   = flag.String("policy", "leime", "offloading policy: leime, device-only, edge-only, cap")
-		scale    = flag.Float64("scale", 1, "time compression factor (1 = real time)")
-		seed     = flag.Int64("seed", 1, "randomness seed")
+		id       = fs.String("id", "device-1", "device identifier")
+		edgeAddr = fs.String("edge", "127.0.0.1:7102", "edge server address")
+		arch     = fs.String("arch", "inception-v3", "DNN profile (must match the edge)")
+		device   = fs.String("device", "pi", "hardware preset: pi or nano")
+		rate     = fs.Float64("rate", 5, "mean task arrivals per slot")
+		slots    = fs.Int("slots", 60, "number of slots to generate")
+		bw       = fs.Float64("bandwidth", 10, "uplink bandwidth in Mbps")
+		lat      = fs.Float64("latency", 0.02, "uplink latency in seconds")
+		policy   = fs.String("policy", "leime", "offloading policy: leime, device-only, edge-only, cap")
+		scale    = fs.Float64("scale", 1, "time compression factor (1 = real time)")
+		seed     = fs.Int64("seed", 1, "randomness seed")
+		admin    = fs.String("admin", "", "admin HTTP address serving /metrics, /healthz and /debug/traces (empty = telemetry off)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var node leime.Node
 	switch *device {
@@ -61,11 +80,24 @@ func run() error {
 		return fmt.Errorf("unknown policy %q", *policy)
 	}
 
+	var tracer *telemetry.Tracer
+	var reg *telemetry.Registry
+	if *admin != "" {
+		tracer = telemetry.NewTracer(4096)
+		reg = telemetry.NewRegistry()
+		adm, err := telemetry.ServeAdmin(*admin, reg, tracer)
+		if err != nil {
+			return err
+		}
+		defer adm.Close()
+		fmt.Fprintf(out, "leime-device: admin on %s\n", adm.Addr())
+	}
+
 	sys, err := leime.Build(leime.Options{Arch: *arch, Env: leime.TestbedEnv(node)})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("leime-device %s: %s on %s, edge %s, policy %s, %d slots at rate %.1f\n",
+	fmt.Fprintf(out, "leime-device %s: %s on %s, edge %s, policy %s, %d slots at rate %.1f\n",
 		*id, *arch, node.Name, *edgeAddr, pol.Name, *slots, *rate)
 
 	stats, err := runtime.RunDevice(runtime.DeviceConfig{
@@ -85,15 +117,18 @@ func run() error {
 		WarmupSlots: *slots / 10,
 		TimeScale:   runtime.Scale(*scale),
 		Seed:        *seed,
+		Tracer:      tracer,
+		Metrics:     reg,
+		Stop:        stop,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("tasks: generated=%d completed=%d errors=%d exits=[%d %d %d]\n",
+	fmt.Fprintf(out, "tasks: generated=%d completed=%d errors=%d exits=[%d %d %d]\n",
 		stats.Generated, stats.Completed, stats.Errors,
 		stats.ExitCounts[0], stats.ExitCounts[1], stats.ExitCounts[2])
-	fmt.Printf("TCT: mean=%.4fs p50=%.4fs p99=%.4fs max=%.4fs (model seconds)\n",
+	fmt.Fprintf(out, "TCT: mean=%.4fs p50=%.4fs p99=%.4fs max=%.4fs (model seconds)\n",
 		stats.TCT.Mean(), stats.TCT.Percentile(50), stats.TCT.Percentile(99), stats.TCT.Max())
-	fmt.Printf("mean offloading ratio: %.3f\n", stats.Ratio.Mean())
+	fmt.Fprintf(out, "mean offloading ratio: %.3f\n", stats.Ratio.Mean())
 	return nil
 }

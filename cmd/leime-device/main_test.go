@@ -1,0 +1,105 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"leime"
+	"leime/internal/runtime"
+)
+
+// syncBuffer is a goroutine-safe output sink for in-process daemon runs.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var adminLine = regexp.MustCompile(`admin on (\S+)`)
+
+func waitForAdmin(t *testing.T, out *syncBuffer) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := adminLine.FindStringSubmatch(out.String()); m != nil {
+			return m[1]
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("admin address never printed; output:\n%s", out.String())
+	return ""
+}
+
+// TestDeviceDaemonStopsEarlyAndReportsStats interrupts a long device run via
+// the stop channel (the SIGINT/SIGTERM path) and checks that it drains
+// in-flight tasks, prints statistics and serves its admin endpoints.
+func TestDeviceDaemonStopsEarlyAndReportsStats(t *testing.T) {
+	sys, err := leime.Build(leime.Options{Arch: "inception-v3", Env: leime.TestbedEnv(leime.RaspberryPi3B)})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	edge, err := runtime.StartEdge(runtime.EdgeConfig{
+		Addr:      "127.0.0.1:0",
+		FLOPS:     leime.EdgeDesktop.FLOPS,
+		Model:     sys.Params(),
+		TimeScale: 0.01,
+	})
+	if err != nil {
+		t.Fatalf("StartEdge: %v", err)
+	}
+	defer edge.Close()
+
+	out := &syncBuffer{}
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		// A horizon far longer than the test: only the stop channel ends it.
+		done <- run([]string{
+			"-edge", edge.Addr(), "-slots", "100000", "-scale", "0.01",
+			"-admin", "127.0.0.1:0",
+		}, out, stop)
+	}()
+	admin := waitForAdmin(t, out)
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", admin))
+	if err != nil {
+		t.Fatalf("GET healthz: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Errorf("healthz: code %d body %q", resp.StatusCode, body)
+	}
+
+	// Let a few slots elapse so there is work to drain, then interrupt.
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("device did not stop after the stop signal")
+	}
+	if !strings.Contains(out.String(), "tasks: generated=") {
+		t.Errorf("no final statistics in output:\n%s", out.String())
+	}
+}

@@ -6,6 +6,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -14,26 +15,47 @@ import (
 	"leime"
 	"leime/internal/netem"
 	"leime/internal/runtime"
+	"leime/internal/telemetry"
 )
 
 func main() {
-	if err := run(); err != nil {
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		close(stop)
+	}()
+	if err := run(os.Args[1:], os.Stdout, stop); err != nil {
 		fmt.Fprintln(os.Stderr, "leime-edge:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run is the daemon body; main wires it to os.Args, stdout and signals, and
+// tests drive it directly with a synthetic stop channel.
+func run(args []string, out io.Writer, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("leime-edge", flag.ContinueOnError)
 	var (
-		addr      = flag.String("addr", "127.0.0.1:7102", "listen address")
-		arch      = flag.String("arch", "inception-v3", "DNN profile")
-		flops     = flag.Float64("flops", leime.EdgeDesktop.FLOPS, "edge capability in FLOPS")
-		cloudAddr = flag.String("cloud", "", "cloud server address (empty = no cloud tier)")
-		cloudBW   = flag.Float64("cloud-bandwidth", 50, "edge-cloud bandwidth in Mbps")
-		cloudLat  = flag.Float64("cloud-latency", 0.03, "edge-cloud latency in seconds")
-		scale     = flag.Float64("scale", 1, "time compression factor (1 = real time)")
+		addr      = fs.String("addr", "127.0.0.1:7102", "listen address")
+		arch      = fs.String("arch", "inception-v3", "DNN profile")
+		flops     = fs.Float64("flops", leime.EdgeDesktop.FLOPS, "edge capability in FLOPS")
+		cloudAddr = fs.String("cloud", "", "cloud server address (empty = no cloud tier)")
+		cloudBW   = fs.Float64("cloud-bandwidth", 50, "edge-cloud bandwidth in Mbps")
+		cloudLat  = fs.Float64("cloud-latency", 0.03, "edge-cloud latency in seconds")
+		scale     = fs.Float64("scale", 1, "time compression factor (1 = real time)")
+		admin     = fs.String("admin", "", "admin HTTP address serving /metrics, /healthz and /debug/traces (empty = telemetry off)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var tracer *telemetry.Tracer
+	var reg *telemetry.Registry
+	if *admin != "" {
+		tracer = telemetry.NewTracer(4096)
+		reg = telemetry.NewRegistry()
+	}
 
 	sys, err := leime.Build(leime.Options{Arch: *arch, Env: leime.TestbedEnv(leime.RaspberryPi3B)})
 	if err != nil {
@@ -49,18 +71,26 @@ func run() error {
 			Latency:      time.Duration(*cloudLat * float64(time.Second)),
 		},
 		TimeScale: runtime.Scale(*scale),
+		Tracer:    tracer,
+		Metrics:   reg,
 	})
 	if err != nil {
 		return err
 	}
 	defer edge.Close()
+	if *admin != "" {
+		adm, err := telemetry.ServeAdmin(*admin, reg, tracer)
+		if err != nil {
+			return err
+		}
+		defer adm.Close()
+		fmt.Fprintf(out, "leime-edge: admin on %s\n", adm.Addr())
+	}
 	e1, e2, e3 := sys.Exits()
-	fmt.Printf("leime-edge: serving %s{exit-%d,exit-%d,exit-%d} on %s (%.3g FLOPS, cloud %q, scale %g)\n",
+	fmt.Fprintf(out, "leime-edge: serving %s{exit-%d,exit-%d,exit-%d} on %s (%.3g FLOPS, cloud %q, scale %g)\n",
 		*arch, e1, e2, e3, edge.Addr(), *flops, *cloudAddr, *scale)
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	fmt.Println("leime-edge: shutting down")
+	fmt.Fprintln(out, "leime-edge: shutting down")
 	return nil
 }

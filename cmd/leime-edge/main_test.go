@@ -1,0 +1,89 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe output sink for in-process daemon runs.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var adminLine = regexp.MustCompile(`admin on (\S+)`)
+
+func waitForAdmin(t *testing.T, out *syncBuffer) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := adminLine.FindStringSubmatch(out.String()); m != nil {
+			return m[1]
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("admin address never printed; output:\n%s", out.String())
+	return ""
+}
+
+func TestEdgeDaemonServesAdminAndStopsCleanly(t *testing.T) {
+	out := &syncBuffer{}
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-admin", "127.0.0.1:0"}, out, stop)
+	}()
+	admin := waitForAdmin(t, out)
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", admin))
+	if err != nil {
+		t.Fatalf("GET healthz: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Errorf("healthz: code %d body %q", resp.StatusCode, body)
+	}
+	mresp, err := http.Get(fmt.Sprintf("http://%s/metrics", admin))
+	if err != nil {
+		t.Fatalf("GET metrics: %v", err)
+	}
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Errorf("metrics: code %d", mresp.StatusCode)
+	}
+	if ct := mresp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("metrics content type %q lacks Prometheus version", ct)
+	}
+
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not stop after the stop signal")
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("no shutdown message in output:\n%s", out.String())
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"leime/internal/offload"
 	"leime/internal/runtime"
 	"leime/internal/sim"
+	"leime/internal/telemetry"
 )
 
 // CrossCheck validates the simulator against the socket testbed: the same
@@ -76,52 +77,12 @@ func runCrossCheck(w io.Writer, quick bool) error {
 	// (b) The real runtime, 5x compressed. Milder compression than the
 	// examples use: every wall-clock overhead (sleep granularity, gob
 	// encoding, scheduler jitter) is inflated by 1/scale when converted
-	// back to model time, so validation runs closer to real time.
-	const scale = runtime.Scale(0.2)
-	cloud, err := runtime.StartCloud(runtime.CloudConfig{
-		Addr:        "127.0.0.1:0",
-		FLOPS:       env.CloudFLOPS,
-		Block3FLOPs: params.Mu[2],
-		TimeScale:   scale,
-	})
-	if err != nil {
-		return err
-	}
-	defer cloud.Close()
-	edge, err := runtime.StartEdge(runtime.EdgeConfig{
-		Addr:      "127.0.0.1:0",
-		FLOPS:     env.EdgeFLOPS,
-		Model:     params,
-		CloudAddr: cloud.Addr(),
-		CloudLink: netem.Link{
-			BandwidthBps: env.EdgeCloud.BandwidthBps,
-			Latency:      time.Duration(env.EdgeCloud.LatencySec * float64(time.Second)),
-		},
-		TimeScale: scale,
-	})
-	if err != nil {
-		return err
-	}
-	defer edge.Close()
-	tbPol := offload.Lyapunov()
-	tb, err := runtime.RunDevice(runtime.DeviceConfig{
-		ID:       "crosscheck",
-		FLOPS:    env.DeviceFLOPS,
-		Model:    params,
-		EdgeAddr: edge.Addr(),
-		Uplink: netem.Link{
-			BandwidthBps: env.DeviceEdge.BandwidthBps,
-			Latency:      time.Duration(env.DeviceEdge.LatencySec * float64(time.Second)),
-		},
-		ArrivalMean: rate,
-		Policy:      &tbPol,
-		TauSec:      1,
-		V:           1e4,
-		Slots:       slots,
-		WarmupSlots: slots / 10,
-		TimeScale:   scale,
-		Seed:        seed,
-	})
+	// back to model time, so validation runs closer to real time. The run is
+	// instrumented: span and metric totals below the table let perf tracking
+	// confirm telemetry kept up (no dropped spans) alongside the latencies.
+	tracer := telemetry.NewTracer(1 << 15)
+	reg := telemetry.NewRegistry()
+	tb, err := testbedWorkload(params, env, slots, rate, seed, runtime.Scale(0.2), tracer, reg)
 	if err != nil {
 		return err
 	}
@@ -135,8 +96,74 @@ func runCrossCheck(w io.Writer, quick bool) error {
 	fmt.Fprintln(w, "The residual gap is wall-clock overhead (sleep granularity, gob encoding,")
 	fmt.Fprintln(w, "scheduler jitter) inflated by the 5x time compression; it shrinks toward 1x")
 	fmt.Fprintln(w, "as -scale approaches real time. Orderings and exit mixes agree.")
+	fmt.Fprintf(w, "testbed telemetry: %d spans across %d traces, %d dropped\n",
+		len(tracer.Spans()), countTraces(tracer), tracer.Dropped())
 	if tb.Errors > 0 {
 		fmt.Fprintf(w, "testbed task errors: %d\n", tb.Errors)
 	}
 	return nil
+}
+
+// testbedWorkload runs the crosscheck workload through the real runtime —
+// TCP sockets, netem shaping, compute burning — with all three tiers sharing
+// the given tracer and registry (both may be nil for an uninstrumented run).
+func testbedWorkload(params offload.ModelParams, env cluster.Env, slots int, rate float64, seed int64, scale runtime.Scale, tracer *telemetry.Tracer, reg *telemetry.Registry) (*runtime.DeviceStats, error) {
+	cloud, err := runtime.StartCloud(runtime.CloudConfig{
+		Addr:        "127.0.0.1:0",
+		FLOPS:       env.CloudFLOPS,
+		Block3FLOPs: params.Mu[2],
+		TimeScale:   scale,
+		Tracer:      tracer,
+		Metrics:     reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cloud.Close()
+	edge, err := runtime.StartEdge(runtime.EdgeConfig{
+		Addr:      "127.0.0.1:0",
+		FLOPS:     env.EdgeFLOPS,
+		Model:     params,
+		CloudAddr: cloud.Addr(),
+		CloudLink: netem.Link{
+			BandwidthBps: env.EdgeCloud.BandwidthBps,
+			Latency:      time.Duration(env.EdgeCloud.LatencySec * float64(time.Second)),
+		},
+		TimeScale: scale,
+		Tracer:    tracer,
+		Metrics:   reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer edge.Close()
+	pol := offload.Lyapunov()
+	return runtime.RunDevice(runtime.DeviceConfig{
+		ID:       "crosscheck",
+		FLOPS:    env.DeviceFLOPS,
+		Model:    params,
+		EdgeAddr: edge.Addr(),
+		Uplink: netem.Link{
+			BandwidthBps: env.DeviceEdge.BandwidthBps,
+			Latency:      time.Duration(env.DeviceEdge.LatencySec * float64(time.Second)),
+		},
+		ArrivalMean: rate,
+		Policy:      &pol,
+		TauSec:      1,
+		V:           1e4,
+		Slots:       slots,
+		WarmupSlots: slots / 10,
+		TimeScale:   scale,
+		Seed:        seed,
+		Tracer:      tracer,
+		Metrics:     reg,
+	})
+}
+
+func countTraces(tr *telemetry.Tracer) int {
+	seen := make(map[uint64]struct{})
+	for _, s := range tr.Spans() {
+		seen[s.Trace] = struct{}{}
+	}
+	return len(seen)
 }

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"leime/internal/cluster"
+	"leime/internal/exitsetting"
+	"leime/internal/model"
+	"leime/internal/runtime"
+	"leime/internal/telemetry"
+)
+
+// TelemetryReport summarizes the spans and metrics an instrumented testbed
+// run emits; leime-bench -json records it next to wall times so
+// perf-trajectory tracking sees telemetry health (span volume, drops,
+// counter totals) across commits.
+type TelemetryReport struct {
+	// Tasks is the number of tasks the workload completed.
+	Tasks int `json:"tasks"`
+	// Traces and Spans count distinct trace IDs and recorded spans.
+	Traces int `json:"traces"`
+	Spans  int `json:"spans"`
+	// SpansByName tallies spans per taxonomy name (task, rpc.first_block,
+	// edge.queue, ...).
+	SpansByName map[string]int `json:"spans_by_name"`
+	// DroppedSpans counts ring-buffer overwrites; nonzero means the tracer
+	// capacity was too small for the workload.
+	DroppedSpans uint64 `json:"dropped_spans"`
+	// Metrics flattens every registry sample (histograms as _count/_sum).
+	Metrics []telemetry.Sample `json:"metrics"`
+}
+
+// CollectTelemetry runs a small fully-instrumented single-device testbed
+// workload (the crosscheck workload, shortened) and summarizes what the
+// telemetry subsystem captured.
+func CollectTelemetry(quick bool) (*TelemetryReport, error) {
+	p := model.InceptionV3()
+	sigma, err := calibrated(p)
+	if err != nil {
+		return nil, err
+	}
+	env := cluster.TestbedEnv(cluster.RaspberryPi3B)
+	params, _, _, err := schemeParams(scheme{strategy: exitsetting.LEIME()}, p, sigma, env)
+	if err != nil {
+		return nil, err
+	}
+	slots := 20
+	if quick {
+		slots = 10
+	}
+	tracer := telemetry.NewTracer(1 << 15)
+	reg := telemetry.NewRegistry()
+	stats, err := testbedWorkload(params, env, slots, 3, 77, runtime.Scale(0.05), tracer, reg)
+	if err != nil {
+		return nil, err
+	}
+	spans := tracer.Spans()
+	rep := &TelemetryReport{
+		Tasks:        stats.Completed,
+		Traces:       countTraces(tracer),
+		Spans:        len(spans),
+		SpansByName:  make(map[string]int),
+		DroppedSpans: tracer.Dropped(),
+		Metrics:      reg.Samples(),
+	}
+	for _, s := range spans {
+		rep.SpansByName[s.Name]++
+	}
+	return rep, nil
+}

@@ -1,0 +1,34 @@
+package bench
+
+import "testing"
+
+func TestCollectTelemetry(t *testing.T) {
+	rep, err := CollectTelemetry(true)
+	if err != nil {
+		t.Fatalf("CollectTelemetry: %v", err)
+	}
+	if rep.Tasks == 0 {
+		t.Fatal("instrumented workload completed no tasks")
+	}
+	if rep.Traces != rep.Tasks {
+		t.Errorf("got %d traces for %d tasks, want one per task", rep.Traces, rep.Tasks)
+	}
+	if rep.SpansByName["task"] != rep.Tasks {
+		t.Errorf("got %d root task spans for %d tasks", rep.SpansByName["task"], rep.Tasks)
+	}
+	if rep.DroppedSpans != 0 {
+		t.Errorf("tracer dropped %d spans; capacity too small for the workload", rep.DroppedSpans)
+	}
+	if len(rep.Metrics) == 0 {
+		t.Error("no metric samples collected")
+	}
+	found := false
+	for _, s := range rep.Metrics {
+		if s.Name == "leime_tasks_generated_total" && s.Value > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("leime_tasks_generated_total missing or zero in samples")
+	}
+}

@@ -5,34 +5,76 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"strings"
 )
 
 // Summary accumulates scalar observations (task completion times, queue
-// lengths) and reports order statistics.
+// lengths) and reports order statistics. The zero value retains every
+// observation; NewReservoir builds a bounded-memory variant.
 type Summary struct {
 	values []float64
 	sum    float64
 	sorted bool
+
+	// Reservoir mode (NewReservoir): capacity bounds values, seen counts all
+	// observations, rng drives Algorithm R replacement, and min/max stay
+	// exact. capacity == 0 means unbounded (the zero value).
+	capacity int
+	seen     int
+	rng      *rand.Rand
+	min, max float64
+}
+
+// NewReservoir returns a Summary whose memory is bounded at capacity
+// observations: once full, each new observation replaces a uniformly random
+// slot with probability capacity/seen (Vitter's Algorithm R), leaving a
+// uniform sample of everything seen. Count, Mean and Max remain exact;
+// percentiles are estimated from the sample. Long-horizon runs use this to
+// keep per-task statistics from growing without bound.
+func NewReservoir(capacity int, seed int64) *Summary {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Summary{capacity: capacity, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Add records one observation.
 func (s *Summary) Add(v float64) {
-	s.values = append(s.values, v)
+	if s.seen == 0 || v < s.min {
+		s.min = v
+	}
+	if s.seen == 0 || v > s.max {
+		s.max = v
+	}
+	s.seen++
 	s.sum += v
+	if s.capacity > 0 && len(s.values) >= s.capacity {
+		if j := s.rng.Intn(s.seen); j < s.capacity {
+			s.values[j] = v
+			s.sorted = false
+		}
+		return
+	}
+	s.values = append(s.values, v)
 	s.sorted = false
 }
 
-// Count returns the number of observations.
-func (s *Summary) Count() int { return len(s.values) }
+// Count returns the number of observations (all of them, even those no
+// longer retained in reservoir mode).
+func (s *Summary) Count() int { return s.seen }
 
-// Mean returns the arithmetic mean (0 when empty).
+// SampleSize returns how many observations are retained; below Count once a
+// reservoir has wrapped.
+func (s *Summary) SampleSize() int { return len(s.values) }
+
+// Mean returns the arithmetic mean over every observation (0 when empty).
 func (s *Summary) Mean() float64 {
-	if len(s.values) == 0 {
+	if s.seen == 0 {
 		return 0
 	}
-	return s.sum / float64(len(s.values))
+	return s.sum / float64(s.seen)
 }
 
 // Percentile returns the p-th percentile (nearest-rank), p in [0, 100].
@@ -54,16 +96,22 @@ func (s *Summary) Percentile(p float64) float64 {
 	return s.values[rank-1]
 }
 
-// Max returns the largest observation (0 when empty).
-func (s *Summary) Max() float64 { return s.Percentile(100) }
+// Max returns the largest observation (0 when empty); exact even in
+// reservoir mode.
+func (s *Summary) Max() float64 { return s.max }
 
-// Stddev returns the population standard deviation.
+// Stddev returns the population standard deviation of the retained
+// observations (a sample estimate in reservoir mode).
 func (s *Summary) Stddev() float64 {
 	n := len(s.values)
 	if n == 0 {
 		return 0
 	}
-	mean := s.Mean()
+	var mean float64
+	for _, v := range s.values {
+		mean += v
+	}
+	mean /= float64(n)
 	var acc float64
 	for _, v := range s.values {
 		d := v - mean

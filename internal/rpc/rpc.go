@@ -26,11 +26,25 @@ const MaxMessageBytes = 16 << 20
 // ErrClosed is returned by calls on a closed client or server.
 var ErrClosed = errors.New("rpc: connection closed")
 
+// Meta is the request metadata carried alongside the body in every
+// envelope: the caller's telemetry context. TraceID groups all spans of one
+// task lifecycle across tiers; SpanID is the caller-side span the remote
+// work should nest under. The zero Meta means "untraced" and costs nothing
+// beyond two zero varints in the gob stream.
+type Meta struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the metadata carries a live trace.
+func (m Meta) Valid() bool { return m.TraceID != 0 }
+
 // envelope is the wire frame. Body carries any gob-registered value.
 type envelope struct {
 	ID      uint64
 	IsReply bool
 	Err     string
+	Meta    Meta
 	Body    any
 }
 
@@ -83,11 +97,15 @@ func readFrame(r io.Reader) (*envelope, error) {
 // Handler processes one request body and returns a reply body or an error.
 type Handler func(body any) (any, error)
 
+// MetaHandler additionally receives the request's envelope metadata, so
+// servers can continue the caller's trace.
+type MetaHandler func(meta Meta, body any) (any, error)
+
 // Server accepts connections and dispatches requests to a handler. Each
 // request runs in its own goroutine; replies serialize on a per-connection
 // write lock.
 type Server struct {
-	handler Handler
+	handler MetaHandler
 	ln      net.Listener
 
 	mu     sync.Mutex
@@ -97,8 +115,18 @@ type Server struct {
 }
 
 // Serve starts a server on addr ("127.0.0.1:0" for an ephemeral port) and
-// returns it; the returned server is already accepting.
+// returns it; the returned server is already accepting. Handlers that need
+// the envelope metadata use ServeMeta instead.
 func Serve(addr string, handler Handler) (*Server, error) {
+	if handler == nil {
+		return nil, errors.New("rpc: nil handler")
+	}
+	return ServeMeta(addr, func(_ Meta, body any) (any, error) { return handler(body) })
+}
+
+// ServeMeta is Serve for handlers that consume the request metadata (the
+// caller's trace context).
+func ServeMeta(addr string, handler MetaHandler) (*Server, error) {
 	if handler == nil {
 		return nil, errors.New("rpc: nil handler")
 	}
@@ -155,7 +183,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		go func(env *envelope) {
 			defer reqWG.Done()
 			reply := &envelope{ID: env.ID, IsReply: true}
-			body, err := s.safeHandle(env.Body)
+			body, err := s.safeHandle(env.Meta, env.Body)
 			if err != nil {
 				reply.Err = err.Error()
 			} else {
@@ -171,14 +199,14 @@ func (s *Server) serveConn(conn net.Conn) {
 // safeHandle invokes the handler, converting a panic into an error so one
 // bad request cannot take the whole server (and every other tenant's
 // connection) down.
-func (s *Server) safeHandle(body any) (reply any, err error) {
+func (s *Server) safeHandle(meta Meta, body any) (reply any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			reply = nil
 			err = fmt.Errorf("rpc: handler panic: %v", r)
 		}
 	}()
-	return s.handler(body)
+	return s.handler(meta, body)
 }
 
 // Close stops accepting, closes all connections and waits for in-flight
@@ -261,7 +289,11 @@ func (c *Client) readLoop() {
 }
 
 // Call sends body and waits for the correlated reply.
-func (c *Client) Call(body any) (any, error) {
+func (c *Client) Call(body any) (any, error) { return c.CallMeta(Meta{}, body) }
+
+// CallMeta sends body with request metadata (the caller's trace context)
+// and waits for the correlated reply.
+func (c *Client) CallMeta(meta Meta, body any) (any, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -282,7 +314,7 @@ func (c *Client) Call(body any) (any, error) {
 	c.mu.Unlock()
 
 	c.writeMu.Lock()
-	err := writeFrame(c.conn, &envelope{ID: id, Body: body})
+	err := writeFrame(c.conn, &envelope{ID: id, Meta: meta, Body: body})
 	c.writeMu.Unlock()
 	if err != nil {
 		c.mu.Lock()

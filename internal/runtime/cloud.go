@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"leime/internal/rpc"
+	"leime/internal/telemetry"
 )
 
 // CloudConfig configures the cloud tier.
@@ -16,6 +17,12 @@ type CloudConfig struct {
 	Block3FLOPs float64
 	// TimeScale compresses testbed time.
 	TimeScale Scale
+	// Tracer records task-lifecycle spans for requests arriving with a
+	// trace context; nil disables tracing.
+	Tracer *telemetry.Tracer
+	// Metrics registers the cloud's counters and histograms; nil disables
+	// them.
+	Metrics *telemetry.Registry
 }
 
 // Cloud serves third-block continuations.
@@ -34,19 +41,27 @@ func StartCloud(cfg CloudConfig) (*Cloud, error) {
 	if err != nil {
 		return nil, err
 	}
+	requests := cfg.Metrics.Counter("leime_cloud_requests_total", "Third-block continuations served.")
+	queueWait := cfg.Metrics.Histogram("leime_cloud_queue_wait_seconds", "Third-block wait before service (wall seconds).", nil)
+	block3 := cfg.Metrics.Histogram("leime_cloud_block_seconds", "Block service time (wall seconds).", nil, telemetry.Label{Key: "block", Value: "3"})
 	c := &Cloud{exec: exec}
-	srv, err := rpc.Serve(cfg.Addr, func(body any) (any, error) {
+	srv, err := rpc.ServeMeta(cfg.Addr, func(meta rpc.Meta, body any) (any, error) {
 		req, ok := body.(ThirdBlockReq)
 		if !ok {
 			return nil, fmt.Errorf("cloud: unexpected request %T", body)
 		}
+		requests.Inc()
 		flops := req.FLOPs
 		if flops <= 0 {
 			flops = cfg.Block3FLOPs
 		}
-		if err := c.exec.Do(flops); err != nil {
+		wait, service, err := c.exec.DoTimed(flops)
+		if err != nil {
 			return nil, err
 		}
+		queueWait.Observe(wait.Seconds())
+		block3.Observe(service.Seconds())
+		recordTimedSpans(cfg.Tracer, metaContext(meta), "cloud.queue", "cloud.block3", "", req.TaskID, wait, service)
 		return TaskResp{TaskID: req.TaskID, ExitStage: 3}, nil
 	})
 	if err != nil {

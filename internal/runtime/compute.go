@@ -19,7 +19,7 @@ type Executor struct {
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	queue   []job
+	queue   []*job
 	closed  bool
 	pending int32 // atomic: accepted but unfinished jobs
 
@@ -28,7 +28,12 @@ type Executor struct {
 
 type job struct {
 	flops float64
-	done  chan struct{}
+	enq   time.Time
+	// wait and service are written by the worker before done is closed;
+	// closing the channel publishes them to the submitter.
+	wait    time.Duration
+	service time.Duration
+	done    chan struct{}
 }
 
 // NewExecutor starts an executor at the given FLOPS rating. Close releases
@@ -66,21 +71,29 @@ func (e *Executor) Pending() int { return int(atomic.LoadInt32(&e.pending)) }
 // Do enqueues a job of the given FLOPs and blocks until it completes. It
 // returns an error if the executor is closed.
 func (e *Executor) Do(flops float64) error {
+	_, _, err := e.DoTimed(flops)
+	return err
+}
+
+// DoTimed is Do, additionally reporting how long the job waited in the
+// queue before service began and how long service took — the split
+// telemetry needs to attribute task latency to queueing vs compute.
+func (e *Executor) DoTimed(flops float64) (wait, service time.Duration, err error) {
 	if flops < 0 {
 		flops = 0
 	}
-	j := job{flops: flops, done: make(chan struct{})}
+	j := &job{flops: flops, enq: time.Now(), done: make(chan struct{})}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
-		return fmt.Errorf("runtime: executor closed")
+		return 0, 0, fmt.Errorf("runtime: executor closed")
 	}
 	atomic.AddInt32(&e.pending, 1)
 	e.queue = append(e.queue, j)
 	e.cond.Signal()
 	e.mu.Unlock()
 	<-j.done
-	return nil
+	return j.wait, j.service, nil
 }
 
 func (e *Executor) worker() {
@@ -98,9 +111,12 @@ func (e *Executor) worker() {
 		e.queue = e.queue[1:]
 		e.mu.Unlock()
 
+		j.wait = time.Since(j.enq)
+		start := time.Now()
 		if d := e.scale.Seconds(j.flops / e.Rate()); d > 0 {
 			time.Sleep(d)
 		}
+		j.service = time.Since(start)
 		atomic.AddInt32(&e.pending, -1)
 		close(j.done)
 	}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"leime/internal/rpc"
 	"leime/internal/trace"
 )
 
@@ -71,7 +72,7 @@ func TestEdgeUnregisterRedistributes(t *testing.T) {
 		t.Errorf("shares after departure sum to %v", sum)
 	}
 	// Requests for the departed device must fail.
-	if _, err := edge.handle(FirstBlockReq{DeviceID: "b", TaskID: 1, ExitStage: 1}); err == nil {
+	if _, err := edge.handle(rpc.Meta{}, FirstBlockReq{DeviceID: "b", TaskID: 1, ExitStage: 1}); err == nil {
 		t.Error("task for departed device accepted")
 	}
 	// Double unregister must fail cleanly.

@@ -11,6 +11,7 @@ import (
 	"leime/internal/netem"
 	"leime/internal/offload"
 	"leime/internal/rpc"
+	"leime/internal/telemetry"
 	"leime/internal/trace"
 )
 
@@ -51,6 +52,16 @@ type DeviceConfig struct {
 	AdaptEvery int
 	// Seed drives arrival, exit and offloading randomness.
 	Seed int64
+	// Tracer records per-task lifecycle spans and propagates their context
+	// to the edge and cloud through the rpc envelope; nil disables tracing.
+	Tracer *telemetry.Tracer
+	// Metrics registers the device's counters and histograms; nil disables
+	// them.
+	Metrics *telemetry.Registry
+	// Stop, when non-nil, aborts task generation at the next slot boundary
+	// once the channel is closed; tasks already in flight drain before
+	// RunDevice returns (the SIGINT/SIGTERM path of cmd/leime-device).
+	Stop <-chan struct{}
 }
 
 // Validate reports whether the configuration is runnable.
@@ -166,17 +177,31 @@ func RunDevice(cfg DeviceConfig) (*DeviceStats, error) {
 		client: client,
 		local:  local,
 		rng:    rand.New(rand.NewSource(cfg.Seed ^ 0x7a5)),
+		tel:    newDeviceTelemetry(cfg.ID, cfg.Tracer, cfg.Metrics),
 	}
 
 	start := time.Now()
 	var taskID uint64
 	rateEstimate := cfg.ArrivalMean
 	shareFLOPS := reg.ShareFLOPS
+slots:
 	for t := 0; t < cfg.Slots; t++ {
-		// Align to the slot boundary on the compressed clock.
+		// Align to the slot boundary on the compressed clock, but give up
+		// the wait (and the rest of the horizon) if asked to stop.
 		boundary := start.Add(cfg.TimeScale.Seconds(float64(t) * cfg.TauSec))
 		if wait := time.Until(boundary); wait > 0 {
-			time.Sleep(wait)
+			timer := time.NewTimer(wait)
+			select {
+			case <-timer.C:
+			case <-cfg.Stop:
+				timer.Stop()
+				break slots
+			}
+		}
+		select {
+		case <-cfg.Stop:
+			break slots
+		default:
 		}
 		m := arrivals.Next()
 		// Track the observed rate and periodically renegotiate the edge
@@ -196,6 +221,8 @@ func RunDevice(cfg DeviceConfig) (*DeviceStats, error) {
 			EdgeShareFLOPS: shareFLOPS,
 		}
 		x := policy.Decide(ctrl, dev, slot)
+		d.tel.ratio.Set(x)
+		d.tel.generated.Add(uint64(m))
 		d.mu.Lock()
 		d.stats.Ratio.Append(x)
 		d.stats.Generated += m
@@ -216,12 +243,42 @@ type deviceRun struct {
 	cfg    DeviceConfig
 	client *rpc.Client
 	local  *Executor
+	tel    deviceTelemetry
 
 	mu    sync.Mutex
 	rngMu sync.Mutex
 	rng   *rand.Rand
 	stats DeviceStats
 	wg    sync.WaitGroup
+}
+
+// deviceTelemetry holds the device's cached metric handles; all nil
+// (no-op) when DeviceConfig.Metrics is nil.
+type deviceTelemetry struct {
+	tracer    *telemetry.Tracer
+	generated *telemetry.Counter
+	completed [3]*telemetry.Counter // by exit stage
+	errors    *telemetry.Counter
+	fallbacks *telemetry.Counter
+	tct       *telemetry.Histogram
+	ratio     *telemetry.Gauge
+}
+
+func newDeviceTelemetry(id string, tr *telemetry.Tracer, reg *telemetry.Registry) deviceTelemetry {
+	dev := telemetry.Label{Key: "device", Value: id}
+	t := deviceTelemetry{
+		tracer:    tr,
+		generated: reg.Counter("leime_tasks_generated_total", "Tasks generated.", dev),
+		errors:    reg.Counter("leime_task_errors_total", "Tasks failed with RPC errors.", dev),
+		fallbacks: reg.Counter("leime_task_fallbacks_total", "Offloads rejected by edge backpressure and re-run locally.", dev),
+		tct:       reg.Histogram("leime_tct_seconds", "End-to-end task completion time (model seconds).", nil, dev),
+		ratio:     reg.Gauge("leime_offload_ratio", "Most recent slot's offloading decision.", dev),
+	}
+	for i := range t.completed {
+		t.completed[i] = reg.Counter("leime_tasks_completed_total", "Tasks completed, by exit stage.",
+			dev, telemetry.Label{Key: "exit", Value: string(rune('1' + i))})
+	}
+	return t
 }
 
 func (d *deviceRun) rngExit() int {
@@ -263,24 +320,55 @@ func (d *deviceRun) runTask(id uint64, slot, exitStage int, offloaded bool) {
 	defer d.wg.Done()
 	began := time.Now()
 
+	// The root span covers the whole task; the zero-length decision span
+	// marks where the Lyapunov policy routed it.
+	root := d.tel.tracer.StartSpan(telemetry.SpanContext{}, "task").SetDevice(d.cfg.ID).SetTask(id)
+	decision := "local"
+	if offloaded {
+		decision = "offload"
+	}
+	d.tel.tracer.StartSpan(root.Context(), "device.decision").
+		SetDevice(d.cfg.ID).SetTask(id).SetNote(decision).End()
+
 	var err error
 	var finalExit int
 	var localDur time.Duration
 	fellBack := false
 	if offloaded {
-		finalExit, err = d.offloadedPath(id, exitStage)
+		finalExit, err = d.offloadedPath(root.Context(), id, exitStage)
 		if err != nil && strings.Contains(err.Error(), BusyMessage) {
 			// The edge applied backpressure: execute locally instead.
 			fellBack = true
-			finalExit, localDur, err = d.localPath(id, exitStage)
+			finalExit, localDur, err = d.localPath(root.Context(), id, exitStage)
 		}
 	} else {
-		finalExit, localDur, err = d.localPath(id, exitStage)
+		finalExit, localDur, err = d.localPath(root.Context(), id, exitStage)
 	}
+
+	if fellBack {
+		root.SetNote("fallback")
+		d.tel.fallbacks.Inc()
+	}
+	if err != nil {
+		root.SetNote("error: " + err.Error())
+		d.tel.errors.Inc()
+	} else {
+		d.tel.tracer.StartSpan(root.Context(), "exit").
+			SetDevice(d.cfg.ID).SetTask(id).SetExit(finalExit).End()
+		root.SetExit(finalExit)
+		if finalExit >= 1 && finalExit <= 3 {
+			d.tel.completed[finalExit-1].Inc()
+		}
+	}
+	root.End()
 
 	scale := float64(d.cfg.TimeScale)
 	if scale <= 0 {
 		scale = 1
+	}
+	elapsed := time.Since(began).Seconds() / scale
+	if err == nil {
+		d.tel.tct.Observe(elapsed)
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -295,7 +383,6 @@ func (d *deviceRun) runTask(id uint64, slot, exitStage int, offloaded bool) {
 		d.stats.Fallbacks++
 	}
 	if slot >= d.cfg.WarmupSlots {
-		elapsed := time.Since(began).Seconds() / scale
 		local := localDur.Seconds() / scale
 		d.stats.TCT.Add(elapsed)
 		d.stats.LocalStage.Add(local)
@@ -306,22 +393,26 @@ func (d *deviceRun) runTask(id uint64, slot, exitStage int, offloaded bool) {
 // localPath runs block 1 on the device CPU, then continues at the edge if
 // the task survives the First exit. It returns the final exit and the time
 // spent on the device (queueing plus service).
-func (d *deviceRun) localPath(id uint64, exitStage int) (int, time.Duration, error) {
+func (d *deviceRun) localPath(parent telemetry.SpanContext, id uint64, exitStage int) (int, time.Duration, error) {
 	start := time.Now()
-	if err := d.local.Do(d.cfg.Model.Mu[0]); err != nil {
+	wait, service, err := d.local.DoTimed(d.cfg.Model.Mu[0])
+	if err != nil {
 		return 0, 0, err
 	}
+	recordTimedSpans(d.tel.tracer, parent, "device.queue", "device.block1", d.cfg.ID, id, wait, service)
 	localDur := time.Since(start)
 	if exitStage <= 1 {
 		return 1, localDur, nil
 	}
 	payload := make([]byte, int(d.cfg.Model.D[1]))
-	got, err := d.client.Call(SecondBlockReq{
+	span := d.tel.tracer.StartSpan(parent, "rpc.second_block").SetDevice(d.cfg.ID).SetTask(id)
+	got, err := d.client.CallMeta(spanMeta(span), SecondBlockReq{
 		DeviceID:  d.cfg.ID,
 		TaskID:    id,
 		Payload:   payload,
 		ExitStage: exitStage,
 	})
+	span.End()
 	if err != nil {
 		return 0, 0, err
 	}
@@ -333,14 +424,16 @@ func (d *deviceRun) localPath(id uint64, exitStage int) (int, time.Duration, err
 }
 
 // offloadedPath ships the raw input to the edge, which runs everything.
-func (d *deviceRun) offloadedPath(id uint64, exitStage int) (int, error) {
+func (d *deviceRun) offloadedPath(parent telemetry.SpanContext, id uint64, exitStage int) (int, error) {
 	payload := make([]byte, int(d.cfg.Model.D[0]))
-	got, err := d.client.Call(FirstBlockReq{
+	span := d.tel.tracer.StartSpan(parent, "rpc.first_block").SetDevice(d.cfg.ID).SetTask(id)
+	got, err := d.client.CallMeta(spanMeta(span), FirstBlockReq{
 		DeviceID:  d.cfg.ID,
 		TaskID:    id,
 		Payload:   payload,
 		ExitStage: exitStage,
 	})
+	span.End()
 	if err != nil {
 		return 0, err
 	}

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"leime/internal/netem"
 	"leime/internal/offload"
 	"leime/internal/rpc"
+	"leime/internal/telemetry"
 )
 
 // BusyMessage is the error text the edge returns when admission control
@@ -35,6 +37,12 @@ type EdgeConfig struct {
 	CloudLink netem.Link
 	// TimeScale compresses testbed time.
 	TimeScale Scale
+	// Tracer records task-lifecycle spans for requests that arrive with a
+	// trace context; nil disables tracing.
+	Tracer *telemetry.Tracer
+	// Metrics registers the edge's counters, gauges and histograms; nil
+	// disables them (handles degrade to no-ops).
+	Metrics *telemetry.Registry
 }
 
 // Edge serves first- and second-block work with per-device resource shares
@@ -43,11 +51,45 @@ type EdgeConfig struct {
 type Edge struct {
 	cfg EdgeConfig
 	srv *rpc.Server
+	tel edgeTelemetry
 
 	mu      sync.Mutex
 	tenants map[string]*tenant
 
 	cloud *rpc.Client
+}
+
+// edgeTelemetry holds the edge's cached metric handles; all of them are
+// nil (no-op) when EdgeConfig.Metrics is nil.
+type edgeTelemetry struct {
+	tracer     *telemetry.Tracer
+	reqFirst   *telemetry.Counter
+	reqSecond  *telemetry.Counter
+	reqQueue   *telemetry.Counter
+	reqControl *telemetry.Counter
+	busy       *telemetry.Counter
+	tenants    *telemetry.Gauge
+	queueWait  *telemetry.Histogram
+	block1     *telemetry.Histogram
+	block2     *telemetry.Histogram
+	cloudCall  *telemetry.Histogram
+}
+
+func newEdgeTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry) edgeTelemetry {
+	const reqHelp = "Requests served by the edge, by type."
+	return edgeTelemetry{
+		tracer:     tr,
+		reqFirst:   reg.Counter("leime_edge_requests_total", reqHelp, telemetry.Label{Key: "type", Value: "first_block"}),
+		reqSecond:  reg.Counter("leime_edge_requests_total", reqHelp, telemetry.Label{Key: "type", Value: "second_block"}),
+		reqQueue:   reg.Counter("leime_edge_requests_total", reqHelp, telemetry.Label{Key: "type", Value: "queue_stat"}),
+		reqControl: reg.Counter("leime_edge_requests_total", reqHelp, telemetry.Label{Key: "type", Value: "control"}),
+		busy:       reg.Counter("leime_edge_busy_rejections_total", "Offloads rejected by admission control."),
+		tenants:    reg.Gauge("leime_edge_tenants", "Registered devices."),
+		queueWait:  reg.Histogram("leime_edge_queue_wait_seconds", "First/second-block wait before service (wall seconds).", nil),
+		block1:     reg.Histogram("leime_edge_block_seconds", "Block service time (wall seconds).", nil, telemetry.Label{Key: "block", Value: "1"}),
+		block2:     reg.Histogram("leime_edge_block_seconds", "Block service time (wall seconds).", nil, telemetry.Label{Key: "block", Value: "2"}),
+		cloudCall:  reg.Histogram("leime_edge_cloud_call_seconds", "Edge-cloud continuation round trip (wall seconds).", nil),
+	}
 }
 
 // tenant is the edge-side state of one registered device.
@@ -68,7 +110,7 @@ func StartEdge(cfg EdgeConfig) (*Edge, error) {
 		return nil, err
 	}
 	RegisterMessages()
-	e := &Edge{cfg: cfg, tenants: make(map[string]*tenant)}
+	e := &Edge{cfg: cfg, tenants: make(map[string]*tenant), tel: newEdgeTelemetry(cfg.Tracer, cfg.Metrics)}
 	if cfg.CloudAddr != "" {
 		shaper, err := netem.NewShaper(scaleLink(cfg.CloudLink, cfg.TimeScale), 0x0edc)
 		if err != nil {
@@ -80,7 +122,7 @@ func StartEdge(cfg EdgeConfig) (*Edge, error) {
 		}
 		e.cloud = cloud
 	}
-	srv, err := rpc.Serve(cfg.Addr, e.handle)
+	srv, err := rpc.ServeMeta(cfg.Addr, e.handle)
 	if err != nil {
 		if e.cloud != nil {
 			_ = e.cloud.Close()
@@ -109,25 +151,32 @@ func scaleLink(l netem.Link, s Scale) netem.Link {
 // Addr returns the edge's listen address.
 func (e *Edge) Addr() string { return e.srv.Addr() }
 
-func (e *Edge) handle(body any) (any, error) {
+func (e *Edge) handle(meta rpc.Meta, body any) (any, error) {
 	switch req := body.(type) {
 	case RegisterReq:
+		e.tel.reqControl.Inc()
 		return e.register(req)
 	case FirstBlockReq:
-		return e.firstBlock(req)
+		e.tel.reqFirst.Inc()
+		return e.firstBlock(meta, req)
 	case SecondBlockReq:
-		return e.secondBlock(req)
+		e.tel.reqSecond.Inc()
+		return e.secondBlock(meta, req)
 	case QueueStatReq:
+		e.tel.reqQueue.Inc()
 		t, err := e.tenant(req.DeviceID)
 		if err != nil {
 			return nil, err
 		}
 		return QueueStatResp{PendingFirstBlock: int(atomic.LoadInt32(&t.h1))}, nil
 	case UpdateReq:
+		e.tel.reqControl.Inc()
 		return e.update(req)
 	case UnregisterReq:
+		e.tel.reqControl.Inc()
 		return e.unregister(req)
 	case EdgeStatsReq:
+		e.tel.reqControl.Inc()
 		return e.stats(), nil
 	default:
 		return nil, fmt.Errorf("edge: unexpected request %T", body)
@@ -160,6 +209,7 @@ func (e *Edge) unregister(req UnregisterReq) (any, error) {
 	}
 	delete(e.tenants, req.DeviceID)
 	remaining := len(e.tenants)
+	e.tel.tenants.Set(float64(remaining))
 	ids := make([]string, 0, remaining)
 	devs := make([]offload.Device, 0, remaining)
 	for id, tn := range e.tenants {
@@ -234,6 +284,7 @@ func (e *Edge) register(req RegisterReq) (any, error) {
 		}
 		t = &tenant{exec: exec}
 		e.tenants[req.DeviceID] = t
+		e.tel.tenants.Set(float64(len(e.tenants)))
 	}
 	t.dev = dev
 	t.model = model
@@ -283,44 +334,59 @@ func (e *Edge) tenantSnapshot(id string) (*tenant, offload.ModelParams, error) {
 
 // firstBlock runs block 1 (and onward) for an offloaded raw task, applying
 // admission control on the tenant's backlog.
-func (e *Edge) firstBlock(req FirstBlockReq) (any, error) {
+func (e *Edge) firstBlock(meta rpc.Meta, req FirstBlockReq) (any, error) {
 	t, model, err := e.tenantSnapshot(req.DeviceID)
 	if err != nil {
 		return nil, err
 	}
 	if limit := e.cfg.MaxPendingPerTenant; limit > 0 && int(atomic.LoadInt32(&t.h1)) >= limit {
+		e.tel.busy.Inc()
 		return nil, fmt.Errorf("%s (device %q, limit %d)", BusyMessage, req.DeviceID, limit)
 	}
 	atomic.AddInt32(&t.h1, 1)
-	err = t.exec.Do(model.Mu[0])
+	wait, service, err := t.exec.DoTimed(model.Mu[0])
 	atomic.AddInt32(&t.h1, -1)
 	if err != nil {
 		return nil, err
 	}
+	e.tel.queueWait.Observe(wait.Seconds())
+	e.tel.block1.Observe(service.Seconds())
+	recordTimedSpans(e.tel.tracer, metaContext(meta), "edge.queue", "edge.block1", req.DeviceID, req.TaskID, wait, service)
 	if req.ExitStage <= 1 {
 		return TaskResp{TaskID: req.TaskID, ExitStage: 1}, nil
 	}
-	return e.continueSecond(t, model, req.TaskID, req.ExitStage)
+	return e.continueSecond(meta, t, model, req.DeviceID, req.TaskID, req.ExitStage)
 }
 
 // secondBlock runs block 2 for a task whose first block ran on the device.
-func (e *Edge) secondBlock(req SecondBlockReq) (any, error) {
+func (e *Edge) secondBlock(meta rpc.Meta, req SecondBlockReq) (any, error) {
 	t, model, err := e.tenantSnapshot(req.DeviceID)
 	if err != nil {
 		return nil, err
 	}
-	return e.continueSecond(t, model, req.TaskID, req.ExitStage)
+	return e.continueSecond(meta, t, model, req.DeviceID, req.TaskID, req.ExitStage)
 }
 
-func (e *Edge) continueSecond(t *tenant, model offload.ModelParams, taskID uint64, exitStage int) (any, error) {
-	if err := t.exec.Do(model.Mu[1]); err != nil {
+func (e *Edge) continueSecond(meta rpc.Meta, t *tenant, model offload.ModelParams, deviceID string, taskID uint64, exitStage int) (any, error) {
+	wait, service, err := t.exec.DoTimed(model.Mu[1])
+	if err != nil {
 		return nil, err
 	}
+	e.tel.queueWait.Observe(wait.Seconds())
+	e.tel.block2.Observe(service.Seconds())
+	recordTimedSpans(e.tel.tracer, metaContext(meta), "edge.queue", "edge.block2", deviceID, taskID, wait, service)
 	if exitStage <= 2 || e.cloud == nil {
 		return TaskResp{TaskID: taskID, ExitStage: 2}, nil
 	}
 	payload := make([]byte, int(model.D[2]))
-	got, err := e.cloud.Call(ThirdBlockReq{TaskID: taskID, Payload: payload, FLOPs: model.Mu[2]})
+	var cloudSpan *telemetry.Active
+	if ctx := metaContext(meta); ctx.Valid() {
+		cloudSpan = e.tel.tracer.StartSpan(ctx, "rpc.cloud").SetDevice(deviceID).SetTask(taskID)
+	}
+	start := time.Now()
+	got, err := e.cloud.CallMeta(spanMeta(cloudSpan), ThirdBlockReq{TaskID: taskID, Payload: payload, FLOPs: model.Mu[2]})
+	e.tel.cloudCall.Observe(time.Since(start).Seconds())
+	cloudSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("edge: cloud continuation: %w", err)
 	}

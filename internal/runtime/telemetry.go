@@ -1,0 +1,46 @@
+package runtime
+
+import (
+	"time"
+
+	"leime/internal/rpc"
+	"leime/internal/telemetry"
+)
+
+// spanMeta converts an active span into the rpc envelope metadata that
+// carries its context to the next tier. A nil span (tracing disabled)
+// yields the zero, untraced Meta.
+func spanMeta(a *telemetry.Active) rpc.Meta {
+	c := a.Context()
+	return rpc.Meta{TraceID: c.Trace, SpanID: c.Span}
+}
+
+// metaContext converts incoming rpc metadata into a span context.
+func metaContext(m rpc.Meta) telemetry.SpanContext {
+	return telemetry.SpanContext{Trace: m.TraceID, Span: m.SpanID}
+}
+
+// recordTimedSpans retroactively records a queue-wait span and a compute
+// span under parent from executor timings: Executor.DoTimed reports (wait,
+// service) and both spans end "now" on the tracer clock. Emitting after the
+// fact keeps the executor hot path free of telemetry plumbing. Times are
+// wall-clock seconds on the tracer clock (compressed by the run's
+// TimeScale, like every testbed duration).
+func recordTimedSpans(tr *telemetry.Tracer, parent telemetry.SpanContext, queueName, computeName, device string, task uint64, wait, service time.Duration) {
+	if tr == nil || !parent.Valid() {
+		return
+	}
+	end := tr.Now()
+	serviceStart := end - service.Seconds()
+	queueStart := serviceStart - wait.Seconds()
+	tr.Record(telemetry.Span{
+		Trace: parent.Trace, Span: tr.NewID(), Parent: parent.Span,
+		Name: queueName, Device: device, Task: task,
+		Start: queueStart, End: serviceStart,
+	})
+	tr.Record(telemetry.Span{
+		Trace: parent.Trace, Span: tr.NewID(), Parent: parent.Span,
+		Name: computeName, Device: device, Task: task,
+		Start: serviceStart, End: end,
+	})
+}

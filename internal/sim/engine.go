@@ -140,10 +140,22 @@ func (s *Station) Utilization(horizon float64) float64 {
 // is appended after service without occupying the server (propagation
 // latency on links).
 func (s *Station) Submit(e *Engine, dur, extraDelay float64, done func(finish float64)) {
+	s.SubmitObserved(e, dur, extraDelay, func(_, _, finish float64) {
+		if done != nil {
+			done(finish)
+		}
+	})
+}
+
+// SubmitObserved is Submit, additionally reporting when the job was enqueued
+// and when service began — the queue-wait/service split that telemetry spans
+// attribute latency with. finish includes extraDelay.
+func (s *Station) SubmitObserved(e *Engine, dur, extraDelay float64, done func(enqueued, started, finish float64)) {
 	if dur < 0 {
 		dur = 0
 	}
-	start := e.Now()
+	enq := e.Now()
+	start := enq
 	if s.busyUntil > start {
 		start = s.busyUntil
 	}
@@ -155,7 +167,7 @@ func (s *Station) Submit(e *Engine, dur, extraDelay float64, done func(finish fl
 		s.inFlight--
 		s.served++
 		if done != nil {
-			done(finish + extraDelay)
+			done(enq, start, finish+extraDelay)
 		}
 	})
 }

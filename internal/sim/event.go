@@ -7,6 +7,7 @@ import (
 	"leime/internal/cluster"
 	"leime/internal/metrics"
 	"leime/internal/offload"
+	"leime/internal/telemetry"
 	"leime/internal/trace"
 )
 
@@ -38,6 +39,11 @@ type EventConfig struct {
 	DeadlineSec float64
 	// Seed drives arrival sampling, exit sampling and offload coin flips.
 	Seed int64
+	// Tracer, when non-nil, records one trace per task with the same span
+	// taxonomy the testbed emits (task, device.decision, rpc.*, *.queue,
+	// *.block*, exit). Sim spans are stamped in model seconds on the
+	// engine clock rather than wall time.
+	Tracer *telemetry.Tracer
 }
 
 // EventResult is the outcome of an EventSim run.
@@ -233,7 +239,17 @@ func (s *eventState) generate(i, t int, at float64, x float64) {
 	exit := s.sampleExit()
 	offloaded := s.rng.Float64() < x
 	task := &simTask{dev: i, slot: t, born: at, exit: exit}
+	if tr := s.cfg.Tracer; tr != nil {
+		task.id = uint64(s.res.Generated)
+		task.trace = tr.NewID()
+		task.root = tr.NewID()
+	}
 	s.eng.At(at, func() {
+		note := "local"
+		if offloaded {
+			note = "offload"
+		}
+		s.span(task, task.root, "device.decision", note, at, at)
 		if offloaded {
 			s.launchEdge(task)
 		} else {
@@ -247,19 +263,77 @@ type simTask struct {
 	slot int
 	born float64
 	exit int
+	// id/trace/root are the task's span identity; zero when tracing is off.
+	id    uint64
+	trace uint64
+	root  uint64
+}
+
+// span records one finished span on the trace clock (model seconds); no-op
+// without a tracer.
+func (s *eventState) span(task *simTask, parent uint64, name, note string, start, end float64) {
+	tr := s.cfg.Tracer
+	if tr == nil || task.trace == 0 {
+		return
+	}
+	tr.Record(telemetry.Span{
+		Trace: task.trace, Span: tr.NewID(), Parent: parent,
+		Name: name, Device: fmt.Sprintf("dev%d", task.dev), Task: task.id,
+		Note: note, Start: start, End: end,
+	})
+}
+
+// openSpan is a span whose end is not yet known — an RPC hop whose subtree
+// is still executing. Children parent to its pre-allocated ID; close records
+// it once the subtree finishes.
+type openSpan struct {
+	id     uint64
+	parent uint64
+	name   string
+	start  float64
+}
+
+// ID returns the span's pre-allocated identifier; zero on nil (tracing off).
+func (o *openSpan) ID() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.id
+}
+
+func (s *eventState) open(task *simTask, parent uint64, name string) *openSpan {
+	tr := s.cfg.Tracer
+	if tr == nil || task.trace == 0 {
+		return nil
+	}
+	return &openSpan{id: tr.NewID(), parent: parent, name: name, start: s.eng.Now()}
+}
+
+func (s *eventState) close(task *simTask, o *openSpan, end float64) {
+	if o == nil {
+		return
+	}
+	tr := s.cfg.Tracer
+	tr.Record(telemetry.Span{
+		Trace: task.trace, Span: o.id, Parent: o.parent,
+		Name: o.name, Device: fmt.Sprintf("dev%d", task.dev), Task: task.id,
+		Start: o.start, End: end,
+	})
 }
 
 // launchLocal runs the first block on the device CPU.
 func (s *eventState) launchLocal(task *simTask) {
 	i := task.dev
 	dur := s.cfg.Model.Mu[0] / s.devices[i].FLOPS
-	s.devCPU[i].Submit(&s.eng, dur, 0, func(fin float64) {
+	s.devCPU[i].SubmitObserved(&s.eng, dur, 0, func(enq, start, fin float64) {
+		s.span(task, task.root, "device.queue", "", enq, start)
+		s.span(task, task.root, "device.block1", "", start, fin)
 		if task.exit == 1 {
 			s.complete(task, fin)
 			return
 		}
 		// Ship the First-exit intermediate tensor to the edge.
-		s.transferToEdge(task, s.cfg.Model.D[1], s.secondBlock)
+		s.transferToEdge(task, s.cfg.Model.D[1], "rpc.second_block", s.secondBlock)
 	})
 }
 
@@ -268,43 +342,58 @@ func (s *eventState) launchLocal(task *simTask) {
 func (s *eventState) launchEdge(task *simTask) {
 	i := task.dev
 	s.h1[i]++
-	s.transferToEdge(task, s.cfg.Model.D[0], func(task *simTask) {
+	s.transferToEdge(task, s.cfg.Model.D[0], "rpc.first_block", func(task *simTask, rpc *openSpan) {
 		dur := s.cfg.Model.Mu[0] / (s.shares[i] * s.cfg.EdgeFLOPS)
-		s.edgeCPU[i].Submit(&s.eng, dur, 0, func(fin float64) {
+		s.edgeCPU[i].SubmitObserved(&s.eng, dur, 0, func(enq, start, fin float64) {
 			s.h1[i]--
+			s.span(task, rpc.ID(), "edge.queue", "", enq, start)
+			s.span(task, rpc.ID(), "edge.block1", "", start, fin)
 			if task.exit == 1 {
+				s.close(task, rpc, fin)
 				s.complete(task, fin)
 				return
 			}
-			s.secondBlock(task)
+			s.secondBlock(task, rpc)
 		})
 	})
 }
 
 // transferToEdge serializes bytes on the device's uplink, then hands the
-// task to next after the propagation delay.
-func (s *eventState) transferToEdge(task *simTask, bytes float64, next func(*simTask)) {
+// task to next after the propagation delay. The named RPC span opens at
+// submission and stays open across the remote subtree — next receives it and
+// must close it at the subtree's finish time, mirroring how a testbed RPC
+// span covers the full round trip.
+func (s *eventState) transferToEdge(task *simTask, bytes float64, rpcName string, next func(*simTask, *openSpan)) {
 	i := task.dev
+	rpc := s.open(task, task.root, rpcName)
 	dur := bytes * 8 / s.devices[i].BandwidthBps
 	s.uplink[i].Submit(&s.eng, dur, s.devices[i].LatencySec, func(float64) {
-		next(task)
+		next(task, rpc)
 	})
 }
 
 // secondBlock runs block 2 on the device's edge share; tasks surviving the
-// Second exit continue to the cloud.
-func (s *eventState) secondBlock(task *simTask) {
+// Second exit continue to the cloud. rpc is the enclosing hop's open span.
+func (s *eventState) secondBlock(task *simTask, rpc *openSpan) {
 	i := task.dev
 	dur := s.cfg.Model.Mu[1] / (s.shares[i] * s.cfg.EdgeFLOPS)
-	s.edgeCPU[i].Submit(&s.eng, dur, 0, func(fin float64) {
+	s.edgeCPU[i].SubmitObserved(&s.eng, dur, 0, func(enq, start, fin float64) {
+		s.span(task, rpc.ID(), "edge.queue", "", enq, start)
+		s.span(task, rpc.ID(), "edge.block2", "", start, fin)
 		if task.exit == 2 {
+			s.close(task, rpc, fin)
 			s.complete(task, fin)
 			return
 		}
+		cloudRPC := s.open(task, rpc.ID(), "rpc.cloud")
 		linkDur := s.cfg.Model.D[2] * 8 / s.cfg.EdgeCloud.BandwidthBps
 		s.cloudLink.Submit(&s.eng, linkDur, s.cfg.EdgeCloud.LatencySec, func(float64) {
 			cloudDur := s.cfg.Model.Mu[2] / s.cfg.CloudFLOPS
-			s.cloudCPU.Submit(&s.eng, cloudDur, 0, func(fin float64) {
+			s.cloudCPU.SubmitObserved(&s.eng, cloudDur, 0, func(enq, start, fin float64) {
+				s.span(task, cloudRPC.ID(), "cloud.queue", "", enq, start)
+				s.span(task, cloudRPC.ID(), "cloud.block3", "", start, fin)
+				s.close(task, cloudRPC, fin)
+				s.close(task, rpc, fin)
 				s.complete(task, fin)
 			})
 		})
@@ -313,6 +402,19 @@ func (s *eventState) secondBlock(task *simTask) {
 
 // complete records a finished task.
 func (s *eventState) complete(task *simTask, at float64) {
+	if tr := s.cfg.Tracer; tr != nil && task.trace != 0 {
+		dev := fmt.Sprintf("dev%d", task.dev)
+		tr.Record(telemetry.Span{
+			Trace: task.trace, Span: tr.NewID(), Parent: task.root,
+			Name: "exit", Device: dev, Task: task.id, Exit: task.exit,
+			Start: at, End: at,
+		})
+		tr.Record(telemetry.Span{
+			Trace: task.trace, Span: task.root,
+			Name: "task", Device: dev, Task: task.id, Exit: task.exit,
+			Start: task.born, End: at,
+		})
+	}
 	s.res.Completed++
 	s.res.ExitCounts[task.exit-1]++
 	tct := at - task.born

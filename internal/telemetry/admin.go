@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Admin is the daemon-embedded observability endpoint: /metrics serves the
+// registry in Prometheus text format, /healthz answers liveness probes, and
+// /debug/traces dumps the tracer's recorded spans as JSON Lines.
+type Admin struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeAdmin starts the admin HTTP server on addr ("127.0.0.1:0" for an
+// ephemeral port). reg and tr may be nil: the endpoints then serve empty
+// documents, which keeps probes working on uninstrumented daemons.
+func ServeAdmin(addr string, reg *Registry, tr *Tracer) (*Admin, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: admin listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = tr.WriteJSONL(w)
+	})
+	a := &Admin{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = a.srv.Serve(ln) }()
+	return a, nil
+}
+
+// Addr returns the listening address.
+func (a *Admin) Addr() string { return a.ln.Addr().String() }
+
+// Close stops the admin server. Safe on a nil receiver so daemons can
+// unconditionally defer it.
+func (a *Admin) Close() error {
+	if a == nil {
+		return nil
+	}
+	return a.srv.Close()
+}

@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func adminGet(t *testing.T, addr, path string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("leime_tasks_total", "Tasks.").Add(3)
+	tr := NewTracer(8)
+	tr.Record(Span{Trace: 1, Span: 2, Name: "task", Start: 0, End: 1})
+
+	a, err := ServeAdmin("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatalf("ServeAdmin: %v", err)
+	}
+	defer a.Close()
+
+	code, body, ctype := adminGet(t, a.Addr(), "/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/healthz content type %q", ctype)
+	}
+
+	code, body, ctype = adminGet(t, a.Addr(), "/metrics")
+	if code != http.StatusOK {
+		t.Errorf("/metrics = %d", code)
+	}
+	if !strings.Contains(ctype, "version=0.0.4") {
+		t.Errorf("/metrics content type %q", ctype)
+	}
+	validatePrometheus(t, body)
+	if !strings.Contains(body, "leime_tasks_total 3") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	code, body, ctype = adminGet(t, a.Addr(), "/debug/traces")
+	if code != http.StatusOK {
+		t.Errorf("/debug/traces = %d", code)
+	}
+	if ctype != "application/x-ndjson" {
+		t.Errorf("/debug/traces content type %q", ctype)
+	}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	n := 0
+	for sc.Scan() {
+		var s Span
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("bad trace line %q: %v", sc.Text(), err)
+		}
+		n++
+	}
+	if n != 1 {
+		t.Errorf("got %d trace lines, want 1", n)
+	}
+}
+
+func TestAdminNilBackends(t *testing.T) {
+	a, err := ServeAdmin("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatalf("ServeAdmin: %v", err)
+	}
+	defer a.Close()
+	if code, _, _ := adminGet(t, a.Addr(), "/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz = %d", code)
+	}
+	if code, body, _ := adminGet(t, a.Addr(), "/metrics"); code != http.StatusOK || body != "" {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	if code, body, _ := adminGet(t, a.Addr(), "/debug/traces"); code != http.StatusOK || body != "" {
+		t.Errorf("/debug/traces = %d %q", code, body)
+	}
+	// Close is nil-safe so daemons can defer unconditionally.
+	var nilAdmin *Admin
+	if err := nilAdmin.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}
