@@ -1,0 +1,32 @@
+// Command ctxcheck enforces the repo's context-first convention: any
+// function taking a context.Context must take it as the first parameter.
+// It exits non-zero and prints one line per violation otherwise.
+//
+// Usage: ctxcheck [dir]   (default ".")
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"leime/internal/lint"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	violations, err := lint.CtxFirstDir(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctxcheck:", err)
+		os.Exit(2)
+	}
+	for _, v := range violations {
+		fmt.Println(v)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "ctxcheck: %d violation(s)\n", len(violations))
+		os.Exit(1)
+	}
+}

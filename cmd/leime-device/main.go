@@ -15,6 +15,7 @@ import (
 	"leime"
 	"leime/internal/netem"
 	"leime/internal/offload"
+	"leime/internal/rpc"
 	"leime/internal/runtime"
 	"leime/internal/telemetry"
 )
@@ -52,6 +53,12 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		scale    = fs.Float64("scale", 1, "time compression factor (1 = real time)")
 		seed     = fs.Int64("seed", 1, "randomness seed")
 		admin    = fs.String("admin", "", "admin HTTP address serving /metrics, /healthz and /debug/traces (empty = telemetry off)")
+
+		deadline   = fs.Float64("deadline", 0, "per-task completion budget in model seconds; RPCs carry it so remote tiers shed late work (0 = no deadlines)")
+		retries    = fs.Int("retries", 0, "max attempts for idempotent control requests, first try included (0 = library default)")
+		retryBase  = fs.Duration("retry-base", 0, "base backoff before the first retry (0 = library default)")
+		breakAfter = fs.Int("break-after", 0, "consecutive transport failures that open the edge circuit breaker (0 = library default)")
+		breakCool  = fs.Duration("break-cooldown", 0, "how long the breaker stays open before probing the edge again (0 = library default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,17 +116,20 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 			BandwidthBps: leime.Mbps(*bw),
 			Latency:      time.Duration(*lat * float64(time.Second)),
 		},
-		ArrivalMean: *rate,
-		Policy:      &pol,
-		TauSec:      1,
-		V:           1e4,
-		Slots:       *slots,
-		WarmupSlots: *slots / 10,
-		TimeScale:   runtime.Scale(*scale),
-		Seed:        *seed,
-		Tracer:      tracer,
-		Metrics:     reg,
-		Stop:        stop,
+		ArrivalMean:     *rate,
+		Policy:          &pol,
+		TauSec:          1,
+		V:               1e4,
+		Slots:           *slots,
+		WarmupSlots:     *slots / 10,
+		TimeScale:       runtime.Scale(*scale),
+		TaskDeadlineSec: *deadline,
+		Retry:           rpc.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryBase},
+		Breaker:         rpc.BreakerConfig{FailureThreshold: *breakAfter, Cooldown: *breakCool},
+		Seed:            *seed,
+		Tracer:          tracer,
+		Metrics:         reg,
+		Stop:            stop,
 	})
 	if err != nil {
 		return err
@@ -130,5 +140,7 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	fmt.Fprintf(out, "TCT: mean=%.4fs p50=%.4fs p99=%.4fs max=%.4fs (model seconds)\n",
 		stats.TCT.Mean(), stats.TCT.Percentile(50), stats.TCT.Percentile(99), stats.TCT.Max())
 	fmt.Fprintf(out, "mean offloading ratio: %.3f\n", stats.Ratio.Mean())
+	fmt.Fprintf(out, "faults: degraded=%d fallbacks=%d deadline-misses=%d retries=%d breaker-opens=%d\n",
+		stats.Degraded, stats.Fallbacks, stats.DeadlineMisses, stats.Retries, stats.BreakerOpens)
 	return nil
 }

@@ -14,6 +14,7 @@ import (
 
 	"leime"
 	"leime/internal/netem"
+	"leime/internal/rpc"
 	"leime/internal/runtime"
 	"leime/internal/telemetry"
 )
@@ -45,6 +46,11 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		cloudLat  = fs.Float64("cloud-latency", 0.03, "edge-cloud latency in seconds")
 		scale     = fs.Float64("scale", 1, "time compression factor (1 = real time)")
 		admin     = fs.String("admin", "", "admin HTTP address serving /metrics, /healthz and /debug/traces (empty = telemetry off)")
+
+		retries    = fs.Int("cloud-retries", 0, "max attempts for idempotent cloud requests, first try included (0 = library default)")
+		retryBase  = fs.Duration("cloud-retry-base", 0, "base backoff before the first cloud retry (0 = library default)")
+		breakAfter = fs.Int("cloud-break-after", 0, "consecutive transport failures that open the cloud circuit breaker (0 = library default)")
+		breakCool  = fs.Duration("cloud-break-cooldown", 0, "how long the cloud breaker stays open before probing again (0 = library default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,9 +76,11 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 			BandwidthBps: leime.Mbps(*cloudBW),
 			Latency:      time.Duration(*cloudLat * float64(time.Second)),
 		},
-		TimeScale: runtime.Scale(*scale),
-		Tracer:    tracer,
-		Metrics:   reg,
+		TimeScale:    runtime.Scale(*scale),
+		CloudRetry:   rpc.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryBase},
+		CloudBreaker: rpc.BreakerConfig{FailureThreshold: *breakAfter, Cooldown: *breakCool},
+		Tracer:       tracer,
+		Metrics:      reg,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,161 @@
+// Package lint holds the repo's own static checks. The one check so far,
+// CtxFirst, enforces the context-aware API convention introduced with the
+// fault-tolerant runtime: any function that accepts a context.Context must
+// take it as its first parameter, so deadlines and cancellation visibly
+// enter every call chain at the front.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Violation is one function whose context.Context parameter is not first.
+type Violation struct {
+	// Pos is the "file:line:col" location of the offending declaration.
+	Pos string
+	// Func names the function or method.
+	Func string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s: context.Context must be the first parameter", v.Pos, v.Func)
+}
+
+// CtxFirstDir parses every .go file under root (skipping testdata and
+// hidden directories) and returns the functions that accept a
+// context.Context anywhere but first, sorted by position.
+func CtxFirstDir(root string) ([]Violation, error) {
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var out []Violation
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ctxFirstFile(fset, f)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// ctxFirstFile checks one parsed file. Both declared functions and function
+// literals are held to the convention.
+func ctxFirstFile(fset *token.FileSet, f *ast.File) []Violation {
+	ctxName := contextImportName(f)
+	if ctxName == "" {
+		return nil // file cannot name context.Context
+	}
+	var out []Violation
+	ast.Inspect(f, func(n ast.Node) bool {
+		var typ *ast.FuncType
+		name := "func literal"
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			typ = fn.Type
+			name = fn.Name.Name
+			if fn.Recv != nil && len(fn.Recv.List) == 1 {
+				name = recvTypeName(fn.Recv.List[0].Type) + "." + name
+			}
+		case *ast.FuncLit:
+			typ = fn.Type
+		default:
+			return true
+		}
+		if pos, bad := ctxNotFirst(typ, ctxName); bad {
+			out = append(out, Violation{Pos: fset.Position(pos).String(), Func: name})
+		}
+		return true
+	})
+	return out
+}
+
+// ctxNotFirst reports whether the function type takes a context.Context in
+// any position after the first parameter name.
+func ctxNotFirst(typ *ast.FuncType, ctxName string) (token.Pos, bool) {
+	if typ.Params == nil {
+		return token.NoPos, false
+	}
+	seen := 0 // parameter names (not fields) seen so far
+	for _, field := range typ.Params.List {
+		names := len(field.Names)
+		if names == 0 {
+			names = 1 // unnamed parameter still occupies a position
+		}
+		if isCtxType(field.Type, ctxName) && seen > 0 {
+			return field.Pos(), true
+		}
+		seen += names
+	}
+	return token.NoPos, false
+}
+
+func isCtxType(expr ast.Expr, ctxName string) bool {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == ctxName
+}
+
+// contextImportName returns the local name under which the file imports the
+// standard context package, or "" when it does not.
+func contextImportName(f *ast.File) string {
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || path != "context" {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		return "context"
+	}
+	return ""
+}
+
+func recvTypeName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	default:
+		return "?"
+	}
+}

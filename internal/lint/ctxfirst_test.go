@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func checkSrc(t *testing.T, src string) []Violation {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return ctxFirstFile(fset, f)
+}
+
+func TestCtxFirstAccepts(t *testing.T) {
+	good := []string{
+		`package p
+import "context"
+func ok(ctx context.Context, n int) {}`,
+		`package p
+import "context"
+func okOnly(ctx context.Context) {}`,
+		`package p
+import "context"
+type T struct{}
+func (t *T) Handle(ctx context.Context, body any) error { return nil }`,
+		`package p
+func noCtx(a, b int) {}`,
+		`package p
+import stdctx "context"
+func aliased(c stdctx.Context, n int) {}`,
+		`package p
+import "context"
+var f = func(ctx context.Context, n int) {}`,
+		// A type named context.Context from another package is not ours.
+		`package p
+import "other/context2"
+func other(n int, c context2.Context) {}`,
+	}
+	for i, src := range good {
+		if got := checkSrc(t, src); len(got) != 0 {
+			t.Errorf("case %d flagged: %v", i, got)
+		}
+	}
+}
+
+func TestCtxFirstFlags(t *testing.T) {
+	bad := []string{
+		`package p
+import "context"
+func bad(n int, ctx context.Context) {}`,
+		`package p
+import "context"
+type T struct{}
+func (t T) Bad(name string, ctx context.Context) {}`,
+		`package p
+import stdctx "context"
+func aliased(n int, c stdctx.Context) {}`,
+		`package p
+import "context"
+var f = func(n int, ctx context.Context) {}`,
+		`package p
+import "context"
+func multi(a, b int, ctx context.Context, s string) {}`,
+	}
+	for i, src := range bad {
+		if got := checkSrc(t, src); len(got) != 1 {
+			t.Errorf("case %d: got %d violations, want 1: %v", i, len(got), got)
+		}
+	}
+}
+
+func TestCtxFirstViolationString(t *testing.T) {
+	got := checkSrc(t, `package p
+import "context"
+type S struct{}
+func (s *S) Late(n int, ctx context.Context) {}`)
+	if len(got) != 1 {
+		t.Fatalf("violations = %v", got)
+	}
+	if want := "S.Late"; got[0].Func != want {
+		t.Errorf("Func = %q, want %q", got[0].Func, want)
+	}
+	if !strings.Contains(got[0].String(), "first parameter") {
+		t.Errorf("String() = %q", got[0].String())
+	}
+}
+
+func TestCtxFirstDir(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a.go", "package p\nimport \"context\"\nfunc bad(n int, ctx context.Context) {}\n")
+	write("sub/b.go", "package q\nimport \"context\"\nfunc ok(ctx context.Context) {}\n")
+	write("testdata/skip.go", "package r\nimport \"context\"\nfunc skipped(n int, ctx context.Context) {}\n")
+	got, err := CtxFirstDir(dir)
+	if err != nil {
+		t.Fatalf("CtxFirstDir: %v", err)
+	}
+	if len(got) != 1 || got[0].Func != "bad" {
+		t.Errorf("violations = %v, want exactly the one in a.go", got)
+	}
+}
+
+// TestRepoFollowsConvention is the self-check that gates CI: the repo's own
+// source must satisfy the context-first convention.
+func TestRepoFollowsConvention(t *testing.T) {
+	got, err := CtxFirstDir("../..")
+	if err != nil {
+		t.Fatalf("CtxFirstDir: %v", err)
+	}
+	for _, v := range got {
+		t.Errorf("%s", v)
+	}
+}

@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"errors"
 	"net"
 	"sync"
 	"testing"
@@ -173,4 +174,123 @@ func TestSetLinkConcurrentWithAcquire(t *testing.T) {
 		_ = s.SetLink(Link{BandwidthBps: 1e9, Latency: time.Duration(i+1) * time.Microsecond})
 	}
 	<-done
+}
+
+func TestFaultValidate(t *testing.T) {
+	if err := (Fault{}).Validate(); err != nil {
+		t.Errorf("zero fault rejected: %v", err)
+	}
+	if err := (Fault{LossProb: 1.5}).Validate(); err == nil {
+		t.Error("loss probability above 1 accepted")
+	}
+	if err := (Fault{LossProb: -0.1}).Validate(); err == nil {
+		t.Error("negative loss probability accepted")
+	}
+	if err := (Fault{SpikeLatency: -time.Second}).Validate(); err == nil {
+		t.Error("negative spike latency accepted")
+	}
+}
+
+func TestBlackoutResetsConnection(t *testing.T) {
+	s, err := NewShaper(Link{}, 1)
+	if err != nil {
+		t.Fatalf("NewShaper: %v", err)
+	}
+	a, b := net.Pipe()
+	defer b.Close()
+	shaped := s.Conn(a)
+	go func() {
+		buf := make([]byte, 16)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	if _, err := shaped.Write([]byte("ok")); err != nil {
+		t.Fatalf("healthy write: %v", err)
+	}
+	if err := s.SetFault(Fault{Blackout: true}); err != nil {
+		t.Fatalf("SetFault: %v", err)
+	}
+	if _, err := shaped.Write([]byte("lost")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("blackout write = %v, want ErrInjected", err)
+	}
+	// The reset kills the underlying connection in both directions.
+	if _, err := a.Write([]byte("dead")); err == nil {
+		t.Error("underlying connection survived the blackout reset")
+	}
+	// Clearing the fault restores future flows (on new connections).
+	if err := s.SetFault(Fault{}); err != nil {
+		t.Fatalf("clear fault: %v", err)
+	}
+	if got := s.Fault(); got != (Fault{}) {
+		t.Errorf("Fault() = %+v after clear", got)
+	}
+}
+
+func TestLossProbabilityResetsEventually(t *testing.T) {
+	s, err := NewShaper(Link{}, 7)
+	if err != nil {
+		t.Fatalf("NewShaper: %v", err)
+	}
+	if err := s.SetFault(Fault{LossProb: 0.5}); err != nil {
+		t.Fatalf("SetFault: %v", err)
+	}
+	// With p=0.5 the chance of 64 straight deliveries is ~5e-20.
+	sawLoss := false
+	for i := 0; i < 64 && !sawLoss; i++ {
+		a, b := net.Pipe()
+		go func() {
+			buf := make([]byte, 16)
+			for {
+				if _, err := b.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+		shaped := s.Conn(a)
+		if _, err := shaped.Write([]byte("x")); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("loss produced %v, want ErrInjected", err)
+			}
+			sawLoss = true
+		}
+		a.Close()
+		b.Close()
+	}
+	if !sawLoss {
+		t.Error("no loss observed in 64 sends at p=0.5")
+	}
+}
+
+func TestSpikeLatencyDelaysDelivery(t *testing.T) {
+	s, err := NewShaper(Link{}, 1)
+	if err != nil {
+		t.Fatalf("NewShaper: %v", err)
+	}
+	base := s.Acquire(10)
+	if err := s.SetFault(Fault{SpikeLatency: 50 * time.Millisecond}); err != nil {
+		t.Fatalf("SetFault: %v", err)
+	}
+	spiked := s.Acquire(10)
+	if spiked-base < 40*time.Millisecond {
+		t.Errorf("spike not applied: base %v, spiked %v", base, spiked)
+	}
+	if err := s.SetFault(Fault{}); err != nil {
+		t.Fatalf("clear: %v", err)
+	}
+	if again := s.Acquire(10); again > 20*time.Millisecond {
+		t.Errorf("spike persisted after clear: %v", again)
+	}
+}
+
+func TestSetFaultRejectsInvalid(t *testing.T) {
+	s, err := NewShaper(Link{}, 1)
+	if err != nil {
+		t.Fatalf("NewShaper: %v", err)
+	}
+	if err := s.SetFault(Fault{LossProb: 2}); err == nil {
+		t.Error("invalid fault accepted")
+	}
 }

@@ -1,13 +1,14 @@
 package rpc
 
 import (
+	"context"
 	"sync"
 	"testing"
 )
 
 func benchServer(b *testing.B) *Server {
 	b.Helper()
-	s, err := Serve("127.0.0.1:0", func(body any) (any, error) {
+	s, err := Serve("127.0.0.1:0", func(_ context.Context, body any) (any, error) {
 		req := body.(echoReq)
 		return echoResp{Text: req.Text, N: req.N}, nil
 	})
@@ -29,7 +30,7 @@ func BenchmarkCallRoundTrip(b *testing.B) {
 	req := echoReq{Text: "payload", N: 7}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Call(req); err != nil {
+		if _, err := c.Call(context.Background(), req); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -53,7 +54,7 @@ func BenchmarkCallConcurrent(b *testing.B) {
 			defer wg.Done()
 			req := echoReq{Text: "payload"}
 			for i := 0; i < per; i++ {
-				if _, err := c.Call(req); err != nil {
+				if _, err := c.Call(context.Background(), req); err != nil {
 					b.Error(err)
 					return
 				}
@@ -76,7 +77,7 @@ func BenchmarkLargePayload(b *testing.B) {
 	b.SetBytes(64 << 10)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Call(req); err != nil {
+		if _, err := c.Call(context.Background(), req); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"encoding/binary"
 	"net"
 	"testing"
@@ -13,7 +14,7 @@ func init() { Register(panicReq{}) }
 
 func startHardenedServer(t *testing.T) *Server {
 	t.Helper()
-	s, err := Serve("127.0.0.1:0", func(body any) (any, error) {
+	s, err := Serve("127.0.0.1:0", func(_ context.Context, body any) (any, error) {
 		switch req := body.(type) {
 		case panicReq:
 			panic(req.Msg)
@@ -37,11 +38,11 @@ func TestHandlerPanicBecomesError(t *testing.T) {
 		t.Fatalf("Dial: %v", err)
 	}
 	defer c.Close()
-	if _, err := c.Call(panicReq{Msg: "boom"}); err == nil {
+	if _, err := c.Call(context.Background(), panicReq{Msg: "boom"}); err == nil {
 		t.Fatal("panic not surfaced as error")
 	}
 	// The server (and the same connection) must still work afterwards.
-	got, err := c.Call(echoReq{Text: "still alive", N: 1})
+	got, err := c.Call(context.Background(), echoReq{Text: "still alive", N: 1})
 	if err != nil {
 		t.Fatalf("call after panic: %v", err)
 	}
@@ -81,7 +82,7 @@ func TestCorruptFrameClosesOnlyThatConnection(t *testing.T) {
 		t.Fatalf("Dial: %v", err)
 	}
 	defer c.Close()
-	if _, err := c.Call(echoReq{Text: "ok"}); err != nil {
+	if _, err := c.Call(context.Background(), echoReq{Text: "ok"}); err != nil {
 		t.Errorf("healthy client failed after another connection corrupted: %v", err)
 	}
 }
@@ -113,14 +114,14 @@ func TestClientSurvivesServerRestart(t *testing.T) {
 		t.Fatalf("Dial: %v", err)
 	}
 	defer c.Close()
-	if _, err := c.Call(echoReq{Text: "one"}); err != nil {
+	if _, err := c.Call(context.Background(), echoReq{Text: "one"}); err != nil {
 		t.Fatalf("first call: %v", err)
 	}
 	_ = s.Close()
 	// Calls on the dead connection fail fast rather than hanging.
 	done := make(chan error, 1)
 	go func() {
-		_, err := c.Call(echoReq{Text: "two"})
+		_, err := c.Call(context.Background(), echoReq{Text: "two"})
 		done <- err
 	}()
 	select {
@@ -132,7 +133,7 @@ func TestClientSurvivesServerRestart(t *testing.T) {
 		t.Error("call to closed server hung")
 	}
 	// A fresh server on a fresh port accepts a fresh client.
-	s2, err := Serve("127.0.0.1:0", func(body any) (any, error) { return body, nil })
+	s2, err := Serve("127.0.0.1:0", func(_ context.Context, body any) (any, error) { return body, nil })
 	if err != nil {
 		t.Fatalf("restart: %v", err)
 	}
@@ -142,7 +143,7 @@ func TestClientSurvivesServerRestart(t *testing.T) {
 		t.Fatalf("redial: %v", err)
 	}
 	defer c2.Close()
-	if _, err := c2.Call(echoReq{Text: "three"}); err != nil {
+	if _, err := c2.Call(context.Background(), echoReq{Text: "three"}); err != nil {
 		t.Errorf("call after restart: %v", err)
 	}
 }

@@ -3,10 +3,17 @@
 // correlation IDs, a handler-based server with graceful shutdown, and
 // optional netem shaping on the client side (emulating the wireless uplink
 // or the edge–cloud Internet path).
+//
+// The call APIs are context-aware: a caller's deadline travels in the
+// envelope metadata, servers shed requests whose deadline already passed
+// before invoking the handler, and handler errors that match registered
+// sentinels (RegisterError) stay typed across the wire. DialReliable layers
+// retries and a circuit breaker on top for unreliable peers.
 package rpc
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
@@ -14,6 +21,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"leime/internal/netem"
@@ -23,27 +31,33 @@ import (
 // corruption.
 const MaxMessageBytes = 16 << 20
 
-// ErrClosed is returned by calls on a closed client or server.
-var ErrClosed = errors.New("rpc: connection closed")
+// DialTimeout bounds one TCP connection attempt.
+const DialTimeout = 5 * time.Second
 
 // Meta is the request metadata carried alongside the body in every
-// envelope: the caller's telemetry context. TraceID groups all spans of one
-// task lifecycle across tiers; SpanID is the caller-side span the remote
-// work should nest under. The zero Meta means "untraced" and costs nothing
-// beyond two zero varints in the gob stream.
+// envelope: the caller's telemetry context and time budget. TraceID groups
+// all spans of one task lifecycle across tiers; SpanID is the caller-side
+// span the remote work should nest under. Deadline, when non-zero, is the
+// task's absolute wall-clock deadline in Unix nanoseconds: servers derive
+// the handler context from it and shed work that can no longer finish in
+// time. The zero Meta means "untraced, no deadline" and costs nothing
+// beyond three zero varints in the gob stream.
 type Meta struct {
-	TraceID uint64
-	SpanID  uint64
+	TraceID  uint64
+	SpanID   uint64
+	Deadline int64
 }
 
 // Valid reports whether the metadata carries a live trace.
 func (m Meta) Valid() bool { return m.TraceID != 0 }
 
-// envelope is the wire frame. Body carries any gob-registered value.
+// envelope is the wire frame. Body carries any gob-registered value; Code
+// carries the typed cause of Err (see RegisterError).
 type envelope struct {
 	ID      uint64
 	IsReply bool
 	Err     string
+	Code    string
 	Meta    Meta
 	Body    any
 }
@@ -95,18 +109,35 @@ func readFrame(r io.Reader) (*envelope, error) {
 }
 
 // Handler processes one request body and returns a reply body or an error.
-type Handler func(body any) (any, error)
+// The context carries the caller's propagated deadline (if any) and is
+// cancelled when the server shuts down.
+type Handler func(ctx context.Context, body any) (any, error)
 
 // MetaHandler additionally receives the request's envelope metadata, so
 // servers can continue the caller's trace.
-type MetaHandler func(meta Meta, body any) (any, error)
+type MetaHandler func(ctx context.Context, meta Meta, body any) (any, error)
+
+// ServeOption customizes a server.
+type ServeOption func(*Server)
+
+// WithShedHook installs a callback invoked (from the request goroutine)
+// every time the server sheds a request whose propagated deadline already
+// passed. Tiers use it to surface shed counts through their telemetry.
+func WithShedHook(hook func()) ServeOption {
+	return func(s *Server) { s.shedHook = hook }
+}
 
 // Server accepts connections and dispatches requests to a handler. Each
 // request runs in its own goroutine; replies serialize on a per-connection
 // write lock.
 type Server struct {
-	handler MetaHandler
-	ln      net.Listener
+	handler  MetaHandler
+	ln       net.Listener
+	shedHook func()
+	sheds    uint64 // atomic: requests shed because their deadline passed
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -117,16 +148,18 @@ type Server struct {
 // Serve starts a server on addr ("127.0.0.1:0" for an ephemeral port) and
 // returns it; the returned server is already accepting. Handlers that need
 // the envelope metadata use ServeMeta instead.
-func Serve(addr string, handler Handler) (*Server, error) {
+func Serve(addr string, handler Handler, opts ...ServeOption) (*Server, error) {
 	if handler == nil {
 		return nil, errors.New("rpc: nil handler")
 	}
-	return ServeMeta(addr, func(_ Meta, body any) (any, error) { return handler(body) })
+	return ServeMeta(addr, func(ctx context.Context, _ Meta, body any) (any, error) {
+		return handler(ctx, body)
+	}, opts...)
 }
 
 // ServeMeta is Serve for handlers that consume the request metadata (the
 // caller's trace context).
-func ServeMeta(addr string, handler MetaHandler) (*Server, error) {
+func ServeMeta(addr string, handler MetaHandler, opts ...ServeOption) (*Server, error) {
 	if handler == nil {
 		return nil, errors.New("rpc: nil handler")
 	}
@@ -135,6 +168,10 @@ func ServeMeta(addr string, handler MetaHandler) (*Server, error) {
 		return nil, fmt.Errorf("rpc: listen: %w", err)
 	}
 	s := &Server{handler: handler, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -142,6 +179,10 @@ func ServeMeta(addr string, handler MetaHandler) (*Server, error) {
 
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// DeadlineSheds returns the number of requests the server refused to handle
+// because their propagated deadline had already passed on arrival.
+func (s *Server) DeadlineSheds() uint64 { return atomic.LoadUint64(&s.sheds) }
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
@@ -183,9 +224,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		go func(env *envelope) {
 			defer reqWG.Done()
 			reply := &envelope{ID: env.ID, IsReply: true}
-			body, err := s.safeHandle(env.Meta, env.Body)
+			body, err := s.dispatch(env.Meta, env.Body)
 			if err != nil {
 				reply.Err = err.Error()
+				reply.Code = codeFor(err)
 			} else {
 				reply.Body = body
 			}
@@ -196,17 +238,37 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// dispatch derives the request context from the envelope metadata, sheds
+// already-expired work, and runs the handler.
+func (s *Server) dispatch(meta Meta, body any) (any, error) {
+	ctx := s.baseCtx
+	if meta.Deadline > 0 {
+		deadline := time.Unix(0, meta.Deadline)
+		if !time.Now().Before(deadline) {
+			atomic.AddUint64(&s.sheds, 1)
+			if s.shedHook != nil {
+				s.shedHook()
+			}
+			return nil, fmt.Errorf("rpc: request shed: %w", ErrDeadlineExceeded)
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+	}
+	return s.safeHandle(ctx, meta, body)
+}
+
 // safeHandle invokes the handler, converting a panic into an error so one
 // bad request cannot take the whole server (and every other tenant's
 // connection) down.
-func (s *Server) safeHandle(meta Meta, body any) (reply any, err error) {
+func (s *Server) safeHandle(ctx context.Context, meta Meta, body any) (reply any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			reply = nil
 			err = fmt.Errorf("rpc: handler panic: %v", r)
 		}
 	}()
-	return s.handler(meta, body)
+	return s.handler(ctx, meta, body)
 }
 
 // Close stops accepting, closes all connections and waits for in-flight
@@ -223,6 +285,7 @@ func (s *Server) Close() error {
 		_ = conn.Close()
 	}
 	s.mu.Unlock()
+	s.cancelBase()
 	s.wg.Wait()
 	return err
 }
@@ -246,9 +309,19 @@ type Client struct {
 // Dial connects to addr. If shaper is non-nil, outgoing messages are paced
 // through it.
 func Dial(addr string, shaper *netem.Shaper) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), DialTimeout)
+	defer cancel()
+	return DialContext(ctx, addr, shaper)
+}
+
+// DialContext is Dial bounded by a context: the attempt stops at the
+// context's deadline or cancellation, or after DialTimeout, whichever comes
+// first. Dial failures wrap ErrPeerUnavailable.
+func DialContext(ctx context.Context, addr string, shaper *netem.Shaper) (*Client, error) {
+	d := net.Dialer{Timeout: DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+		return nil, fmt.Errorf("rpc: dial %s: %w: %v", addr, ErrPeerUnavailable, err)
 	}
 	if shaper != nil {
 		conn = shaper.Conn(conn)
@@ -288,12 +361,27 @@ func (c *Client) readLoop() {
 	}
 }
 
-// Call sends body and waits for the correlated reply.
-func (c *Client) Call(body any) (any, error) { return c.CallMeta(Meta{}, body) }
+// Call sends body and waits for the correlated reply, the context's
+// cancellation or its deadline, whichever comes first.
+func (c *Client) Call(ctx context.Context, body any) (any, error) {
+	return c.CallMeta(ctx, Meta{}, body)
+}
 
 // CallMeta sends body with request metadata (the caller's trace context)
-// and waits for the correlated reply.
-func (c *Client) CallMeta(meta Meta, body any) (any, error) {
+// and waits for the correlated reply. The context's deadline, when set and
+// tighter than meta.Deadline, is propagated to the server in the envelope so
+// remote tiers can shed work that can no longer finish in time. Transport
+// failures wrap ErrPeerUnavailable; an elapsed context wraps
+// ErrDeadlineExceeded.
+func (c *Client) CallMeta(ctx context.Context, meta Meta, body any) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, ctxError(err)
+	}
+	if d, ok := ctx.Deadline(); ok {
+		if ns := d.UnixNano(); meta.Deadline == 0 || ns < meta.Deadline {
+			meta.Deadline = ns
+		}
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -305,7 +393,7 @@ func (c *Client) CallMeta(meta Meta, body any) (any, error) {
 		// the dead socket, so fail fast instead of waiting forever.
 		err := c.readErr
 		c.mu.Unlock()
-		return nil, fmt.Errorf("rpc: connection lost: %w", err)
+		return nil, fmt.Errorf("rpc: connection lost: %w: %v", ErrPeerUnavailable, err)
 	}
 	c.nextID++
 	id := c.nextID
@@ -320,23 +408,41 @@ func (c *Client) CallMeta(meta Meta, body any) (any, error) {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return nil, err
+		return nil, fmt.Errorf("rpc: %w: %v", ErrPeerUnavailable, err)
 	}
 
-	env, ok := <-ch
-	if !ok {
-		c.mu.Lock()
-		readErr := c.readErr
-		c.mu.Unlock()
-		if readErr != nil {
-			return nil, fmt.Errorf("rpc: connection lost: %w", readErr)
+	select {
+	case env, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			readErr := c.readErr
+			c.mu.Unlock()
+			if readErr != nil {
+				return nil, fmt.Errorf("rpc: connection lost: %w: %v", ErrPeerUnavailable, readErr)
+			}
+			return nil, ErrClosed
 		}
-		return nil, ErrClosed
+		if env.Err != "" {
+			return nil, remoteError(env.Err, env.Code)
+		}
+		return env.Body, nil
+	case <-ctx.Done():
+		// Abandon the pending slot: a late reply finds no waiter and is
+		// dropped by the read loop (the channel is buffered, so a racing
+		// send cannot block it).
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, ctxError(ctx.Err())
 	}
-	if env.Err != "" {
-		return nil, fmt.Errorf("rpc: remote: %s", env.Err)
+}
+
+// ctxError maps a context error to the package's typed sentinels.
+func ctxError(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("rpc: call abandoned: %w", ErrDeadlineExceeded)
 	}
-	return env.Body, nil
+	return fmt.Errorf("rpc: call cancelled: %w", err)
 }
 
 // Close tears down the connection and waits for the reader to exit.

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -38,7 +39,7 @@ func init() {
 
 func startEcho(t *testing.T) *Server {
 	t.Helper()
-	s, err := Serve("127.0.0.1:0", func(body any) (any, error) {
+	s, err := Serve("127.0.0.1:0", func(_ context.Context, body any) (any, error) {
 		switch req := body.(type) {
 		case echoReq:
 			if req.Text == "boom" {
@@ -66,7 +67,7 @@ func TestCallRoundTrip(t *testing.T) {
 		t.Fatalf("Dial: %v", err)
 	}
 	defer c.Close()
-	got, err := c.Call(echoReq{Text: "hi", N: 21})
+	got, err := c.Call(context.Background(), echoReq{Text: "hi", N: 21})
 	if err != nil {
 		t.Fatalf("Call: %v", err)
 	}
@@ -86,7 +87,7 @@ func TestCallRemoteError(t *testing.T) {
 		t.Fatalf("Dial: %v", err)
 	}
 	defer c.Close()
-	if _, err := c.Call(echoReq{Text: "boom"}); err == nil {
+	if _, err := c.Call(context.Background(), echoReq{Text: "boom"}); err == nil {
 		t.Error("expected remote error")
 	}
 }
@@ -105,7 +106,7 @@ func TestConcurrentCallsCorrelate(t *testing.T) {
 			defer wg.Done()
 			// Randomize completion order with varying delays.
 			delay := time.Duration(i%7) * time.Millisecond
-			got, err := c.Call(slowReq{Delay: delay, Tag: i})
+			got, err := c.Call(context.Background(), slowReq{Delay: delay, Tag: i})
 			if err != nil {
 				t.Errorf("call %d: %v", i, err)
 				return
@@ -131,7 +132,7 @@ func TestMultipleClients(t *testing.T) {
 				return
 			}
 			defer c.Close()
-			got, err := c.Call(echoReq{N: i})
+			got, err := c.Call(context.Background(), echoReq{N: i})
 			if err != nil {
 				t.Errorf("Call: %v", err)
 				return
@@ -153,7 +154,7 @@ func TestCallAfterClose(t *testing.T) {
 	if err := c.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	if _, err := c.Call(echoReq{}); !errors.Is(err, ErrClosed) {
+	if _, err := c.Call(context.Background(), echoReq{}); !errors.Is(err, ErrClosed) {
 		t.Errorf("Call after close = %v, want ErrClosed", err)
 	}
 	if err := c.Close(); err != nil {
@@ -170,7 +171,7 @@ func TestServerCloseUnblocksClients(t *testing.T) {
 	defer c.Close()
 	done := make(chan error, 1)
 	go func() {
-		_, err := c.Call(slowReq{Delay: 5 * time.Second})
+		_, err := c.Call(context.Background(), slowReq{Delay: 5 * time.Second})
 		done <- err
 	}()
 	time.Sleep(50 * time.Millisecond)
@@ -200,7 +201,7 @@ func TestShapedClientSlowsLargeMessages(t *testing.T) {
 	defer c.Close()
 	big := echoReq{Text: string(make([]byte, 200_000))} // ~200 KB => >= ~200 ms
 	start := time.Now()
-	if _, err := c.Call(big); err != nil {
+	if _, err := c.Call(context.Background(), big); err != nil {
 		t.Fatalf("Call: %v", err)
 	}
 	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
@@ -242,7 +243,7 @@ func init() {
 // the caller, proving the trace fields round-trip through gob.
 func startMetaEcho(t *testing.T, delay time.Duration) *Server {
 	t.Helper()
-	s, err := ServeMeta("127.0.0.1:0", func(meta Meta, body any) (any, error) {
+	s, err := ServeMeta("127.0.0.1:0", func(_ context.Context, meta Meta, body any) (any, error) {
 		req, ok := body.(metaReq)
 		if !ok {
 			return nil, fmt.Errorf("unknown request %T", body)
@@ -266,7 +267,7 @@ func TestMetaRoundTrip(t *testing.T) {
 		t.Fatalf("Dial: %v", err)
 	}
 	defer c.Close()
-	got, err := c.CallMeta(Meta{TraceID: 0xabc, SpanID: 0xdef}, metaReq{Tag: 1})
+	got, err := c.CallMeta(context.Background(), Meta{TraceID: 0xabc, SpanID: 0xdef}, metaReq{Tag: 1})
 	if err != nil {
 		t.Fatalf("CallMeta: %v", err)
 	}
@@ -275,7 +276,7 @@ func TestMetaRoundTrip(t *testing.T) {
 		t.Errorf("metadata did not round-trip: %+v", resp)
 	}
 	// Plain Call sends the zero (untraced) metadata.
-	got, err = c.Call(metaReq{Tag: 2})
+	got, err = c.Call(context.Background(), metaReq{Tag: 2})
 	if err != nil {
 		t.Fatalf("Call: %v", err)
 	}
@@ -312,7 +313,7 @@ func TestGracefulShutdownWithInFlightMeta(t *testing.T) {
 				defer wg.Done()
 				tag := ci*1000 + i
 				meta := Meta{TraceID: uint64(tag) + 1, SpanID: uint64(tag) + 2}
-				got, err := c.CallMeta(meta, metaReq{Tag: tag})
+				got, err := c.CallMeta(context.Background(), meta, metaReq{Tag: tag})
 				mu.Lock()
 				defer mu.Unlock()
 				if err != nil {
@@ -358,7 +359,7 @@ func TestCloseIdempotentUnderConcurrency(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, _ = c.CallMeta(Meta{TraceID: uint64(i + 1)}, metaReq{Tag: i})
+			_, _ = c.CallMeta(context.Background(), Meta{TraceID: uint64(i + 1)}, metaReq{Tag: i})
 		}(i)
 	}
 	for i := 0; i < 4; i++ {

@@ -1,0 +1,148 @@
+package runtime
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"leime/internal/netem"
+	"leime/internal/offload"
+	"leime/internal/rpc"
+	"leime/internal/telemetry"
+)
+
+// chaosEdgeConfig is the edge used by the kill/restart test; metrics land in
+// reg so the test can observe whether offloading actually reached this edge
+// instance.
+func chaosEdgeConfig(addr, cloudAddr string, reg *telemetry.Registry) EdgeConfig {
+	return EdgeConfig{
+		Addr:      addr,
+		FLOPS:     6e10,
+		Model:     testModel(),
+		CloudAddr: cloudAddr,
+		CloudLink: netem.Link{BandwidthBps: 5e7, Latency: 10 * time.Millisecond},
+		TimeScale: testScale,
+		Metrics:   reg,
+	}
+}
+
+// TestEdgeKilledMidRunDevicesDegradeAndRecover is the chaos acceptance test:
+// four offloading devices lose their edge mid-run, must not hang or error,
+// degrade to device-only execution while the breaker is open, and resume
+// offloading after the edge restarts on the same address.
+func TestEdgeKilledMidRunDevicesDegradeAndRecover(t *testing.T) {
+	cloud, err := StartCloud(CloudConfig{
+		Addr:        "127.0.0.1:0",
+		FLOPS:       2e12,
+		Block3FLOPs: testModel().Mu[2],
+		TimeScale:   testScale,
+	})
+	if err != nil {
+		t.Fatalf("StartCloud: %v", err)
+	}
+	defer cloud.Close()
+
+	edge1, err := StartEdge(chaosEdgeConfig("127.0.0.1:0", cloud.Addr(), nil))
+	if err != nil {
+		t.Fatalf("StartEdge: %v", err)
+	}
+	addr := edge1.Addr()
+
+	// All four devices share one registry so the run can be audited through
+	// telemetry counters, exactly as an operator would.
+	devReg := telemetry.NewRegistry()
+	const devices = 4
+	type outcome struct {
+		id    string
+		stats *DeviceStats
+		err   error
+	}
+	results := make(chan outcome, devices)
+	for i := 0; i < devices; i++ {
+		id := fmt.Sprintf("chaos-%d", i)
+		go func(i int, id string) {
+			cfg := testDeviceConfig(addr, id)
+			eOnly := offload.EdgeOnly()
+			cfg.Policy = &eOnly // insist on offloading: only faults force local work
+			cfg.ArrivalMean = 4
+			cfg.Slots = 50
+			cfg.AdaptEvery = 2 // control-plane heartbeat doubles as breaker probe
+			cfg.Seed = int64(101 + i*7)
+			cfg.Retry = rpc.RetryPolicy{MaxAttempts: 2, BaseDelay: 5 * time.Millisecond, MaxDelay: 15 * time.Millisecond}
+			cfg.Breaker = rpc.BreakerConfig{FailureThreshold: 3, Cooldown: 40 * time.Millisecond}
+			cfg.Metrics = devReg
+			stats, err := RunDevice(cfg)
+			results <- outcome{id: id, stats: stats, err: err}
+		}(i, id)
+	}
+
+	// Kill the edge while every device is offloading, then restart it on the
+	// SAME address well before the run ends.
+	time.Sleep(120 * time.Millisecond)
+	if err := edge1.Close(); err != nil {
+		t.Fatalf("killing edge: %v", err)
+	}
+	time.Sleep(115 * time.Millisecond)
+	edgeReg := telemetry.NewRegistry()
+	var edge2 *Edge
+	for attempt := 0; ; attempt++ {
+		edge2, err = StartEdge(chaosEdgeConfig(addr, cloud.Addr(), edgeReg))
+		if err == nil {
+			break
+		}
+		if attempt >= 20 {
+			t.Fatalf("restarting edge on %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer edge2.Close()
+
+	// Zero hangs: every device must come back on its own.
+	for i := 0; i < devices; i++ {
+		var got outcome
+		select {
+		case got = <-results:
+		case <-time.After(60 * time.Second):
+			t.Fatal("device run hung after edge kill/restart")
+		}
+		if got.err != nil {
+			t.Fatalf("device %s failed: %v", got.id, got.err)
+		}
+		s := got.stats
+		if s.Completed != s.Generated {
+			t.Errorf("%s: completed %d of %d tasks", got.id, s.Completed, s.Generated)
+		}
+		if s.Errors != 0 {
+			t.Errorf("%s: %d task errors; faults must degrade, not fail", got.id, s.Errors)
+		}
+		if s.Degraded == 0 {
+			t.Errorf("%s: no degraded tasks despite the blackout", got.id)
+		}
+		if s.BreakerOpens == 0 {
+			t.Errorf("%s: breaker never opened during the blackout", got.id)
+		}
+	}
+
+	// The same story must be visible through telemetry: breaker transitions
+	// and degraded-task counts per device, and the breaker closed again by
+	// the end of the run.
+	for i := 0; i < devices; i++ {
+		dev := telemetry.Label{Key: "device", Value: fmt.Sprintf("chaos-%d", i)}
+		if opens := devReg.Counter("leime_breaker_opens_total", "", dev).Value(); opens == 0 {
+			t.Errorf("telemetry: chaos-%d breaker_opens_total = 0", i)
+		}
+		if degraded := devReg.Counter("leime_tasks_degraded_total", "", dev).Value(); degraded == 0 {
+			t.Errorf("telemetry: chaos-%d tasks_degraded_total = 0", i)
+		}
+		if state := devReg.Gauge("leime_breaker_state", "", dev).Value(); state != float64(rpc.BreakerClosed) {
+			t.Errorf("telemetry: chaos-%d ended with breaker state %v, want closed", i, state)
+		}
+	}
+
+	// Offloading resumed against the restarted edge: its (fresh) request
+	// counters saw real task traffic, not just control-plane probes.
+	first := edgeReg.Counter("leime_edge_requests_total", "", telemetry.Label{Key: "type", Value: "first_block"}).Value()
+	if first == 0 {
+		t.Error("no first-block requests reached the restarted edge; offloading never resumed")
+	}
+}

@@ -1,6 +1,8 @@
 package runtime
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"leime/internal/rpc"
@@ -42,10 +44,11 @@ func StartCloud(cfg CloudConfig) (*Cloud, error) {
 		return nil, err
 	}
 	requests := cfg.Metrics.Counter("leime_cloud_requests_total", "Third-block continuations served.")
+	sheds := cfg.Metrics.Counter("leime_cloud_deadline_shed_total", "Requests shed because their deadline passed (on arrival or while queued).")
 	queueWait := cfg.Metrics.Histogram("leime_cloud_queue_wait_seconds", "Third-block wait before service (wall seconds).", nil)
 	block3 := cfg.Metrics.Histogram("leime_cloud_block_seconds", "Block service time (wall seconds).", nil, telemetry.Label{Key: "block", Value: "3"})
 	c := &Cloud{exec: exec}
-	srv, err := rpc.ServeMeta(cfg.Addr, func(meta rpc.Meta, body any) (any, error) {
+	handler := func(ctx context.Context, meta rpc.Meta, body any) (any, error) {
 		req, ok := body.(ThirdBlockReq)
 		if !ok {
 			return nil, fmt.Errorf("cloud: unexpected request %T", body)
@@ -55,15 +58,20 @@ func StartCloud(cfg CloudConfig) (*Cloud, error) {
 		if flops <= 0 {
 			flops = cfg.Block3FLOPs
 		}
-		wait, service, err := c.exec.DoTimed(flops)
+		wait, service, err := c.exec.DoTimedCtx(ctx, flops)
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				sheds.Inc()
+				return nil, fmt.Errorf("cloud: queued work shed: %w", rpc.ErrDeadlineExceeded)
+			}
 			return nil, err
 		}
 		queueWait.Observe(wait.Seconds())
 		block3.Observe(service.Seconds())
 		recordTimedSpans(cfg.Tracer, metaContext(meta), "cloud.queue", "cloud.block3", "", req.TaskID, wait, service)
 		return TaskResp{TaskID: req.TaskID, ExitStage: 3}, nil
-	})
+	}
+	srv, err := rpc.ServeMeta(cfg.Addr, handler, rpc.WithShedHook(func() { sheds.Inc() }))
 	if err != nil {
 		exec.Close()
 		return nil, err
@@ -77,6 +85,10 @@ func (c *Cloud) Addr() string { return c.srv.Addr() }
 
 // Pending returns the number of third-block jobs accepted but unfinished.
 func (c *Cloud) Pending() int { return c.exec.Pending() }
+
+// DeadlineSheds returns the number of requests the cloud's server shed on
+// arrival because their propagated deadline had already passed.
+func (c *Cloud) DeadlineSheds() uint64 { return c.srv.DeadlineSheds() }
 
 // Close stops serving and releases the executor.
 func (c *Cloud) Close() error {

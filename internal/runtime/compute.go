@@ -1,12 +1,18 @@
 package runtime
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// ErrExecutorClosed is returned by Do/DoTimed/DoTimedCtx on a closed
+// executor.
+var ErrExecutorClosed = errors.New("runtime: executor closed")
 
 // Executor models one compute resource (a device CPU, a per-device edge
 // share, the cloud GPU) as a single-server FIFO queue: jobs burn wall-clock
@@ -29,6 +35,10 @@ type Executor struct {
 type job struct {
 	flops float64
 	enq   time.Time
+	// cancel is the job's claim word: 0 queued, 1 cancelled by the
+	// submitter (the worker discards it unburned), 2 claimed by the worker
+	// (the burn runs to completion). Whoever wins the CAS from 0 decides.
+	cancel int32
 	// wait and service are written by the worker before done is closed;
 	// closing the channel publishes them to the submitter.
 	wait    time.Duration
@@ -79,21 +89,43 @@ func (e *Executor) Do(flops float64) error {
 // queue before service began and how long service took — the split
 // telemetry needs to attribute task latency to queueing vs compute.
 func (e *Executor) DoTimed(flops float64) (wait, service time.Duration, err error) {
+	return e.DoTimedCtx(context.Background(), flops)
+}
+
+// DoTimedCtx is DoTimed bounded by a context: a job still waiting in the
+// queue when the context ends is abandoned unburned (the deadline-shed path
+// of the edge and cloud), returning the context's error. A job already in
+// service runs to completion — the compute is spent either way, so the
+// result might as well be delivered.
+func (e *Executor) DoTimedCtx(ctx context.Context, flops float64) (wait, service time.Duration, err error) {
 	if flops < 0 {
 		flops = 0
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
 	}
 	j := &job{flops: flops, enq: time.Now(), done: make(chan struct{})}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
-		return 0, 0, fmt.Errorf("runtime: executor closed")
+		return 0, 0, ErrExecutorClosed
 	}
 	atomic.AddInt32(&e.pending, 1)
 	e.queue = append(e.queue, j)
 	e.cond.Signal()
 	e.mu.Unlock()
-	<-j.done
-	return j.wait, j.service, nil
+	select {
+	case <-j.done:
+		return j.wait, j.service, nil
+	case <-ctx.Done():
+		if atomic.CompareAndSwapInt32(&j.cancel, 0, 1) {
+			// Won the claim: the worker will discard the job unburned.
+			return 0, 0, ctx.Err()
+		}
+		// The worker claimed it first; the burn finishes regardless.
+		<-j.done
+		return j.wait, j.service, nil
+	}
 }
 
 func (e *Executor) worker() {
@@ -111,6 +143,12 @@ func (e *Executor) worker() {
 		e.queue = e.queue[1:]
 		e.mu.Unlock()
 
+		if !atomic.CompareAndSwapInt32(&j.cancel, 0, 2) {
+			// Cancelled while queued: drop it without burning compute.
+			atomic.AddInt32(&e.pending, -1)
+			close(j.done)
+			continue
+		}
 		j.wait = time.Since(j.enq)
 		start := time.Now()
 		if d := e.scale.Seconds(j.flops / e.Rate()); d > 0 {

@@ -1,6 +1,8 @@
 package runtime
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -38,8 +40,8 @@ func TestEdgeUpdateRebalancesShares(t *testing.T) {
 
 func TestEdgeUpdateUnknownDevice(t *testing.T) {
 	_, edge := startTestbed(t)
-	if _, err := edge.update(UpdateReq{DeviceID: "ghost", ArrivalMean: 5}); err == nil {
-		t.Error("update for unknown device accepted")
+	if _, err := edge.update(UpdateReq{DeviceID: "ghost", ArrivalMean: 5}); !errors.Is(err, ErrUnknownDevice) {
+		t.Errorf("update for unknown device = %v, want ErrUnknownDevice", err)
 	}
 }
 
@@ -71,13 +73,13 @@ func TestEdgeUnregisterRedistributes(t *testing.T) {
 	if math.Abs(sum-1) > 1e-9 {
 		t.Errorf("shares after departure sum to %v", sum)
 	}
-	// Requests for the departed device must fail.
-	if _, err := edge.handle(rpc.Meta{}, FirstBlockReq{DeviceID: "b", TaskID: 1, ExitStage: 1}); err == nil {
-		t.Error("task for departed device accepted")
+	// Requests for the departed device must fail with the typed sentinel.
+	if _, err := edge.handle(context.Background(), rpc.Meta{}, FirstBlockReq{DeviceID: "b", TaskID: 1, ExitStage: 1}); !errors.Is(err, ErrUnknownDevice) {
+		t.Errorf("task for departed device = %v, want ErrUnknownDevice", err)
 	}
 	// Double unregister must fail cleanly.
-	if _, err := edge.unregister(UnregisterReq{DeviceID: "b"}); err == nil {
-		t.Error("double unregister accepted")
+	if _, err := edge.unregister(UnregisterReq{DeviceID: "b"}); !errors.Is(err, ErrUnknownDevice) {
+		t.Errorf("double unregister = %v, want ErrUnknownDevice", err)
 	}
 }
 

@@ -1,10 +1,13 @@
 package runtime
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"math/rand"
-	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"leime/internal/metrics"
@@ -50,6 +53,19 @@ type DeviceConfig struct {
 	// AdaptEvery slots; the edge re-solves the KKT allocation and the device
 	// adopts the returned share (the runtime fine-tuning loop).
 	AdaptEvery int
+	// TaskDeadlineSec, when positive, is each task's time budget in model
+	// seconds: the deadline travels with every rpc the task issues so the
+	// edge and cloud shed work that can no longer finish in time, and a
+	// task that misses it is counted in DeadlineMisses. Zero disables
+	// deadlines.
+	TaskDeadlineSec float64
+	// Retry caps re-sends of idempotent control-plane requests after
+	// transport failures (zero value = rpc defaults).
+	Retry rpc.RetryPolicy
+	// Breaker tunes the device's per-edge circuit breaker (zero value =
+	// rpc defaults). While the breaker is not closed, offload decisions
+	// are overridden to device-only.
+	Breaker rpc.BreakerConfig
 	// Seed drives arrival, exit and offloading randomness.
 	Seed int64
 	// Tracer records per-task lifecycle spans and propagates their context
@@ -87,6 +103,9 @@ func (c DeviceConfig) Validate() error {
 	if c.Slots <= 0 || c.WarmupSlots < 0 || c.WarmupSlots >= c.Slots {
 		return fmt.Errorf("runtime: bad horizon (slots=%d, warmup=%d)", c.Slots, c.WarmupSlots)
 	}
+	if c.TaskDeadlineSec < 0 {
+		return fmt.Errorf("runtime: task deadline %v must be non-negative", c.TaskDeadlineSec)
+	}
 	return nil
 }
 
@@ -108,16 +127,34 @@ type DeviceStats struct {
 	RemoteStage metrics.Summary
 	// Generated and Completed count tasks.
 	Generated, Completed int
-	// Errors counts tasks that failed (RPC errors); zero in healthy runs.
+	// Errors counts tasks that failed; zero in healthy runs. Deadline
+	// misses are included here and broken out in DeadlineMisses.
 	Errors int
 	// Fallbacks counts offloaded tasks the edge rejected with backpressure
 	// that were re-run locally instead.
 	Fallbacks int
+	// Degraded counts tasks completed entirely on the device because the
+	// edge was unreachable or the circuit breaker was open — the
+	// graceful-degradation path.
+	Degraded int
+	// DeadlineMisses counts tasks that ran out of their TaskDeadlineSec
+	// budget.
+	DeadlineMisses int
+	// Retries counts rpc retry attempts issued by the reliability layer.
+	Retries int
+	// BreakerOpens counts circuit-breaker open transitions during the run.
+	BreakerOpens int
 }
 
 // RunDevice executes the full device lifecycle: register at the edge,
 // generate tasks slot by slot, decide offloading online, execute and collect
 // completion statistics. It returns when every generated task finishes.
+//
+// The device is fault-tolerant: the edge connection re-dials and
+// re-registers after a loss, idempotent control requests are retried with
+// backoff, and a circuit breaker trips after consecutive transport failures
+// — while it is not closed, offload decisions are overridden to device-only
+// and every task runs its blocks locally (counted in DeviceStats.Degraded).
 func RunDevice(cfg DeviceConfig) (*DeviceStats, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -127,20 +164,6 @@ func RunDevice(cfg DeviceConfig) (*DeviceStats, error) {
 	shaper, err := netem.NewShaper(scaleLink(cfg.Uplink, cfg.TimeScale), cfg.Seed^0xde)
 	if err != nil {
 		return nil, err
-	}
-	client, err := rpc.Dial(cfg.EdgeAddr, shaper)
-	if err != nil {
-		return nil, err
-	}
-	defer client.Close()
-
-	got, err := client.Call(RegisterReq{DeviceID: cfg.ID, FLOPS: cfg.FLOPS, ArrivalMean: cfg.ArrivalMean, Model: cfg.Model})
-	if err != nil {
-		return nil, fmt.Errorf("runtime: register: %w", err)
-	}
-	reg, ok := got.(RegisterResp)
-	if !ok {
-		return nil, fmt.Errorf("runtime: unexpected register reply %T", got)
 	}
 
 	arrivals := cfg.Arrivals
@@ -173,17 +196,64 @@ func RunDevice(cfg DeviceConfig) (*DeviceStats, error) {
 	}
 
 	d := &deviceRun{
-		cfg:    cfg,
-		client: client,
-		local:  local,
-		rng:    rand.New(rand.NewSource(cfg.Seed ^ 0x7a5)),
-		tel:    newDeviceTelemetry(cfg.ID, cfg.Tracer, cfg.Metrics),
+		cfg:   cfg,
+		local: local,
+		rng:   rand.New(rand.NewSource(cfg.Seed ^ 0x7a5)),
+		tel:   newDeviceTelemetry(cfg.ID, cfg.Tracer, cfg.Metrics),
+	}
+	d.rateEstimate = cfg.ArrivalMean
+
+	client := rpc.DialReliable(cfg.EdgeAddr, shaper, rpc.ReliableOptions{
+		Retry:   cfg.Retry,
+		Breaker: cfg.Breaker,
+		// Re-establish the session on every (re)connection: a restarted
+		// edge has no tenant state, so the device re-registers with its
+		// live rate estimate and adopts the fresh share before any other
+		// call proceeds. This keeps the Lyapunov inputs consistent across
+		// reconnects — the new edge's backlog observation starts at zero,
+		// matching its actual empty queues.
+		OnConnect: func(ctx context.Context, c *rpc.Client) error {
+			got, err := c.Call(ctx, RegisterReq{DeviceID: cfg.ID, FLOPS: cfg.FLOPS, ArrivalMean: d.rate(), Model: cfg.Model})
+			if err != nil {
+				return err
+			}
+			if resp, ok := got.(RegisterResp); ok && resp.ShareFLOPS > 0 {
+				d.setShare(resp.ShareFLOPS)
+			}
+			return nil
+		},
+		OnRetry: func() {
+			d.tel.retries.Inc()
+			d.mu.Lock()
+			d.stats.Retries++
+			d.mu.Unlock()
+		},
+		OnBreakerChange: func(s rpc.BreakerState) {
+			d.tel.breakerState.Set(float64(s))
+			if s == rpc.BreakerOpen {
+				d.tel.breakerOpens.Inc()
+				d.mu.Lock()
+				d.stats.BreakerOpens++
+				d.mu.Unlock()
+			}
+		},
+		Seed: cfg.Seed ^ 0x9e77,
+	})
+	d.client = client
+	defer client.Close()
+
+	// The first call both connects and registers (via OnConnect); an edge
+	// that is down or rejects the registration fails the run up front,
+	// exactly like the pre-fault-tolerance behaviour.
+	regCtx, regCancel := context.WithTimeout(context.Background(), rpc.DialTimeout)
+	_, err = client.Call(regCtx, QueueStatReq{DeviceID: cfg.ID})
+	regCancel()
+	if err != nil {
+		return nil, fmt.Errorf("runtime: register: %w", err)
 	}
 
 	start := time.Now()
 	var taskID uint64
-	rateEstimate := cfg.ArrivalMean
-	shareFLOPS := reg.ShareFLOPS
 slots:
 	for t := 0; t < cfg.Slots; t++ {
 		// Align to the slot boundary on the compressed clock, but give up
@@ -207,20 +277,28 @@ slots:
 		// Track the observed rate and periodically renegotiate the edge
 		// share so the allocation follows the live workload.
 		const ewma = 0.15
-		rateEstimate = (1-ewma)*rateEstimate + ewma*float64(m)
+		d.setRate((1-ewma)*d.rate() + ewma*float64(m))
 		if cfg.AdaptEvery > 0 && t > 0 && t%cfg.AdaptEvery == 0 {
-			if got, err := client.Call(UpdateReq{DeviceID: cfg.ID, ArrivalMean: rateEstimate}); err == nil {
+			ctx, cancel := d.controlCtx()
+			if got, err := client.Call(ctx, UpdateReq{DeviceID: cfg.ID, ArrivalMean: d.rate()}); err == nil {
 				if resp, ok := got.(RegisterResp); ok && resp.ShareFLOPS > 0 {
-					shareFLOPS = resp.ShareFLOPS
+					d.setShare(resp.ShareFLOPS)
 				}
 			}
+			cancel()
 		}
 		slot := offload.Slot{
 			Arrivals:       float64(m),
 			State:          offload.State{Q: float64(local.Pending()), H: float64(d.edgeBacklog())},
-			EdgeShareFLOPS: shareFLOPS,
+			EdgeShareFLOPS: d.share(),
 		}
 		x := policy.Decide(ctrl, dev, slot)
+		if client.Breaker().State() != rpc.BreakerClosed {
+			// The edge is suspect: override the decision to device-only
+			// until the breaker's half-open probe (a control-plane call)
+			// confirms recovery.
+			x = 0
+		}
 		d.tel.ratio.Set(x)
 		d.tel.generated.Add(uint64(m))
 		d.mu.Lock()
@@ -234,45 +312,99 @@ slots:
 		}
 	}
 	d.wg.Wait()
+	d.mu.Lock()
 	stats := d.stats
+	d.mu.Unlock()
 	return &stats, nil
 }
 
 // deviceRun is the mutable state of one device lifecycle.
 type deviceRun struct {
-	cfg    DeviceConfig
-	client *rpc.Client
-	local  *Executor
-	tel    deviceTelemetry
+	cfg       DeviceConfig
+	client    *rpc.ReliableClient
+	local     *Executor
+	tel       deviceTelemetry
+	shareBits uint64 // atomic float64 bits: current edge share (FLOPS)
 
-	mu    sync.Mutex
-	rngMu sync.Mutex
-	rng   *rand.Rand
-	stats DeviceStats
-	wg    sync.WaitGroup
+	mu           sync.Mutex
+	rateEstimate float64
+	stats        DeviceStats
+	rngMu        sync.Mutex
+	rng          *rand.Rand
+	wg           sync.WaitGroup
+}
+
+func (d *deviceRun) share() float64 {
+	return math.Float64frombits(atomic.LoadUint64(&d.shareBits))
+}
+
+func (d *deviceRun) setShare(f float64) {
+	atomic.StoreUint64(&d.shareBits, math.Float64bits(f))
+}
+
+func (d *deviceRun) rate() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rateEstimate
+}
+
+func (d *deviceRun) setRate(r float64) {
+	d.mu.Lock()
+	d.rateEstimate = r
+	d.mu.Unlock()
+}
+
+// controlCtx bounds one control-plane exchange (queue stats, rate updates):
+// generous on the compressed clock, but never hanging a slot forever on a
+// dead edge.
+func (d *deviceRun) controlCtx() (context.Context, context.CancelFunc) {
+	timeout := d.cfg.TimeScale.Seconds(10 * d.cfg.TauSec)
+	if timeout < 100*time.Millisecond {
+		timeout = 100 * time.Millisecond
+	}
+	return context.WithTimeout(context.Background(), timeout)
+}
+
+// taskCtx derives one task's context from its deadline budget; the returned
+// cancel must run when the task finishes.
+func (d *deviceRun) taskCtx() (context.Context, context.CancelFunc) {
+	if d.cfg.TaskDeadlineSec <= 0 {
+		return context.WithCancel(context.Background())
+	}
+	return context.WithDeadline(context.Background(), time.Now().Add(d.cfg.TimeScale.Seconds(d.cfg.TaskDeadlineSec)))
 }
 
 // deviceTelemetry holds the device's cached metric handles; all nil
 // (no-op) when DeviceConfig.Metrics is nil.
 type deviceTelemetry struct {
-	tracer    *telemetry.Tracer
-	generated *telemetry.Counter
-	completed [3]*telemetry.Counter // by exit stage
-	errors    *telemetry.Counter
-	fallbacks *telemetry.Counter
-	tct       *telemetry.Histogram
-	ratio     *telemetry.Gauge
+	tracer       *telemetry.Tracer
+	generated    *telemetry.Counter
+	completed    [3]*telemetry.Counter // by exit stage
+	errors       *telemetry.Counter
+	fallbacks    *telemetry.Counter
+	degraded     *telemetry.Counter
+	deadlineMiss *telemetry.Counter
+	retries      *telemetry.Counter
+	breakerOpens *telemetry.Counter
+	breakerState *telemetry.Gauge
+	tct          *telemetry.Histogram
+	ratio        *telemetry.Gauge
 }
 
 func newDeviceTelemetry(id string, tr *telemetry.Tracer, reg *telemetry.Registry) deviceTelemetry {
 	dev := telemetry.Label{Key: "device", Value: id}
 	t := deviceTelemetry{
-		tracer:    tr,
-		generated: reg.Counter("leime_tasks_generated_total", "Tasks generated.", dev),
-		errors:    reg.Counter("leime_task_errors_total", "Tasks failed with RPC errors.", dev),
-		fallbacks: reg.Counter("leime_task_fallbacks_total", "Offloads rejected by edge backpressure and re-run locally.", dev),
-		tct:       reg.Histogram("leime_tct_seconds", "End-to-end task completion time (model seconds).", nil, dev),
-		ratio:     reg.Gauge("leime_offload_ratio", "Most recent slot's offloading decision.", dev),
+		tracer:       tr,
+		generated:    reg.Counter("leime_tasks_generated_total", "Tasks generated.", dev),
+		errors:       reg.Counter("leime_task_errors_total", "Tasks failed with RPC errors.", dev),
+		fallbacks:    reg.Counter("leime_task_fallbacks_total", "Offloads rejected by edge backpressure and re-run locally.", dev),
+		degraded:     reg.Counter("leime_tasks_degraded_total", "Tasks completed device-only because the edge was unreachable.", dev),
+		deadlineMiss: reg.Counter("leime_task_deadline_missed_total", "Tasks that ran out of their deadline budget.", dev),
+		retries:      reg.Counter("leime_rpc_retries_total", "RPC retry attempts against the edge.", dev),
+		breakerOpens: reg.Counter("leime_breaker_opens_total", "Circuit breaker open transitions.", dev),
+		breakerState: reg.Gauge("leime_breaker_state", "Edge circuit breaker state (0 closed, 1 half-open, 2 open).", dev),
+		tct:          reg.Histogram("leime_tct_seconds", "End-to-end task completion time (model seconds).", nil, dev),
+		ratio:        reg.Gauge("leime_offload_ratio", "Most recent slot's offloading decision.", dev),
 	}
 	for i := range t.completed {
 		t.completed[i] = reg.Counter("leime_tasks_completed_total", "Tasks completed, by exit stage.",
@@ -302,9 +434,14 @@ func (d *deviceRun) rngCoin() float64 {
 }
 
 // edgeBacklog asks the edge how many of this device's first-block tasks are
-// pending (the H_i observation of the controller).
+// pending (the H_i observation of the controller). While the breaker is
+// half-open this idempotent call doubles as the recovery probe; on any
+// failure the observation degrades to zero, matching the device-only
+// override that accompanies a non-closed breaker.
 func (d *deviceRun) edgeBacklog() int {
-	got, err := d.client.Call(QueueStatReq{DeviceID: d.cfg.ID})
+	ctx, cancel := d.controlCtx()
+	defer cancel()
+	got, err := d.client.Call(ctx, QueueStatReq{DeviceID: d.cfg.ID})
 	if err != nil {
 		return 0
 	}
@@ -315,10 +452,22 @@ func (d *deviceRun) edgeBacklog() int {
 	return resp.PendingFirstBlock
 }
 
+// degradable reports whether an edge call failed in a way the device can
+// absorb by running the remaining blocks itself: the peer is unreachable,
+// the circuit breaker is open, the link injected a fault, or a restarted
+// edge lost this device's tenant state.
+func degradable(err error) bool {
+	return errors.Is(err, rpc.ErrPeerUnavailable) || errors.Is(err, rpc.ErrCircuitOpen) ||
+		errors.Is(err, rpc.ErrClosed) || errors.Is(err, netem.ErrInjected) ||
+		errors.Is(err, ErrUnknownDevice)
+}
+
 // runTask executes one task end-to-end and records its completion time.
 func (d *deviceRun) runTask(id uint64, slot, exitStage int, offloaded bool) {
 	defer d.wg.Done()
 	began := time.Now()
+	ctx, cancel := d.taskCtx()
+	defer cancel()
 
 	// The root span covers the whole task; the zero-length decision span
 	// marks where the Lyapunov policy routed it.
@@ -333,25 +482,42 @@ func (d *deviceRun) runTask(id uint64, slot, exitStage int, offloaded bool) {
 	var err error
 	var finalExit int
 	var localDur time.Duration
-	fellBack := false
+	fellBack, degraded := false, false
 	if offloaded {
-		finalExit, err = d.offloadedPath(root.Context(), id, exitStage)
-		if err != nil && strings.Contains(err.Error(), BusyMessage) {
+		finalExit, err = d.offloadedPath(ctx, root.Context(), id, exitStage)
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrBusy):
 			// The edge applied backpressure: execute locally instead.
 			fellBack = true
-			finalExit, localDur, err = d.localPath(root.Context(), id, exitStage)
+			finalExit, localDur, degraded, err = d.localPath(ctx, root.Context(), id, exitStage)
+		case degradable(err):
+			// The edge is unreachable: run every block on the device.
+			degraded = true
+			localDur, err = d.runLocalBlocks(ctx, root.Context(), id, 1, exitStage)
+			if err == nil {
+				finalExit = exitStage
+			}
 		}
 	} else {
-		finalExit, localDur, err = d.localPath(root.Context(), id, exitStage)
+		finalExit, localDur, degraded, err = d.localPath(ctx, root.Context(), id, exitStage)
 	}
 
+	deadlineMissed := err != nil && errors.Is(err, rpc.ErrDeadlineExceeded)
 	if fellBack {
 		root.SetNote("fallback")
 		d.tel.fallbacks.Inc()
 	}
+	if degraded {
+		root.SetNote("degraded")
+		d.tel.degraded.Inc()
+	}
 	if err != nil {
 		root.SetNote("error: " + err.Error())
 		d.tel.errors.Inc()
+		if deadlineMissed {
+			d.tel.deadlineMiss.Inc()
+		}
 	} else {
 		d.tel.tracer.StartSpan(root.Context(), "exit").
 			SetDevice(d.cfg.ID).SetTask(id).SetExit(finalExit).End()
@@ -374,6 +540,9 @@ func (d *deviceRun) runTask(id uint64, slot, exitStage int, offloaded bool) {
 	defer d.mu.Unlock()
 	if err != nil {
 		d.stats.Errors++
+		if deadlineMissed {
+			d.stats.DeadlineMisses++
+		}
 		d.stats.Completed++ // still accounted; latency excluded
 		return
 	}
@@ -381,6 +550,9 @@ func (d *deviceRun) runTask(id uint64, slot, exitStage int, offloaded bool) {
 	d.stats.ExitCounts[finalExit-1]++
 	if fellBack {
 		d.stats.Fallbacks++
+	}
+	if degraded {
+		d.stats.Degraded++
 	}
 	if slot >= d.cfg.WarmupSlots {
 		local := localDur.Seconds() / scale
@@ -390,23 +562,47 @@ func (d *deviceRun) runTask(id uint64, slot, exitStage int, offloaded bool) {
 	}
 }
 
-// localPath runs block 1 on the device CPU, then continues at the edge if
-// the task survives the First exit. It returns the final exit and the time
-// spent on the device (queueing plus service).
-func (d *deviceRun) localPath(parent telemetry.SpanContext, id uint64, exitStage int) (int, time.Duration, error) {
+// runLocalBlocks burns blocks first..last on the device CPU — the degraded
+// path when the edge cannot serve them. It returns the wall time spent.
+func (d *deviceRun) runLocalBlocks(ctx context.Context, parent telemetry.SpanContext, id uint64, first, last int) (time.Duration, error) {
 	start := time.Now()
-	wait, service, err := d.local.DoTimed(d.cfg.Model.Mu[0])
+	for b := first; b <= last && b <= len(d.cfg.Model.Mu); b++ {
+		wait, service, err := d.local.DoTimedCtx(ctx, d.cfg.Model.Mu[b-1])
+		if err != nil {
+			return time.Since(start), localErr(err)
+		}
+		recordTimedSpans(d.tel.tracer, parent, "device.queue", fmt.Sprintf("device.block%d", b), d.cfg.ID, id, wait, service)
+	}
+	return time.Since(start), nil
+}
+
+// localErr maps an executor context failure to the rpc deadline sentinel so
+// local and remote deadline misses classify identically.
+func localErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("runtime: local execution: %w", rpc.ErrDeadlineExceeded)
+	}
+	return err
+}
+
+// localPath runs block 1 on the device CPU, then continues at the edge if
+// the task survives the First exit. It returns the final exit, the time
+// spent on the device (queueing plus service), and whether it had to
+// degrade to device-only execution because the edge became unreachable.
+func (d *deviceRun) localPath(ctx context.Context, parent telemetry.SpanContext, id uint64, exitStage int) (int, time.Duration, bool, error) {
+	start := time.Now()
+	wait, service, err := d.local.DoTimedCtx(ctx, d.cfg.Model.Mu[0])
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, false, localErr(err)
 	}
 	recordTimedSpans(d.tel.tracer, parent, "device.queue", "device.block1", d.cfg.ID, id, wait, service)
 	localDur := time.Since(start)
 	if exitStage <= 1 {
-		return 1, localDur, nil
+		return 1, localDur, false, nil
 	}
 	payload := make([]byte, int(d.cfg.Model.D[1]))
 	span := d.tel.tracer.StartSpan(parent, "rpc.second_block").SetDevice(d.cfg.ID).SetTask(id)
-	got, err := d.client.CallMeta(spanMeta(span), SecondBlockReq{
+	got, err := d.client.CallMeta(ctx, spanMeta(span), SecondBlockReq{
 		DeviceID:  d.cfg.ID,
 		TaskID:    id,
 		Payload:   payload,
@@ -414,20 +610,28 @@ func (d *deviceRun) localPath(parent telemetry.SpanContext, id uint64, exitStage
 	})
 	span.End()
 	if err != nil {
-		return 0, 0, err
+		if !degradable(err) {
+			return 0, 0, false, err
+		}
+		// The edge vanished mid-task: finish the remaining blocks locally.
+		more, derr := d.runLocalBlocks(ctx, parent, id, 2, exitStage)
+		if derr != nil {
+			return 0, 0, true, derr
+		}
+		return exitStage, localDur + more, true, nil
 	}
 	resp, ok := got.(TaskResp)
 	if !ok {
-		return 0, 0, fmt.Errorf("runtime: unexpected reply %T", got)
+		return 0, 0, false, fmt.Errorf("runtime: unexpected reply %T", got)
 	}
-	return resp.ExitStage, localDur, nil
+	return resp.ExitStage, localDur, false, nil
 }
 
 // offloadedPath ships the raw input to the edge, which runs everything.
-func (d *deviceRun) offloadedPath(parent telemetry.SpanContext, id uint64, exitStage int) (int, error) {
+func (d *deviceRun) offloadedPath(ctx context.Context, parent telemetry.SpanContext, id uint64, exitStage int) (int, error) {
 	payload := make([]byte, int(d.cfg.Model.D[0]))
 	span := d.tel.tracer.StartSpan(parent, "rpc.first_block").SetDevice(d.cfg.ID).SetTask(id)
-	got, err := d.client.CallMeta(spanMeta(span), FirstBlockReq{
+	got, err := d.client.CallMeta(ctx, spanMeta(span), FirstBlockReq{
 		DeviceID:  d.cfg.ID,
 		TaskID:    id,
 		Payload:   payload,

@@ -1,6 +1,8 @@
 package runtime
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -13,8 +15,8 @@ import (
 )
 
 // BusyMessage is the error text the edge returns when admission control
-// rejects an offloaded task; devices detect it and fall back to local
-// execution.
+// rejects an offloaded task. Devices detect the condition with
+// errors.Is(err, ErrBusy) and fall back to local execution.
 const BusyMessage = "edge busy: first-block backlog limit reached"
 
 // EdgeConfig configures the edge tier.
@@ -24,7 +26,7 @@ type EdgeConfig struct {
 	// FLOPS is the edge capability F^e.
 	FLOPS float64
 	// MaxPendingPerTenant, when positive, caps each device's first-block
-	// backlog: offloads beyond it are rejected with BusyMessage (admission
+	// backlog: offloads beyond it are rejected with ErrBusy (admission
 	// control / backpressure), and well-behaved devices fall back to local
 	// execution instead of piling onto a saturated edge.
 	MaxPendingPerTenant int
@@ -32,9 +34,18 @@ type EdgeConfig struct {
 	Model offload.ModelParams
 	// CloudAddr is the cloud server to forward third-block work to; empty
 	// disables the cloud tier (tasks then always exit by the Second exit).
+	// The connection is established lazily and survives cloud restarts;
+	// while the cloud is unreachable, exit-3 tasks degrade to the Second
+	// exit instead of failing.
 	CloudAddr string
 	// CloudLink shapes the edge–cloud path (the Internet of the testbed).
 	CloudLink netem.Link
+	// CloudRetry caps re-sends of idempotent requests on the cloud path
+	// (zero value = rpc defaults).
+	CloudRetry rpc.RetryPolicy
+	// CloudBreaker tunes the edge's per-cloud circuit breaker (zero value
+	// = rpc defaults).
+	CloudBreaker rpc.BreakerConfig
 	// TimeScale compresses testbed time.
 	TimeScale Scale
 	// Tracer records task-lifecycle spans for requests that arrive with a
@@ -56,39 +67,47 @@ type Edge struct {
 	mu      sync.Mutex
 	tenants map[string]*tenant
 
-	cloud *rpc.Client
+	cloud *rpc.ReliableClient
 }
 
 // edgeTelemetry holds the edge's cached metric handles; all of them are
 // nil (no-op) when EdgeConfig.Metrics is nil.
 type edgeTelemetry struct {
-	tracer     *telemetry.Tracer
-	reqFirst   *telemetry.Counter
-	reqSecond  *telemetry.Counter
-	reqQueue   *telemetry.Counter
-	reqControl *telemetry.Counter
-	busy       *telemetry.Counter
-	tenants    *telemetry.Gauge
-	queueWait  *telemetry.Histogram
-	block1     *telemetry.Histogram
-	block2     *telemetry.Histogram
-	cloudCall  *telemetry.Histogram
+	tracer        *telemetry.Tracer
+	reqFirst      *telemetry.Counter
+	reqSecond     *telemetry.Counter
+	reqQueue      *telemetry.Counter
+	reqControl    *telemetry.Counter
+	busy          *telemetry.Counter
+	sheds         *telemetry.Counter
+	cloudDegraded *telemetry.Counter
+	cloudRetries  *telemetry.Counter
+	cloudBreaker  *telemetry.Gauge
+	tenants       *telemetry.Gauge
+	queueWait     *telemetry.Histogram
+	block1        *telemetry.Histogram
+	block2        *telemetry.Histogram
+	cloudCall     *telemetry.Histogram
 }
 
 func newEdgeTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry) edgeTelemetry {
 	const reqHelp = "Requests served by the edge, by type."
 	return edgeTelemetry{
-		tracer:     tr,
-		reqFirst:   reg.Counter("leime_edge_requests_total", reqHelp, telemetry.Label{Key: "type", Value: "first_block"}),
-		reqSecond:  reg.Counter("leime_edge_requests_total", reqHelp, telemetry.Label{Key: "type", Value: "second_block"}),
-		reqQueue:   reg.Counter("leime_edge_requests_total", reqHelp, telemetry.Label{Key: "type", Value: "queue_stat"}),
-		reqControl: reg.Counter("leime_edge_requests_total", reqHelp, telemetry.Label{Key: "type", Value: "control"}),
-		busy:       reg.Counter("leime_edge_busy_rejections_total", "Offloads rejected by admission control."),
-		tenants:    reg.Gauge("leime_edge_tenants", "Registered devices."),
-		queueWait:  reg.Histogram("leime_edge_queue_wait_seconds", "First/second-block wait before service (wall seconds).", nil),
-		block1:     reg.Histogram("leime_edge_block_seconds", "Block service time (wall seconds).", nil, telemetry.Label{Key: "block", Value: "1"}),
-		block2:     reg.Histogram("leime_edge_block_seconds", "Block service time (wall seconds).", nil, telemetry.Label{Key: "block", Value: "2"}),
-		cloudCall:  reg.Histogram("leime_edge_cloud_call_seconds", "Edge-cloud continuation round trip (wall seconds).", nil),
+		tracer:        tr,
+		reqFirst:      reg.Counter("leime_edge_requests_total", reqHelp, telemetry.Label{Key: "type", Value: "first_block"}),
+		reqSecond:     reg.Counter("leime_edge_requests_total", reqHelp, telemetry.Label{Key: "type", Value: "second_block"}),
+		reqQueue:      reg.Counter("leime_edge_requests_total", reqHelp, telemetry.Label{Key: "type", Value: "queue_stat"}),
+		reqControl:    reg.Counter("leime_edge_requests_total", reqHelp, telemetry.Label{Key: "type", Value: "control"}),
+		busy:          reg.Counter("leime_edge_busy_rejections_total", "Offloads rejected by admission control."),
+		sheds:         reg.Counter("leime_edge_deadline_shed_total", "Requests shed because their deadline passed (on arrival or while queued)."),
+		cloudDegraded: reg.Counter("leime_edge_cloud_degraded_total", "Exit-3 tasks degraded to the Second exit because the cloud was unreachable."),
+		cloudRetries:  reg.Counter("leime_edge_cloud_retries_total", "RPC retry attempts against the cloud."),
+		cloudBreaker:  reg.Gauge("leime_edge_cloud_breaker_state", "Cloud circuit breaker state (0 closed, 1 half-open, 2 open)."),
+		tenants:       reg.Gauge("leime_edge_tenants", "Registered devices."),
+		queueWait:     reg.Histogram("leime_edge_queue_wait_seconds", "First/second-block wait before service (wall seconds).", nil),
+		block1:        reg.Histogram("leime_edge_block_seconds", "Block service time (wall seconds).", nil, telemetry.Label{Key: "block", Value: "1"}),
+		block2:        reg.Histogram("leime_edge_block_seconds", "Block service time (wall seconds).", nil, telemetry.Label{Key: "block", Value: "2"}),
+		cloudCall:     reg.Histogram("leime_edge_cloud_call_seconds", "Edge-cloud continuation round trip (wall seconds).", nil),
 	}
 }
 
@@ -101,7 +120,8 @@ type tenant struct {
 	share float64
 }
 
-// StartEdge launches the edge server.
+// StartEdge launches the edge server. A configured cloud is dialed lazily:
+// the edge starts (and serves two-exit work) even while the cloud is down.
 func StartEdge(cfg EdgeConfig) (*Edge, error) {
 	if cfg.FLOPS <= 0 {
 		return nil, fmt.Errorf("runtime: edge FLOPS %v must be positive", cfg.FLOPS)
@@ -116,13 +136,16 @@ func StartEdge(cfg EdgeConfig) (*Edge, error) {
 		if err != nil {
 			return nil, err
 		}
-		cloud, err := rpc.Dial(cfg.CloudAddr, shaper)
-		if err != nil {
-			return nil, fmt.Errorf("runtime: edge cannot reach cloud: %w", err)
-		}
-		e.cloud = cloud
+		e.cloud = rpc.DialReliable(cfg.CloudAddr, shaper, rpc.ReliableOptions{
+			Retry:   cfg.CloudRetry,
+			Breaker: cfg.CloudBreaker,
+			OnRetry: func() { e.tel.cloudRetries.Inc() },
+			OnBreakerChange: func(s rpc.BreakerState) {
+				e.tel.cloudBreaker.Set(float64(s))
+			},
+		})
 	}
-	srv, err := rpc.ServeMeta(cfg.Addr, e.handle)
+	srv, err := rpc.ServeMeta(cfg.Addr, e.handle, rpc.WithShedHook(func() { e.tel.sheds.Inc() }))
 	if err != nil {
 		if e.cloud != nil {
 			_ = e.cloud.Close()
@@ -151,17 +174,21 @@ func scaleLink(l netem.Link, s Scale) netem.Link {
 // Addr returns the edge's listen address.
 func (e *Edge) Addr() string { return e.srv.Addr() }
 
-func (e *Edge) handle(meta rpc.Meta, body any) (any, error) {
+// DeadlineSheds returns the number of requests the edge's server shed on
+// arrival because their propagated deadline had already passed.
+func (e *Edge) DeadlineSheds() uint64 { return e.srv.DeadlineSheds() }
+
+func (e *Edge) handle(ctx context.Context, meta rpc.Meta, body any) (any, error) {
 	switch req := body.(type) {
 	case RegisterReq:
 		e.tel.reqControl.Inc()
 		return e.register(req)
 	case FirstBlockReq:
 		e.tel.reqFirst.Inc()
-		return e.firstBlock(meta, req)
+		return e.firstBlock(ctx, meta, req)
 	case SecondBlockReq:
 		e.tel.reqSecond.Inc()
-		return e.secondBlock(meta, req)
+		return e.secondBlock(ctx, meta, req)
 	case QueueStatReq:
 		e.tel.reqQueue.Inc()
 		t, err := e.tenant(req.DeviceID)
@@ -189,7 +216,7 @@ func (e *Edge) update(req UpdateReq) (any, error) {
 	t, ok := e.tenants[req.DeviceID]
 	if !ok {
 		e.mu.Unlock()
-		return nil, fmt.Errorf("edge: unknown device %q", req.DeviceID)
+		return nil, fmt.Errorf("%w %q", ErrUnknownDevice, req.DeviceID)
 	}
 	flops := t.dev.FLOPS
 	model := t.model
@@ -199,13 +226,13 @@ func (e *Edge) update(req UpdateReq) (any, error) {
 
 // unregister removes a tenant and redistributes its edge share. The tenant's
 // executor drains any accepted work and is then released; requests for the
-// departed device fail with "unknown device".
+// departed device fail with ErrUnknownDevice.
 func (e *Edge) unregister(req UnregisterReq) (any, error) {
 	e.mu.Lock()
 	t, ok := e.tenants[req.DeviceID]
 	if !ok {
 		e.mu.Unlock()
-		return nil, fmt.Errorf("edge: unknown device %q", req.DeviceID)
+		return nil, fmt.Errorf("%w %q", ErrUnknownDevice, req.DeviceID)
 	}
 	delete(e.tenants, req.DeviceID)
 	remaining := len(e.tenants)
@@ -314,7 +341,7 @@ func (e *Edge) tenant(id string) (*tenant, error) {
 	defer e.mu.Unlock()
 	t, ok := e.tenants[id]
 	if !ok {
-		return nil, fmt.Errorf("edge: unknown device %q", id)
+		return nil, fmt.Errorf("%w %q", ErrUnknownDevice, id)
 	}
 	return t, nil
 }
@@ -327,27 +354,38 @@ func (e *Edge) tenantSnapshot(id string) (*tenant, offload.ModelParams, error) {
 	defer e.mu.Unlock()
 	t, ok := e.tenants[id]
 	if !ok {
-		return nil, offload.ModelParams{}, fmt.Errorf("edge: unknown device %q", id)
+		return nil, offload.ModelParams{}, fmt.Errorf("%w %q", ErrUnknownDevice, id)
 	}
 	return t, t.model, nil
 }
 
+// execErr maps a context expiry inside an executor queue to the rpc deadline
+// sentinel, counting it as a shed: the work was abandoned unburned because
+// its propagated deadline passed while it waited.
+func (e *Edge) execErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		e.tel.sheds.Inc()
+		return fmt.Errorf("edge: queued work shed: %w", rpc.ErrDeadlineExceeded)
+	}
+	return err
+}
+
 // firstBlock runs block 1 (and onward) for an offloaded raw task, applying
 // admission control on the tenant's backlog.
-func (e *Edge) firstBlock(meta rpc.Meta, req FirstBlockReq) (any, error) {
+func (e *Edge) firstBlock(ctx context.Context, meta rpc.Meta, req FirstBlockReq) (any, error) {
 	t, model, err := e.tenantSnapshot(req.DeviceID)
 	if err != nil {
 		return nil, err
 	}
 	if limit := e.cfg.MaxPendingPerTenant; limit > 0 && int(atomic.LoadInt32(&t.h1)) >= limit {
 		e.tel.busy.Inc()
-		return nil, fmt.Errorf("%s (device %q, limit %d)", BusyMessage, req.DeviceID, limit)
+		return nil, fmt.Errorf("%w (device %q, limit %d)", ErrBusy, req.DeviceID, limit)
 	}
 	atomic.AddInt32(&t.h1, 1)
-	wait, service, err := t.exec.DoTimed(model.Mu[0])
+	wait, service, err := t.exec.DoTimedCtx(ctx, model.Mu[0])
 	atomic.AddInt32(&t.h1, -1)
 	if err != nil {
-		return nil, err
+		return nil, e.execErr(err)
 	}
 	e.tel.queueWait.Observe(wait.Seconds())
 	e.tel.block1.Observe(service.Seconds())
@@ -355,22 +393,27 @@ func (e *Edge) firstBlock(meta rpc.Meta, req FirstBlockReq) (any, error) {
 	if req.ExitStage <= 1 {
 		return TaskResp{TaskID: req.TaskID, ExitStage: 1}, nil
 	}
-	return e.continueSecond(meta, t, model, req.DeviceID, req.TaskID, req.ExitStage)
+	return e.continueSecond(ctx, meta, t, model, req.DeviceID, req.TaskID, req.ExitStage)
 }
 
 // secondBlock runs block 2 for a task whose first block ran on the device.
-func (e *Edge) secondBlock(meta rpc.Meta, req SecondBlockReq) (any, error) {
+func (e *Edge) secondBlock(ctx context.Context, meta rpc.Meta, req SecondBlockReq) (any, error) {
 	t, model, err := e.tenantSnapshot(req.DeviceID)
 	if err != nil {
 		return nil, err
 	}
-	return e.continueSecond(meta, t, model, req.DeviceID, req.TaskID, req.ExitStage)
+	return e.continueSecond(ctx, meta, t, model, req.DeviceID, req.TaskID, req.ExitStage)
 }
 
-func (e *Edge) continueSecond(meta rpc.Meta, t *tenant, model offload.ModelParams, deviceID string, taskID uint64, exitStage int) (any, error) {
-	wait, service, err := t.exec.DoTimed(model.Mu[1])
+// continueSecond runs block 2 and, for exit-3 tasks, forwards to the cloud.
+// When the cloud is unreachable (transport failure or open breaker), the
+// task degrades to the Second exit instead of failing: an accuracy hit, not
+// an availability hit — the multi-exit architecture's graceful-degradation
+// dividend.
+func (e *Edge) continueSecond(ctx context.Context, meta rpc.Meta, t *tenant, model offload.ModelParams, deviceID string, taskID uint64, exitStage int) (any, error) {
+	wait, service, err := t.exec.DoTimedCtx(ctx, model.Mu[1])
 	if err != nil {
-		return nil, err
+		return nil, e.execErr(err)
 	}
 	e.tel.queueWait.Observe(wait.Seconds())
 	e.tel.block2.Observe(service.Seconds())
@@ -380,21 +423,36 @@ func (e *Edge) continueSecond(meta rpc.Meta, t *tenant, model offload.ModelParam
 	}
 	payload := make([]byte, int(model.D[2]))
 	var cloudSpan *telemetry.Active
-	if ctx := metaContext(meta); ctx.Valid() {
-		cloudSpan = e.tel.tracer.StartSpan(ctx, "rpc.cloud").SetDevice(deviceID).SetTask(taskID)
+	if tctx := metaContext(meta); tctx.Valid() {
+		cloudSpan = e.tel.tracer.StartSpan(tctx, "rpc.cloud").SetDevice(deviceID).SetTask(taskID)
 	}
 	start := time.Now()
-	got, err := e.cloud.CallMeta(spanMeta(cloudSpan), ThirdBlockReq{TaskID: taskID, Payload: payload, FLOPs: model.Mu[2]})
+	got, err := e.cloud.CallMeta(ctx, spanMeta(cloudSpan), ThirdBlockReq{TaskID: taskID, Payload: payload, FLOPs: model.Mu[2]})
 	e.tel.cloudCall.Observe(time.Since(start).Seconds())
-	cloudSpan.End()
 	if err != nil {
+		if degradable(err) {
+			cloudSpan.SetNote("degraded: " + err.Error()).End()
+			e.tel.cloudDegraded.Inc()
+			return TaskResp{TaskID: taskID, ExitStage: 2}, nil
+		}
+		cloudSpan.End()
 		return nil, fmt.Errorf("edge: cloud continuation: %w", err)
 	}
+	cloudSpan.End()
 	resp, ok := got.(TaskResp)
 	if !ok {
 		return nil, fmt.Errorf("edge: unexpected cloud reply %T", got)
 	}
 	return resp, nil
+}
+
+// CloudBreaker exposes the cloud path's circuit breaker; nil when no cloud
+// is configured.
+func (e *Edge) CloudBreaker() *rpc.Breaker {
+	if e.cloud == nil {
+		return nil
+	}
+	return e.cloud.Breaker()
 }
 
 // Close stops serving, releases tenant executors and the cloud client.

@@ -1,0 +1,26 @@
+package runtime
+
+import (
+	"errors"
+
+	"leime/internal/rpc"
+)
+
+// Typed sentinel errors for the runtime's application-level failures.
+// They are registered with the rpc layer so errors.Is classifies them on
+// the caller side of a connection exactly like locally produced errors.
+var (
+	// ErrBusy marks an offload the edge rejected with admission control:
+	// the device's first-block backlog hit its cap. Devices fall back to
+	// local execution instead of piling onto a saturated edge.
+	ErrBusy = errors.New(BusyMessage)
+	// ErrUnknownDevice marks requests for a device the edge has no tenant
+	// state for — the normal outcome after an edge restart, which the
+	// device's reconnect hook repairs by re-registering.
+	ErrUnknownDevice = errors.New("edge: unknown device")
+)
+
+func init() {
+	rpc.RegisterError("runtime/busy", ErrBusy)
+	rpc.RegisterError("runtime/unknown-device", ErrUnknownDevice)
+}

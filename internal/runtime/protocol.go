@@ -126,6 +126,31 @@ type QueueStatResp struct {
 	PendingFirstBlock int
 }
 
+// Idempotency markers for the rpc reliability layer: control-plane requests
+// (registration, stat reads, rate updates) are safe to deliver twice, so a
+// ReliableClient may retry them after a transport failure. Block executions
+// (FirstBlockReq, SecondBlockReq, ThirdBlockReq) deliberately carry no
+// marker — re-running a block would burn compute twice, so devices degrade
+// those to local execution instead of retrying.
+
+// Idempotent marks registration as safely repeatable (it upserts tenant
+// state and re-solves the allocation either way).
+func (RegisterReq) Idempotent() bool { return true }
+
+// Idempotent marks backlog reads as safely repeatable.
+func (QueueStatReq) Idempotent() bool { return true }
+
+// Idempotent marks rate updates as safely repeatable (the edge keeps only
+// the latest estimate).
+func (UpdateReq) Idempotent() bool { return true }
+
+// Idempotent marks removal as safely repeatable (removing a device twice
+// fails the second time with ErrUnknownDevice, which callers treat as done).
+func (UnregisterReq) Idempotent() bool { return true }
+
+// Idempotent marks tenancy snapshots as safely repeatable.
+func (EdgeStatsReq) Idempotent() bool { return true }
+
 // RegisterMessages registers all protocol types with the rpc layer. It is
 // idempotent per process and must be called by every tier before serving or
 // dialing.

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -260,16 +261,16 @@ func TestEdgeRebalancesSharesOnRegistration(t *testing.T) {
 
 func TestEdgeRejectsUnknownDevice(t *testing.T) {
 	_, edge := startTestbed(t)
-	if _, err := edge.handle(rpc.Meta{}, QueueStatReq{DeviceID: "ghost"}); err == nil {
+	if _, err := edge.handle(context.Background(), rpc.Meta{}, QueueStatReq{DeviceID: "ghost"}); err == nil {
 		t.Error("unknown device accepted")
 	}
-	if _, err := edge.handle(rpc.Meta{}, FirstBlockReq{DeviceID: "ghost"}); err == nil {
+	if _, err := edge.handle(context.Background(), rpc.Meta{}, FirstBlockReq{DeviceID: "ghost"}); err == nil {
 		t.Error("unknown device task accepted")
 	}
-	if _, err := edge.handle(rpc.Meta{}, RegisterReq{DeviceID: ""}); err == nil {
+	if _, err := edge.handle(context.Background(), rpc.Meta{}, RegisterReq{DeviceID: ""}); err == nil {
 		t.Error("empty device id accepted")
 	}
-	if _, err := edge.handle(rpc.Meta{}, "bogus"); err == nil {
+	if _, err := edge.handle(context.Background(), rpc.Meta{}, "bogus"); err == nil {
 		t.Error("bogus request accepted")
 	}
 }
@@ -288,7 +289,7 @@ func TestEdgeWithoutCloudCapsAtSecondExit(t *testing.T) {
 	if _, err := edge.register(RegisterReq{DeviceID: "a", FLOPS: 1e9, ArrivalMean: 1}); err != nil {
 		t.Fatalf("register: %v", err)
 	}
-	got, err := edge.handle(rpc.Meta{}, FirstBlockReq{DeviceID: "a", TaskID: 1, ExitStage: 3})
+	got, err := edge.handle(context.Background(), rpc.Meta{}, FirstBlockReq{DeviceID: "a", TaskID: 1, ExitStage: 3})
 	if err != nil {
 		t.Fatalf("firstBlock: %v", err)
 	}

@@ -32,6 +32,7 @@ package leime
 
 import (
 	"fmt"
+	"math"
 
 	"leime/internal/cluster"
 	"leime/internal/confidence"
@@ -39,6 +40,7 @@ import (
 	"leime/internal/exitsetting"
 	"leime/internal/model"
 	"leime/internal/offload"
+	"leime/internal/rpc"
 	"leime/internal/sim"
 )
 
@@ -57,6 +59,12 @@ type (
 	Policy = offload.Policy
 	// Strategy is an exit-setting scheme.
 	Strategy = exitsetting.Strategy
+	// RetryPolicy caps how the testbed devices re-send idempotent requests
+	// after transport failures (see TestbedOptions.Retry).
+	RetryPolicy = rpc.RetryPolicy
+	// BreakerConfig tunes the testbed devices' per-edge circuit breaker
+	// (see TestbedOptions.Breaker).
+	BreakerConfig = rpc.BreakerConfig
 )
 
 // Paper-calibrated hardware presets.
@@ -87,6 +95,19 @@ func Architectures() []string {
 	return out
 }
 
+// Sentinels that make the literal zero settings requestable. A zero field
+// in Options, SimOptions or TestbedOptions means "use the documented
+// default", which would otherwise leave the actual zero values unreachable;
+// spell those with the explicit sentinels instead.
+const (
+	// SeedZero requests the literal random seed 0. Seed: 0 selects the
+	// default seed (1), not seed 0.
+	SeedZero int64 = math.MinInt64
+	// EasyFractionZero requests a calibration workload with no easy samples
+	// at all. EasyFraction: 0 keeps the CIFAR-10-like default mixture.
+	EasyFractionZero float64 = -1
+)
+
 // Options configure Build.
 type Options struct {
 	// Arch is one of Architectures() (e.g. "inception-v3").
@@ -96,13 +117,40 @@ type Options struct {
 	// DatasetSize is the calibration-set size; 0 defaults to 1000.
 	DatasetSize int
 	// EasyFraction sets the workload complexity (the exit-rate knob of the
-	// paper's Fig. 3(b)); negative or zero keeps the CIFAR-10-like default.
+	// paper's Fig. 3(b)); 0 keeps the CIFAR-10-like default share of easy
+	// samples (0.55). Use EasyFractionZero for a workload with none.
 	EasyFraction float64
 	// AccuracyLossBudget bounds per-exit accuracy loss during threshold
 	// calibration; 0 uses the architecture's paper-calibrated default.
 	AccuracyLossBudget float64
-	// Seed makes calibration deterministic; 0 defaults to 1.
+	// Seed makes calibration deterministic; 0 defaults to 1. Use SeedZero
+	// for the literal seed 0.
 	Seed int64
+}
+
+// withDefaults resolves zero fields to their documented defaults and the
+// explicit sentinels to the literal values they stand for. Arch must already
+// be validated: the loss-budget default is per architecture.
+func (o Options) withDefaults() Options {
+	if o.DatasetSize == 0 {
+		o.DatasetSize = 1000
+	}
+	switch o.Seed {
+	case 0:
+		o.Seed = 1
+	case SeedZero:
+		o.Seed = 0
+	}
+	switch o.EasyFraction {
+	case 0:
+		o.EasyFraction = dataset.CIFAR10Like.EasyFrac
+	case EasyFractionZero:
+		o.EasyFraction = 0
+	}
+	if o.AccuracyLossBudget == 0 {
+		o.AccuracyLossBudget = confidence.DefaultLossBudget(o.Arch)
+	}
+	return o
 }
 
 // System is a built LEIME deployment: the profile, the calibrated exit
@@ -128,31 +176,17 @@ func Build(opts Options) (*System, error) {
 	if err := opts.Env.Validate(); err != nil {
 		return nil, fmt.Errorf("leime: %w", err)
 	}
-	size := opts.DatasetSize
-	if size == 0 {
-		size = 1000
-	}
-	seed := opts.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	mix := dataset.CIFAR10Like
-	if opts.EasyFraction > 0 {
-		mix = mix.WithEasyFrac(opts.EasyFraction)
-	}
-	ds, err := dataset.Generate(mix, size, seed)
+	opts = opts.withDefaults()
+	mix := dataset.CIFAR10Like.WithEasyFrac(opts.EasyFraction)
+	ds, err := dataset.Generate(mix, opts.DatasetSize, opts.Seed)
 	if err != nil {
 		return nil, err
 	}
-	conf, err := confidence.New(p, confidence.DefaultParams(p.Name), seed)
+	conf, err := confidence.New(p, confidence.DefaultParams(p.Name), opts.Seed)
 	if err != nil {
 		return nil, err
 	}
-	budget := opts.AccuracyLossBudget
-	if budget == 0 {
-		budget = confidence.DefaultLossBudget(p.Name)
-	}
-	thresh, sigma := conf.Calibrate(ds, budget)
+	thresh, sigma := conf.Calibrate(ds, opts.AccuracyLossBudget)
 
 	in, err := exitsetting.NewInstance(p, sigma, opts.Env)
 	if err != nil {
@@ -325,27 +359,34 @@ type SimOptions struct {
 	Policy *Policy
 	// Slots is the horizon; 0 defaults to 300.
 	Slots int
-	// Seed drives stochastic arrivals; 0 defaults to 1.
+	// Seed drives stochastic arrivals; 0 defaults to 1. Use SeedZero for
+	// the literal seed 0.
 	Seed int64
 }
 
-func (s *System) fill(opts SimOptions) SimOptions {
-	if opts.Devices == 0 {
-		opts.Devices = 1
+// withDefaults resolves zero fields to their documented defaults (the
+// device rating comes from the build environment) and SeedZero to the
+// literal seed 0.
+func (o SimOptions) withDefaults(env Env) SimOptions {
+	if o.Devices == 0 {
+		o.Devices = 1
 	}
-	if opts.DeviceFLOPS == 0 {
-		opts.DeviceFLOPS = s.env.DeviceFLOPS
+	if o.DeviceFLOPS == 0 {
+		o.DeviceFLOPS = env.DeviceFLOPS
 	}
-	if opts.ArrivalRate == 0 {
-		opts.ArrivalRate = 5
+	if o.ArrivalRate == 0 {
+		o.ArrivalRate = 5
 	}
-	if opts.Slots == 0 {
-		opts.Slots = 300
+	if o.Slots == 0 {
+		o.Slots = 300
 	}
-	if opts.Seed == 0 {
-		opts.Seed = 1
+	switch o.Seed {
+	case 0:
+		o.Seed = 1
+	case SeedZero:
+		o.Seed = 0
 	}
-	return opts
+	return o
 }
 
 func (s *System) deviceSpecs(opts SimOptions) []sim.DeviceSpec {
@@ -367,7 +408,7 @@ func (s *System) deviceSpecs(opts SimOptions) []sim.DeviceSpec {
 // SimulateSlots runs the paper's time-slotted system model with the built
 // ME-DNN and returns per-slot and aggregate completion-time statistics.
 func (s *System) SimulateSlots(opts SimOptions) (*sim.SlotResult, error) {
-	opts = s.fill(opts)
+	opts = opts.withDefaults(s.env)
 	return sim.RunSlots(sim.SlotConfig{
 		Model:       s.Params(),
 		Devices:     s.deviceSpecs(opts),
@@ -385,7 +426,7 @@ func (s *System) SimulateSlots(opts SimOptions) (*sim.SlotResult, error) {
 // SimulateTasks runs the per-task discrete-event pipeline simulation with
 // the built ME-DNN.
 func (s *System) SimulateTasks(opts SimOptions) (*sim.EventResult, error) {
-	opts = s.fill(opts)
+	opts = opts.withDefaults(s.env)
 	return sim.RunEvents(sim.EventConfig{
 		Model:       s.Params(),
 		Devices:     s.deviceSpecs(opts),

@@ -210,3 +210,56 @@ func TestSolveJoint(t *testing.T) {
 		t.Errorf("joint TCT %v exceeds sequential %v", plan.TCT, plan.SequentialTCT)
 	}
 }
+
+func TestOptionsWithDefaults(t *testing.T) {
+	o := Options{Arch: "inception-v3"}.withDefaults()
+	if o.DatasetSize != 1000 || o.Seed != 1 || o.AccuracyLossBudget == 0 {
+		t.Errorf("defaults not applied: %+v", o)
+	}
+	if o.EasyFraction != 0.55 {
+		t.Errorf("EasyFraction default = %v, want the CIFAR-10-like 0.55", o.EasyFraction)
+	}
+	o = Options{Arch: "inception-v3", Seed: SeedZero, EasyFraction: EasyFractionZero}.withDefaults()
+	if o.Seed != 0 {
+		t.Errorf("SeedZero resolved to %d, want the literal 0", o.Seed)
+	}
+	if o.EasyFraction != 0 {
+		t.Errorf("EasyFractionZero resolved to %v, want the literal 0", o.EasyFraction)
+	}
+
+	s := SimOptions{}.withDefaults(Env{DeviceFLOPS: 42})
+	if s.Devices != 1 || s.DeviceFLOPS != 42 || s.ArrivalRate != 5 || s.Slots != 300 || s.Seed != 1 {
+		t.Errorf("sim defaults not applied: %+v", s)
+	}
+	if got := (SimOptions{Seed: SeedZero}).withDefaults(Env{}).Seed; got != 0 {
+		t.Errorf("sim SeedZero resolved to %d", got)
+	}
+
+	tb := TestbedOptions{}.withDefaults()
+	if tb.Slots != 40 || tb.TimeScale != 0.02 || tb.Seed != 1 {
+		t.Errorf("testbed defaults not applied: %+v", tb)
+	}
+	if got := (TestbedOptions{Seed: SeedZero}).withDefaults().Seed; got != 0 {
+		t.Errorf("testbed SeedZero resolved to %d", got)
+	}
+}
+
+func TestSentinelsAreRequestable(t *testing.T) {
+	env := TestbedEnv(RaspberryPi3B)
+	base, err := Build(Options{Arch: "inception-v3", Env: env, DatasetSize: 500})
+	if err != nil {
+		t.Fatalf("Build default: %v", err)
+	}
+	hard, err := Build(Options{Arch: "inception-v3", Env: env, DatasetSize: 500, EasyFraction: EasyFractionZero})
+	if err != nil {
+		t.Fatalf("Build EasyFractionZero: %v", err)
+	}
+	// With no easy samples at all, fewer tasks finish at the first exit.
+	if hard.Sigma()[0] >= base.Sigma()[0] {
+		t.Errorf("no-easy workload first-exit rate %v not below default %v",
+			hard.Sigma()[0], base.Sigma()[0])
+	}
+	if _, err := Build(Options{Arch: "inception-v3", Env: env, DatasetSize: 500, Seed: SeedZero}); err != nil {
+		t.Fatalf("Build SeedZero: %v", err)
+	}
+}

@@ -35,8 +35,39 @@ type TestbedOptions struct {
 	// TimeScale compresses wall-clock time; 0 defaults to 0.02 (50x faster
 	// than real time).
 	TimeScale float64
-	// Seed fixes randomness (default 1).
+	// Seed fixes randomness (default 1). Use SeedZero for the literal
+	// seed 0.
 	Seed int64
+	// TaskDeadlineSec, when positive, gives every task a completion budget
+	// in model seconds; the deadline travels with each RPC so the edge and
+	// cloud shed work that can no longer finish in time. Zero disables
+	// deadlines.
+	TaskDeadlineSec float64
+	// Retry caps re-sends of idempotent control-plane requests after
+	// transport failures (zero value = library defaults).
+	Retry RetryPolicy
+	// Breaker tunes each device's per-edge circuit breaker; while it is
+	// open the device degrades to device-only execution (zero value =
+	// library defaults).
+	Breaker BreakerConfig
+}
+
+// withDefaults resolves zero fields to their documented defaults and
+// SeedZero to the literal seed 0.
+func (o TestbedOptions) withDefaults() TestbedOptions {
+	if o.Slots == 0 {
+		o.Slots = 40
+	}
+	if o.TimeScale == 0 {
+		o.TimeScale = 0.02
+	}
+	switch o.Seed {
+	case 0:
+		o.Seed = 1
+	case SeedZero:
+		o.Seed = 0
+	}
+	return o
 }
 
 // TestbedResult holds per-device outcomes of a local testbed run, in the
@@ -55,15 +86,7 @@ func (s *System) RunLocalTestbed(opts TestbedOptions) (*TestbedResult, error) {
 	if len(opts.Devices) == 0 {
 		return nil, errors.New("leime: testbed needs at least one device")
 	}
-	if opts.Slots == 0 {
-		opts.Slots = 40
-	}
-	if opts.TimeScale == 0 {
-		opts.TimeScale = 0.02
-	}
-	if opts.Seed == 0 {
-		opts.Seed = 1
-	}
+	opts = opts.withDefaults()
 	scale := runtime.Scale(opts.TimeScale)
 	params := s.Params()
 
@@ -122,15 +145,18 @@ func (s *System) RunLocalTestbed(opts TestbedOptions) (*TestbedResult, error) {
 					BandwidthBps: Mbps(d.UplinkMbps),
 					Latency:      d.UplinkLatency,
 				},
-				ArrivalMean: d.ArrivalRate,
-				Policy:      d.Policy,
-				TauSec:      1,
-				V:           1e4,
-				Slots:       opts.Slots,
-				WarmupSlots: opts.Slots / 10,
-				TimeScale:   scale,
-				AdaptEvery:  10,
-				Seed:        opts.Seed + int64(i)*97,
+				ArrivalMean:     d.ArrivalRate,
+				Policy:          d.Policy,
+				TauSec:          1,
+				V:               1e4,
+				Slots:           opts.Slots,
+				WarmupSlots:     opts.Slots / 10,
+				TimeScale:       scale,
+				AdaptEvery:      10,
+				TaskDeadlineSec: opts.TaskDeadlineSec,
+				Retry:           opts.Retry,
+				Breaker:         opts.Breaker,
+				Seed:            opts.Seed + int64(i)*97,
 			})
 		}(i, d)
 	}
