@@ -1,0 +1,38 @@
+// Command doccheck enforces the repo's documentation convention on the
+// packages it is pointed at: every exported top-level declaration needs a
+// doc comment, and every package needs a package comment (the repo-local
+// ST1000/ST1020 equivalents). It exits non-zero and prints one line per
+// violation otherwise.
+//
+// Usage: doccheck [dir ...]   (default ".")
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"leime/internal/lint"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	total := 0
+	for _, root := range roots {
+		violations, err := lint.MissingDocsDir(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		for _, v := range violations {
+			fmt.Println(v)
+		}
+		total += len(violations)
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d violation(s)\n", total)
+		os.Exit(1)
+	}
+}

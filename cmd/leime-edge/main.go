@@ -51,6 +51,11 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		retryBase  = fs.Duration("cloud-retry-base", 0, "base backoff before the first cloud retry (0 = library default)")
 		breakAfter = fs.Int("cloud-break-after", 0, "consecutive transport failures that open the cloud circuit breaker (0 = library default)")
 		breakCool  = fs.Duration("cloud-break-cooldown", 0, "how long the cloud breaker stays open before probing again (0 = library default)")
+
+		queueBudget = fs.Float64("queue-budget", 0, "admission control: per-tenant backlog budget in seconds of work; a tenant with share p admits ~budget*p*flops/mu_b block-b tasks (0 = unbounded)")
+		batchSize   = fs.Int("batch-size", 0, "batch window: max same-block executions coalesced into one amortized burn (<=1 = batching off)")
+		batchDelay  = fs.Float64("batch-delay", 0, "batch window: max seconds the edge holds a task waiting for co-arriving work (0 = batching off)")
+		batchMarg   = fs.Float64("batch-marginal", 0, "cost of each extra batched task as a fraction of the first (0 = default 0.25)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,11 +81,13 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 			BandwidthBps: leime.Mbps(*cloudBW),
 			Latency:      time.Duration(*cloudLat * float64(time.Second)),
 		},
-		TimeScale:    runtime.Scale(*scale),
-		CloudRetry:   rpc.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryBase},
-		CloudBreaker: rpc.BreakerConfig{FailureThreshold: *breakAfter, Cooldown: *breakCool},
-		Tracer:       tracer,
-		Metrics:      reg,
+		TimeScale:     runtime.Scale(*scale),
+		CloudRetry:    rpc.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryBase},
+		CloudBreaker:  rpc.BreakerConfig{FailureThreshold: *breakAfter, Cooldown: *breakCool},
+		MaxBacklogSec: *queueBudget,
+		Batch:         runtime.BatchConfig{MaxSize: *batchSize, MaxDelaySec: *batchDelay, Marginal: *batchMarg},
+		Tracer:        tracer,
+		Metrics:       reg,
 	})
 	if err != nil {
 		return err

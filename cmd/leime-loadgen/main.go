@@ -1,0 +1,169 @@
+// Command leime-loadgen is the open-loop load harness: N synthetic devices
+// offer first-block work to an edge server at a configured rate and the tool
+// reports achieved throughput, the completion-latency distribution and the
+// rejection/shed counts as JSON. Point it at a live edge with -edge, or let
+// it spin up an in-process edge+cloud testbed (the default) to probe batching
+// and admission-control settings without deploying anything.
+//
+// A single run measures one offered rate; -rate-sweep walks a list of rates
+// and emits the saturation report the capacity model in DESIGN.md §11 is
+// calibrated against: achieved-vs-offered locates the knee, p99-vs-offered
+// shows the latency cliff past it.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"leime"
+	"leime/internal/loadgen"
+	"leime/internal/runtime"
+)
+
+func main() {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "leime-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the tool body; main wires it to os.Args, stdout and signals, and
+// tests drive it directly.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("leime-loadgen", flag.ContinueOnError)
+	var (
+		edgeAddr  = fs.String("edge", "", "edge server to drive (empty = spin up an in-process edge+cloud testbed)")
+		arch      = fs.String("arch", "inception-v3", "DNN profile (payload sizes and exit rates)")
+		devices   = fs.Int("devices", 4, "synthetic devices to register")
+		rate      = fs.Float64("rate", 5, "offered rate per device in tasks/sec")
+		rateSweep = fs.String("rate-sweep", "", "comma-separated per-device rates; runs each and emits a saturation report")
+		arrival   = fs.String("arrival", "poisson", "arrival process: poisson or constant")
+		duration  = fs.Duration("duration", 2*time.Second, "generation horizon per run")
+		seed      = fs.Int64("seed", 1, "schedule seed (equal seeds offer identical schedules)")
+		timeout   = fs.Duration("timeout", 0, "per-task deadline (0 = none); expiries count as sheds")
+		devFLOPS  = fs.Float64("device-flops", 1e9, "capability each synthetic device registers with")
+		minDone   = fs.Int("min-completed", 0, "exit nonzero unless at least this many tasks complete (CI smoke)")
+
+		edgeFLOPS   = fs.Float64("edge-flops", leime.EdgeDesktop.FLOPS, "in-process testbed: edge capability in FLOPS")
+		cloudFLOPS  = fs.Float64("cloud-flops", leime.CloudV100.FLOPS, "in-process testbed: cloud capability in FLOPS")
+		scale       = fs.Float64("scale", 1, "in-process testbed: time compression factor")
+		queueBudget = fs.Float64("queue-budget", 0, "in-process testbed: per-tenant backlog budget in seconds of work (0 = unbounded)")
+		batchSize   = fs.Int("batch-size", 0, "in-process testbed: max same-block executions per amortized burn (<=1 = off)")
+		batchDelay  = fs.Float64("batch-delay", 0, "in-process testbed: max seconds a task waits for co-arriving work (0 = off)")
+		batchMarg   = fs.Float64("batch-marginal", 0, "in-process testbed: cost of each extra batched task as a fraction of the first (0 = default 0.25)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sys, err := leime.Build(leime.Options{Arch: *arch, Env: leime.TestbedEnv(leime.RaspberryPi3B)})
+	if err != nil {
+		return err
+	}
+	addr := *edgeAddr
+	if addr == "" {
+		cloud, err := runtime.StartCloud(runtime.CloudConfig{
+			Addr:        "127.0.0.1:0",
+			FLOPS:       *cloudFLOPS,
+			Block3FLOPs: sys.Params().Mu[2],
+			TimeScale:   runtime.Scale(*scale),
+		})
+		if err != nil {
+			return err
+		}
+		defer cloud.Close()
+		edge, err := runtime.StartEdge(runtime.EdgeConfig{
+			Addr:          "127.0.0.1:0",
+			FLOPS:         *edgeFLOPS,
+			Model:         sys.Params(),
+			CloudAddr:     cloud.Addr(),
+			TimeScale:     runtime.Scale(*scale),
+			MaxBacklogSec: *queueBudget,
+			Batch:         runtime.BatchConfig{MaxSize: *batchSize, MaxDelaySec: *batchDelay, Marginal: *batchMarg},
+		})
+		if err != nil {
+			return err
+		}
+		defer edge.Close()
+		addr = edge.Addr()
+		fmt.Fprintf(os.Stderr, "leime-loadgen: in-process testbed on %s (edge %.3g FLOPS, cloud %.3g FLOPS, scale %g)\n",
+			addr, *edgeFLOPS, *cloudFLOPS, *scale)
+	}
+
+	cfg := loadgen.Config{
+		EdgeAddr:    addr,
+		Devices:     *devices,
+		Rate:        *rate,
+		Arrival:     *arrival,
+		Duration:    *duration,
+		Seed:        *seed,
+		Model:       sys.Params(),
+		DeviceFLOPS: *devFLOPS,
+		Timeout:     *timeout,
+	}
+
+	var report any
+	completed := 0
+	if *rateSweep != "" {
+		rates, err := parseRates(*rateSweep)
+		if err != nil {
+			return err
+		}
+		sweep, err := loadgen.Sweep(ctx, cfg, rates)
+		if err != nil {
+			return err
+		}
+		for _, p := range sweep.Points {
+			completed += p.Completed
+		}
+		report = sweep
+	} else {
+		res, err := loadgen.Run(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		completed = res.Completed
+		report = res
+	}
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	if *minDone > 0 && completed < *minDone {
+		return fmt.Errorf("completed %d tasks, below the -min-completed floor %d", completed, *minDone)
+	}
+	return nil
+}
+
+// parseRates parses the -rate-sweep list.
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(part, 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("bad -rate-sweep entry %q: want positive rates", part)
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-rate-sweep %q contains no rates", s)
+	}
+	return out, nil
+}

@@ -51,6 +51,7 @@ func All() []Experiment {
 		Deadline(),
 		Joint(),
 		CrossCheck(),
+		Capacity(),
 	}
 }
 

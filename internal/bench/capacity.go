@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"leime/internal/loadgen"
+	"leime/internal/metrics"
+	"leime/internal/offload"
+	"leime/internal/runtime"
+)
+
+// Capacity is the saturation study behind DESIGN.md §11: an open-loop rate
+// sweep against the real socket testbed, once with plain FIFO execution and
+// once with the batch window enabled, both under the same admission budget.
+// The report shows where each configuration's achieved rate peels away from
+// the offered rate (the capacity knee) and what completion p99 it holds
+// there — batching amortizes same-block burns, so its knee sits at a higher
+// offered rate for the same latency.
+func Capacity() Experiment {
+	return Experiment{
+		ID:    "capacity",
+		Title: "Edge capacity: open-loop saturation sweep, batched vs unbatched execution",
+		Run:   runCapacity,
+	}
+}
+
+// capacityVariant is one edge configuration under test.
+type capacityVariant struct {
+	name  string
+	batch runtime.BatchConfig
+}
+
+func runCapacity(w io.Writer, quick bool) error {
+	model := offload.ModelParams{
+		Mu:    [3]float64{2e8, 8e8, 1e9},
+		D:     [3]float64{3088, 65536, 8192},
+		Sigma: [3]float64{0.4, 0.8, 1},
+	}
+	rates := []float64{30, 60, 120, 240}
+	duration := 1500 * time.Millisecond
+	if quick {
+		rates = []float64{30, 120}
+		duration = 400 * time.Millisecond
+	}
+	// A 4 GFLOPS edge split across 4 tenants serves ~73 tasks/s/tenant
+	// serially (0.68 expected model-seconds per task on a 1 GFLOPS share,
+	// 0.02 time compression); the sweep straddles that knee. The budget
+	// must exceed the dearest single block (block 2: 0.8 model-seconds per
+	// share) or admission rejects continuations outright.
+	const (
+		devices   = 4
+		edgeFLOPS = 4e9
+		scale     = runtime.Scale(0.02)
+		budgetSec = 3.0 // admission budget: saturated points reject, not queue
+		seed      = 77
+	)
+	variants := []capacityVariant{
+		{name: "unbatched", batch: runtime.BatchConfig{}},
+		{name: "batched", batch: runtime.BatchConfig{MaxSize: 8, MaxDelaySec: 0.05}},
+	}
+
+	tbl := metrics.NewTable("config", "offered_per_s", "achieved_per_s", "completed", "rejected", "p50_ms", "p99_ms")
+	for _, v := range variants {
+		cloud, err := runtime.StartCloud(runtime.CloudConfig{
+			Addr:        "127.0.0.1:0",
+			FLOPS:       2e12,
+			Block3FLOPs: model.Mu[2],
+			TimeScale:   scale,
+		})
+		if err != nil {
+			return err
+		}
+		edge, err := runtime.StartEdge(runtime.EdgeConfig{
+			Addr:          "127.0.0.1:0",
+			FLOPS:         edgeFLOPS,
+			Model:         model,
+			CloudAddr:     cloud.Addr(),
+			TimeScale:     scale,
+			MaxBacklogSec: budgetSec,
+			Batch:         v.batch,
+		})
+		if err != nil {
+			_ = cloud.Close()
+			return err
+		}
+		sweep, err := loadgen.Sweep(context.Background(), loadgen.Config{
+			EdgeAddr: edge.Addr(),
+			Devices:  devices,
+			Duration: duration,
+			Seed:     seed,
+			Model:    model,
+			IDPrefix: "cap-" + v.name,
+		}, rates)
+		_ = edge.Close()
+		_ = cloud.Close()
+		if err != nil {
+			return err
+		}
+		for _, p := range sweep.Points {
+			tbl.AddRow(v.name, p.OfferedRate, p.AchievedRate, p.Completed, p.Rejected,
+				p.Latency.P50*1000, p.Latency.P99*1000)
+		}
+	}
+	fmt.Fprintf(w, "Open-loop sweep: %d devices, %.3g FLOPS edge, %.1fs admission budget, scale %g:\n",
+		devices, edgeFLOPS, budgetSec, float64(scale))
+	fmt.Fprint(w, tbl.String())
+	fmt.Fprintln(w, "\nAchieved tracking offered = under capacity; the gap past the knee is")
+	fmt.Fprintln(w, "admission rejections (degrade-to-local signals). The batch window holds")
+	fmt.Fprintln(w, "tasks up to MaxDelaySec, raising latency at light load but amortizing")
+	fmt.Fprintln(w, "same-block burns under saturation — a higher knee at comparable p99.")
+	return nil
+}

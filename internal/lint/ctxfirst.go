@@ -1,8 +1,13 @@
-// Package lint holds the repo's own static checks. The one check so far,
-// CtxFirst, enforces the context-aware API convention introduced with the
-// fault-tolerant runtime: any function that accepts a context.Context must
-// take it as its first parameter, so deadlines and cancellation visibly
-// enter every call chain at the front.
+// Package lint holds the repo's own static checks, each exposed as a
+// directory walk returning violations and wrapped by a cmd/ tool CI runs:
+//
+//   - CtxFirstDir (cmd/ctxcheck) enforces the context-aware API convention
+//     introduced with the fault-tolerant runtime: any function that accepts
+//     a context.Context must take it as its first parameter, so deadlines
+//     and cancellation visibly enter every call chain at the front.
+//   - MissingDocsDir (cmd/doccheck) enforces the documentation convention
+//     from the docs re-anchor: every exported top-level declaration and
+//     every package clause carries a doc comment.
 package lint
 
 import (
@@ -25,6 +30,7 @@ type Violation struct {
 	Func string
 }
 
+// String renders the violation as a "pos: func: rule" diagnostic line.
 func (v Violation) String() string {
 	return fmt.Sprintf("%s: %s: context.Context must be the first parameter", v.Pos, v.Func)
 }

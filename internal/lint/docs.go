@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// DocViolation is one exported symbol (or package clause) missing its doc
+// comment — the repo-local equivalent of staticcheck's ST1000 (package
+// comments) and ST1020/ST1021/ST1022 (exported declarations).
+type DocViolation struct {
+	// Pos is the "file:line:col" location of the undocumented declaration.
+	Pos string
+	// Symbol names what lacks documentation ("package foo", "Type",
+	// "Type.Method", "ConstName").
+	Symbol string
+}
+
+// String renders the violation as a "pos: symbol: rule" diagnostic line.
+func (v DocViolation) String() string {
+	return fmt.Sprintf("%s: %s: exported declarations need a doc comment", v.Pos, v.Symbol)
+}
+
+// MissingDocsDir parses every non-test .go file under root (skipping
+// testdata and hidden directories) and returns the exported top-level
+// declarations without doc comments, plus packages whose clause no file
+// documents. A comment on a grouped declaration (one `const (...)` or
+// `var (...)` block) covers every spec in the group, matching godoc's
+// rendering; _test.go files are exempt because their audience is the test
+// reader, not the API consumer.
+func MissingDocsDir(root string) ([]DocViolation, error) {
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	var out []DocViolation
+	// pkgDocs tracks, per directory, whether any file documents the package
+	// clause; pkgFirst remembers a representative position to report.
+	pkgDocs := map[string]bool{}
+	pkgFirst := map[string]string{}
+	pkgName := map[string]string{}
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		dir := filepath.Dir(path)
+		if f.Doc != nil {
+			pkgDocs[dir] = true
+		}
+		if _, ok := pkgFirst[dir]; !ok || path < pkgFirst[dir] {
+			pkgFirst[dir] = path
+			pkgName[dir] = f.Name.Name
+		}
+		out = append(out, missingDocsFile(fset, f)...)
+	}
+	for dir, documented := range pkgDocsComplete(pkgDocs, pkgFirst) {
+		if !documented {
+			out = append(out, DocViolation{
+				Pos:    pkgFirst[dir] + ":1:1",
+				Symbol: "package " + pkgName[dir],
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// pkgDocsComplete merges the per-directory doc observations: directories
+// seen only in pkgFirst (no file documented the package) map to false.
+func pkgDocsComplete(pkgDocs map[string]bool, pkgFirst map[string]string) map[string]bool {
+	out := make(map[string]bool, len(pkgFirst))
+	for dir := range pkgFirst {
+		out[dir] = pkgDocs[dir]
+	}
+	return out
+}
+
+// missingDocsFile checks one parsed file's top-level declarations.
+func missingDocsFile(fset *token.FileSet, f *ast.File) []DocViolation {
+	var out []DocViolation
+	report := func(pos token.Pos, symbol string) {
+		out = append(out, DocViolation{Pos: fset.Position(pos).String(), Symbol: symbol})
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			name := d.Name.Name
+			if d.Recv != nil && len(d.Recv.List) == 1 {
+				recv := recvTypeName(d.Recv.List[0].Type)
+				if !ast.IsExported(recv) {
+					continue // method on an unexported type: not API surface
+				}
+				name = recv + "." + name
+			}
+			report(d.Pos(), name)
+		case *ast.GenDecl:
+			if d.Tok == token.IMPORT || d.Doc != nil {
+				continue // a group comment documents every spec in the block
+			}
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && s.Doc == nil {
+						report(s.Pos(), s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if s.Doc != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							report(n.Pos(), n.Name)
+							break // one violation per spec line
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// checkDocsSrc runs the per-file declaration check on inline source.
+func checkDocsSrc(t *testing.T, src string) []DocViolation {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return missingDocsFile(fset, f)
+}
+
+func TestMissingDocsAccepts(t *testing.T) {
+	good := []string{
+		// Documented function, type, method.
+		`package p
+// F does things.
+func F() {}
+// T is a thing.
+type T struct{}
+// M acts on T.
+func (t *T) M() {}`,
+		// Unexported declarations need no docs.
+		`package p
+func f() {}
+type t struct{}
+var x = 1
+const c = 2`,
+		// A group comment covers every spec in the block.
+		`package p
+// Errors of the package.
+var (
+	ErrA = anErr()
+	ErrB = anErr()
+)`,
+		// Per-spec comments inside an undocumented block also count.
+		`package p
+const (
+	// A is the first.
+	A = 1
+	// B is the second.
+	B = 2
+)`,
+		// Methods on unexported types are not API surface.
+		`package p
+type inner struct{}
+func (i inner) Exported() {}`,
+		// Imports never need docs.
+		`package p
+import "fmt"
+// F uses fmt.
+func F() { fmt.Println() }`,
+	}
+	for i, src := range good {
+		if got := checkDocsSrc(t, src); len(got) != 0 {
+			t.Errorf("case %d flagged: %v", i, got)
+		}
+	}
+}
+
+func TestMissingDocsFlags(t *testing.T) {
+	bad := []struct {
+		src    string
+		symbol string
+	}{
+		{`package p
+func Exported() {}`, "Exported"},
+		{`package p
+type T struct{}`, "T"},
+		{`package p
+// T is documented.
+type T struct{}
+func (t *T) M() {}`, "T.M"},
+		{`package p
+var Exported = 1`, "Exported"},
+		{`package p
+const (
+	A = 1
+)`, "A"},
+		{`package p
+var (
+	// A is documented.
+	A = 1
+	B = 2
+)`, "B"},
+	}
+	for i, c := range bad {
+		got := checkDocsSrc(t, c.src)
+		if len(got) != 1 {
+			t.Errorf("case %d: %d violations (%v), want 1", i, len(got), got)
+			continue
+		}
+		if got[0].Symbol != c.symbol {
+			t.Errorf("case %d: flagged %q, want %q", i, got[0].Symbol, c.symbol)
+		}
+	}
+}
+
+// TestMissingDocsDirPackageClause checks the directory walk flags packages
+// with no package comment in any file and exempts _test.go files entirely.
+func TestMissingDocsDirPackageClause(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a.go", "package p\n\n// F is documented.\nfunc F() {}\n")
+	write("b_test.go", "package p\n\nfunc TestUndocumentedExportedHelper() {}\nfunc Helper() {}\n")
+	got, err := MissingDocsDir(dir)
+	if err != nil {
+		t.Fatalf("MissingDocsDir: %v", err)
+	}
+	if len(got) != 1 || !strings.HasPrefix(got[0].Symbol, "package ") {
+		t.Fatalf("want exactly the missing package comment, got %v", got)
+	}
+	write("a.go", "// Package p exists to be checked.\npackage p\n\n// F is documented.\nfunc F() {}\n")
+	got, err = MissingDocsDir(dir)
+	if err != nil {
+		t.Fatalf("MissingDocsDir (documented): %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("documented package still flagged: %v", got)
+	}
+}
+
+// TestRepoIsDocClean gates the audit: the entire repository must stay free
+// of undocumented exported declarations (CI runs cmd/doccheck for the same
+// guarantee on every push).
+func TestRepoIsDocClean(t *testing.T) {
+	got, err := MissingDocsDir(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("MissingDocsDir: %v", err)
+	}
+	for _, v := range got {
+		t.Errorf("%s", v)
+	}
+}

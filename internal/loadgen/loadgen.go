@@ -1,0 +1,397 @@
+// Package loadgen is the open-loop load harness of the testbed: N synthetic
+// devices offer first-block work to a live edge at a configured rate,
+// regardless of how fast the edge answers. Open-loop arrivals are the honest
+// way to measure a server's capacity — a closed loop (next request after the
+// previous reply) slows its own offered load exactly when the server
+// saturates, hiding the latency the backlog inflicts (coordinated omission).
+// Here every task's latency is measured from its *scheduled* arrival, so
+// queueing delay, admission rejections and deadline sheds all show up in the
+// report.
+//
+// The harness speaks the runtime protocol directly (RegisterReq +
+// FirstBlockReq) rather than running runtime.Device instances: a capacity
+// probe must not adapt, fall back to local execution, or make offloading
+// decisions. Rejections (ErrBusy, ErrOverloaded) are counted as the
+// degrade-to-local signals a real device would absorb.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"leime/internal/metrics"
+	"leime/internal/offload"
+	"leime/internal/rpc"
+	"leime/internal/runtime"
+)
+
+// Config parameterizes one load run against an edge server.
+type Config struct {
+	// EdgeAddr is the edge server to drive.
+	EdgeAddr string
+	// Devices is the number of synthetic devices to register (default 4).
+	Devices int
+	// Rate is the offered arrival rate per device in tasks per wall-clock
+	// second (default 5). The aggregate offered rate is Devices*Rate.
+	Rate float64
+	// Arrival selects the arrival process: "poisson" (default) or
+	// "constant" (evenly spaced).
+	Arrival string
+	// Duration is the generation horizon in wall time (default 2s). Tasks
+	// scheduled inside the horizon are always dispatched; the run then
+	// waits for stragglers.
+	Duration time.Duration
+	// Seed drives arrival spacing and exit sampling. Runs with equal seeds
+	// offer byte-identical schedules (see Schedule).
+	Seed int64
+	// Model is the deployed ME-DNN: D[0] sizes the payload, Sigma samples
+	// each task's exit.
+	Model offload.ModelParams
+	// DeviceFLOPS is the capability each synthetic device registers with;
+	// it shapes the KKT share the edge reserves (default 1e9).
+	DeviceFLOPS float64
+	// Timeout bounds each task RPC; expiries count as deadline sheds
+	// rather than errors. Zero means no per-task deadline.
+	Timeout time.Duration
+	// IDPrefix namespaces device IDs so repeated runs (sweep points)
+	// against one edge do not collide (default "loadgen").
+	IDPrefix string
+	// ReservoirCap caps the latency reservoir (default 8192 samples).
+	ReservoirCap int
+}
+
+// withDefaults fills unset fields with the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.Devices == 0 {
+		c.Devices = 4
+	}
+	if c.Rate == 0 {
+		c.Rate = 5
+	}
+	if c.Arrival == "" {
+		c.Arrival = "poisson"
+	}
+	if c.Duration == 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.DeviceFLOPS == 0 {
+		c.DeviceFLOPS = 1e9
+	}
+	if c.IDPrefix == "" {
+		c.IDPrefix = "loadgen"
+	}
+	if c.ReservoirCap == 0 {
+		c.ReservoirCap = 8192
+	}
+	return c
+}
+
+// validate rejects configurations the harness cannot honour.
+func (c Config) validate() error {
+	if c.EdgeAddr == "" {
+		return fmt.Errorf("loadgen: EdgeAddr required")
+	}
+	if c.Devices < 1 {
+		return fmt.Errorf("loadgen: Devices %d must be positive", c.Devices)
+	}
+	if c.Rate <= 0 || math.IsNaN(c.Rate) || math.IsInf(c.Rate, 0) {
+		return fmt.Errorf("loadgen: Rate %v must be a positive finite rate", c.Rate)
+	}
+	if c.Arrival != "poisson" && c.Arrival != "constant" {
+		return fmt.Errorf("loadgen: Arrival %q must be poisson or constant", c.Arrival)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("loadgen: Duration %v must be positive", c.Duration)
+	}
+	if err := c.Model.Validate(); err != nil {
+		return fmt.Errorf("loadgen: %w", err)
+	}
+	return nil
+}
+
+// Arrival is one scheduled task: which device offers it, when (offset from
+// the run start), and through which exit it will leave the network.
+type Arrival struct {
+	// At is the scheduled offset from the start of the run.
+	At time.Duration
+	// Device indexes the synthetic device offering the task.
+	Device int
+	// Task is the per-device task identifier.
+	Task uint64
+	// Exit is the pre-sampled exit stage (1, 2 or 3).
+	Exit int
+}
+
+// Schedule expands the configuration into its full arrival sequence, sorted
+// by offset. It is a pure function of the configuration: equal configs
+// (including Seed) produce identical schedules, which is what makes load
+// runs reproducible — the nondeterminism in a run's *results* is then
+// attributable to the system under test, not the harness.
+func Schedule(cfg Config) ([]Arrival, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var out []Arrival
+	for dev := 0; dev < cfg.Devices; dev++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(dev)*104729))
+		gap := 1 / cfg.Rate // mean inter-arrival in seconds
+		var task uint64
+		at := float64(0)
+		for {
+			if cfg.Arrival == "poisson" {
+				at += rng.ExpFloat64() * gap
+			} else {
+				// Multiply instead of accumulating so float drift cannot
+				// leak an extra arrival past the horizon.
+				at = gap * float64(task+1)
+			}
+			if at >= cfg.Duration.Seconds() {
+				break
+			}
+			task++
+			out = append(out, Arrival{
+				At:     time.Duration(at * float64(time.Second)),
+				Device: dev,
+				Task:   task,
+				Exit:   sampleExit(rng, cfg.Model),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Device < out[j].Device
+	})
+	return out, nil
+}
+
+// sampleExit draws an exit stage from the model's cumulative exit rates.
+func sampleExit(rng *rand.Rand, m offload.ModelParams) int {
+	r := rng.Float64()
+	switch {
+	case r < m.Sigma[0]:
+		return 1
+	case r < m.Sigma[1]:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Latency summarizes the end-to-end latency distribution of completed
+// tasks, in seconds, measured from each task's scheduled arrival.
+type Latency struct {
+	// Samples is the number of latencies recorded.
+	Samples int `json:"samples"`
+	// Mean is the exact mean over all completions.
+	Mean float64 `json:"mean_sec"`
+	// P50, P95 and P99 are reservoir-estimated percentiles.
+	P50 float64 `json:"p50_sec"`
+	P95 float64 `json:"p95_sec"`
+	P99 float64 `json:"p99_sec"`
+	// Max is the exact maximum.
+	Max float64 `json:"max_sec"`
+}
+
+// Result is the report of one load run.
+type Result struct {
+	// OfferedRate is the configured aggregate offered load in tasks/sec.
+	OfferedRate float64 `json:"offered_rate_per_sec"`
+	// AchievedRate is completions divided by the generation horizon.
+	AchievedRate float64 `json:"achieved_rate_per_sec"`
+	// Generated counts scheduled tasks; Completed counts successful ones.
+	Generated int `json:"generated"`
+	Completed int `json:"completed"`
+	// Rejected counts tasks the edge refused with admission control
+	// (ErrBusy or ErrOverloaded) — the degrade-to-local signals a real
+	// device would absorb by running the blocks itself.
+	Rejected int `json:"rejected"`
+	// DeadlineSheds counts tasks whose per-task timeout elapsed.
+	DeadlineSheds int `json:"deadline_sheds"`
+	// Errors counts everything else (transport failures, server faults).
+	Errors int `json:"errors"`
+	// Exits tallies completions by exit stage.
+	Exits [3]int `json:"exits"`
+	// Latency is the completion-latency distribution.
+	Latency Latency `json:"latency"`
+	// DurationSec is the configured generation horizon.
+	DurationSec float64 `json:"duration_sec"`
+}
+
+// Run executes one open-loop load run. The context cancels in-flight work;
+// the run otherwise lasts the configured duration plus straggler drain.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	schedule, err := Schedule(cfg)
+	if err != nil {
+		return nil, err
+	}
+	runtime.RegisterMessages()
+
+	clients := make([]*rpc.Client, cfg.Devices)
+	ids := make([]string, cfg.Devices)
+	for i := range clients {
+		ids[i] = fmt.Sprintf("%s-%02d", cfg.IDPrefix, i)
+		c, err := rpc.Dial(cfg.EdgeAddr, nil)
+		if err != nil {
+			closeAll(clients)
+			return nil, fmt.Errorf("loadgen: device %s: %w", ids[i], err)
+		}
+		clients[i] = c
+		regCtx, cancel := context.WithTimeout(ctx, rpc.DialTimeout)
+		_, err = c.Call(regCtx, runtime.RegisterReq{
+			DeviceID:    ids[i],
+			FLOPS:       cfg.DeviceFLOPS,
+			ArrivalMean: cfg.Rate,
+			Model:       cfg.Model,
+		})
+		cancel()
+		if err != nil {
+			closeAll(clients)
+			return nil, fmt.Errorf("loadgen: register %s: %w", ids[i], err)
+		}
+	}
+	defer func() {
+		for i, c := range clients {
+			unregCtx, cancel := context.WithTimeout(context.Background(), rpc.DialTimeout)
+			_, _ = c.Call(unregCtx, runtime.UnregisterReq{DeviceID: ids[i]})
+			cancel()
+		}
+		closeAll(clients)
+	}()
+
+	res := &Result{
+		OfferedRate: float64(cfg.Devices) * cfg.Rate,
+		Generated:   len(schedule),
+		DurationSec: cfg.Duration.Seconds(),
+	}
+	reservoir := metrics.NewSharedReservoir(cfg.ReservoirCap, cfg.Seed)
+	var mu sync.Mutex // guards the counters below
+	payload := make([]byte, int(cfg.Model.D[0]))
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, a := range schedule {
+		if sleepUntil(ctx, start.Add(a.At)) != nil {
+			mu.Lock()
+			res.Errors++ // cancelled before dispatch
+			mu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func(a Arrival) {
+			defer wg.Done()
+			taskCtx, cancel := taskContext(ctx, cfg.Timeout)
+			defer cancel()
+			_, err := clients[a.Device].Call(taskCtx, runtime.FirstBlockReq{
+				DeviceID:  ids[a.Device],
+				TaskID:    a.Task,
+				Payload:   payload,
+				ExitStage: a.Exit,
+			})
+			elapsed := time.Since(start.Add(a.At)).Seconds()
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				res.Completed++
+				res.Exits[a.Exit-1]++
+				reservoir.Add(elapsed)
+			case errors.Is(err, runtime.ErrBusy) || errors.Is(err, runtime.ErrOverloaded):
+				res.Rejected++
+			case errors.Is(err, rpc.ErrDeadlineExceeded) || errors.Is(err, context.DeadlineExceeded):
+				res.DeadlineSheds++
+			default:
+				res.Errors++
+			}
+		}(a)
+	}
+	wg.Wait()
+
+	res.AchievedRate = float64(res.Completed) / cfg.Duration.Seconds()
+	res.Latency = Latency{
+		Samples: reservoir.Count(),
+		Mean:    reservoir.Mean(),
+		P50:     reservoir.Percentile(50),
+		P95:     reservoir.Percentile(95),
+		P99:     reservoir.Percentile(99),
+		Max:     reservoir.Max(),
+	}
+	return res, nil
+}
+
+// taskContext derives the per-task context: the run context, bounded by the
+// per-task timeout when one is configured.
+func taskContext(ctx context.Context, timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, timeout)
+}
+
+// sleepUntil blocks until the deadline or the context ends, whichever is
+// first. It returns nil when the deadline was reached (including deadlines
+// already in the past — open-loop dispatch never skips a scheduled task).
+func sleepUntil(ctx context.Context, deadline time.Time) error {
+	d := time.Until(deadline)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// closeAll closes every non-nil client.
+func closeAll(clients []*rpc.Client) {
+	for _, c := range clients {
+		if c != nil {
+			_ = c.Close()
+		}
+	}
+}
+
+// SweepResult is the saturation report of a rate sweep: one Result per
+// offered rate, in sweep order. Plotting achieved vs offered rate locates
+// the knee; p99 against offered rate shows the latency cliff past it.
+type SweepResult struct {
+	// Points are the per-rate run reports.
+	Points []Result `json:"points"`
+}
+
+// Sweep runs the configuration at each per-device rate in turn, namespacing
+// device IDs per point so tenant state never collides, and pausing briefly
+// between points so one point's stragglers do not pollute the next.
+func Sweep(ctx context.Context, base Config, rates []float64) (*SweepResult, error) {
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("loadgen: empty rate sweep")
+	}
+	out := &SweepResult{}
+	for i, r := range rates {
+		cfg := base
+		cfg.Rate = r
+		cfg.IDPrefix = fmt.Sprintf("%s-r%d", base.withDefaults().IDPrefix, i)
+		res, err := Run(ctx, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: sweep point %v/s: %w", r, err)
+		}
+		out.Points = append(out.Points, *res)
+		if err := sleepUntil(ctx, time.Now().Add(50*time.Millisecond)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

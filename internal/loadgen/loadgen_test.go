@@ -1,0 +1,210 @@
+package loadgen
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"leime/internal/offload"
+	"leime/internal/runtime"
+)
+
+// testModel mirrors the runtime package's test model: small blocks so
+// scaled runs finish fast.
+func testModel() offload.ModelParams {
+	return offload.ModelParams{
+		Mu:    [3]float64{2e8, 8e8, 1e9},
+		D:     [3]float64{3088, 65536, 8192},
+		Sigma: [3]float64{0.4, 0.8, 1},
+	}
+}
+
+// TestScheduleDeterministic pins the harness's reproducibility contract:
+// equal configurations (including seed) expand to identical schedules, and
+// a different seed actually moves the arrivals.
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := Config{
+		EdgeAddr: "unused:0",
+		Devices:  3,
+		Rate:     20,
+		Duration: 2 * time.Second,
+		Seed:     42,
+		Model:    testModel(),
+	}
+	a, err := Schedule(cfg)
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	b, err := Schedule(cfg)
+	if err != nil {
+		t.Fatalf("Schedule (rerun): %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("equal configs produced different schedules")
+	}
+	if len(a) == 0 {
+		t.Fatal("empty schedule for a 3-device 20/s 2s run")
+	}
+	cfg.Seed = 43
+	c, err := Schedule(cfg)
+	if err != nil {
+		t.Fatalf("Schedule (new seed): %v", err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("changing the seed did not change the schedule")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].At < a[i-1].At {
+			t.Fatalf("schedule not sorted: arrival %d at %v after %v", i, a[i].At, a[i-1].At)
+		}
+	}
+}
+
+// TestScheduleConstantSpacing checks the constant arrival process spaces
+// each device's tasks exactly 1/Rate apart.
+func TestScheduleConstantSpacing(t *testing.T) {
+	cfg := Config{
+		EdgeAddr: "unused:0",
+		Devices:  1,
+		Rate:     10,
+		Arrival:  "constant",
+		Duration: time.Second,
+		Model:    testModel(),
+	}
+	sched, err := Schedule(cfg)
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if len(sched) != 9 {
+		t.Fatalf("constant 10/s over 1s = 9 arrivals (0.1s..0.9s), got %d", len(sched))
+	}
+	for i, a := range sched {
+		want := time.Duration(i+1) * 100 * time.Millisecond
+		if diff := a.At - want; diff < -time.Microsecond || diff > time.Microsecond {
+			t.Errorf("arrival %d at %v, want %v", i, a.At, want)
+		}
+	}
+}
+
+// TestScheduleValidates checks bad configurations are rejected.
+func TestScheduleValidates(t *testing.T) {
+	bad := []Config{
+		{Devices: 1, Rate: 5, Duration: time.Second, Model: testModel()},                                    // no addr
+		{EdgeAddr: "x:0", Devices: 1, Rate: -1, Duration: time.Second, Model: testModel()},                  // bad rate
+		{EdgeAddr: "x:0", Devices: 1, Rate: 5, Arrival: "burst", Duration: time.Second, Model: testModel()}, // bad process
+		{EdgeAddr: "x:0", Devices: 1, Rate: 5, Duration: time.Second},                                       // bad model
+	}
+	for i, cfg := range bad {
+		if _, err := Schedule(cfg); err == nil {
+			t.Errorf("config %d: Schedule accepted an invalid configuration", i)
+		}
+	}
+}
+
+// startTestbed brings up an in-process cloud+edge pair for live runs.
+func startTestbed(t *testing.T, edgeCfg runtime.EdgeConfig) *runtime.Edge {
+	t.Helper()
+	cloud, err := runtime.StartCloud(runtime.CloudConfig{
+		Addr:        "127.0.0.1:0",
+		FLOPS:       2e12,
+		Block3FLOPs: testModel().Mu[2],
+		TimeScale:   0.01,
+	})
+	if err != nil {
+		t.Fatalf("StartCloud: %v", err)
+	}
+	t.Cleanup(func() { _ = cloud.Close() })
+	edgeCfg.Addr = "127.0.0.1:0"
+	edgeCfg.Model = testModel()
+	edgeCfg.CloudAddr = cloud.Addr()
+	edgeCfg.TimeScale = 0.01
+	edge, err := runtime.StartEdge(edgeCfg)
+	if err != nil {
+		t.Fatalf("StartEdge: %v", err)
+	}
+	t.Cleanup(func() { _ = edge.Close() })
+	return edge
+}
+
+// TestRunAgainstTestbed drives a live in-process edge and checks the
+// report's accounting: every scheduled task is classified exactly once and
+// the latency summary covers every completion.
+func TestRunAgainstTestbed(t *testing.T) {
+	edge := startTestbed(t, runtime.EdgeConfig{FLOPS: 6e10})
+	res, err := Run(context.Background(), Config{
+		EdgeAddr: edge.Addr(),
+		Devices:  2,
+		Rate:     20,
+		Duration: time.Second,
+		Seed:     7,
+		Model:    testModel(),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no completions against an unloaded edge")
+	}
+	if got := res.Completed + res.Rejected + res.DeadlineSheds + res.Errors; got != res.Generated {
+		t.Errorf("classification leak: %d classified vs %d generated", got, res.Generated)
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d, want 0 against a healthy testbed", res.Errors)
+	}
+	if res.Latency.Samples != res.Completed {
+		t.Errorf("latency samples %d != completions %d", res.Latency.Samples, res.Completed)
+	}
+	if res.Latency.P50 <= 0 || res.Latency.P99 < res.Latency.P50 || res.Latency.Max < res.Latency.P99 {
+		t.Errorf("latency summary not ordered: p50=%v p99=%v max=%v",
+			res.Latency.P50, res.Latency.P99, res.Latency.Max)
+	}
+	if res.Exits[0]+res.Exits[1]+res.Exits[2] != res.Completed {
+		t.Errorf("exit tallies %v do not sum to completions %d", res.Exits, res.Completed)
+	}
+}
+
+// TestRunCountsAdmissionRejections saturates a tiny backlog budget and
+// checks rejections are classified as such, not as errors.
+func TestRunCountsAdmissionRejections(t *testing.T) {
+	edge := startTestbed(t, runtime.EdgeConfig{FLOPS: 2e9, MaxBacklogSec: 0.1})
+	res, err := Run(context.Background(), Config{
+		EdgeAddr: edge.Addr(),
+		Devices:  2,
+		Rate:     60,
+		Duration: time.Second,
+		Seed:     7,
+		Model:    testModel(),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Rejected == 0 {
+		t.Error("no rejections despite 120/s offered against a 2 GFLOPS edge with a 0.1s budget")
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d; rejections must classify as Rejected", res.Errors)
+	}
+}
+
+// TestSweepOrdersPoints checks a sweep reports one point per rate in order.
+func TestSweepOrdersPoints(t *testing.T) {
+	edge := startTestbed(t, runtime.EdgeConfig{FLOPS: 6e10})
+	sweep, err := Sweep(context.Background(), Config{
+		EdgeAddr: edge.Addr(),
+		Devices:  1,
+		Duration: 500 * time.Millisecond,
+		Seed:     7,
+		Model:    testModel(),
+	}, []float64{10, 30})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(sweep.Points) != 2 {
+		t.Fatalf("%d points, want 2", len(sweep.Points))
+	}
+	if sweep.Points[0].OfferedRate != 10 || sweep.Points[1].OfferedRate != 30 {
+		t.Errorf("offered rates %v, %v; want 10, 30",
+			sweep.Points[0].OfferedRate, sweep.Points[1].OfferedRate)
+	}
+}

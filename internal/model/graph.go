@@ -24,6 +24,7 @@ const (
 	OpConcat
 )
 
+// String names the operation kind as it appears in profile tables.
 func (k OpKind) String() string {
 	switch k {
 	case OpInput:

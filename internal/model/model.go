@@ -29,6 +29,7 @@ func (s Shape) Elems() int { return s.H * s.W * s.C }
 // crosses the network when inference is partitioned after this tensor.
 func (s Shape) Bytes() float64 { return float64(s.Elems()) * 4 }
 
+// String renders the shape as HxWxC.
 func (s Shape) String() string { return fmt.Sprintf("%dx%dx%d", s.H, s.W, s.C) }
 
 // ConvSpec describes one primitive convolution inside an element, with its

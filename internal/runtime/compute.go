@@ -14,20 +14,94 @@ import (
 // executor.
 var ErrExecutorClosed = errors.New("runtime: executor closed")
 
+// DefaultBatchMarginal is the incremental cost of each batched job beyond
+// the first, as a fraction of a lone job's cost, when BatchConfig.Marginal
+// is zero. The value models the measured shape of DNN batch inference:
+// weights stream once per batch and per-item activation work dominates, so
+// a batch of B costs ~(1 + (B-1)*0.25) lone-job times rather than B.
+// internal/sim mirrors the same constant so model-clock and wall-clock runs
+// amortize identically.
+const DefaultBatchMarginal = 0.25
+
+// BatchConfig enables size/delay-bounded batching on an Executor. A batch
+// coalesces queued jobs of the same FLOPs class (the same DNN block): the
+// server holds the head job open for at most MaxDelaySec model seconds,
+// admits up to MaxSize co-arriving same-class jobs, then burns one
+// amortized service for all of them. The zero value disables batching.
+type BatchConfig struct {
+	// MaxSize caps how many jobs one batch may coalesce; values <= 1
+	// disable batching.
+	MaxSize int
+	// MaxDelaySec bounds, in model seconds (scaled like every other burn),
+	// how long the server waits for co-arriving work before firing a
+	// partial batch. It is the latency price of batching: an isolated job
+	// pays up to this much extra wait. Non-positive disables batching.
+	MaxDelaySec float64
+	// Marginal is the cost of each additional batched job as a fraction of
+	// the first job's cost, in (0, 1]; zero selects
+	// DefaultBatchMarginal. 1 restores unbatched cost (no amortization).
+	Marginal float64
+}
+
+// Enabled reports whether the configuration actually batches.
+func (c BatchConfig) Enabled() bool { return c.MaxSize > 1 && c.MaxDelaySec > 0 }
+
+// marginal resolves the zero value to the documented default.
+func (c BatchConfig) marginal() float64 {
+	if c.Marginal <= 0 {
+		return DefaultBatchMarginal
+	}
+	return c.Marginal
+}
+
+// AmortizedFLOPs returns the FLOPs one batch of n jobs of the given
+// per-job cost burns under this configuration.
+func (c BatchConfig) AmortizedFLOPs(flops float64, n int) float64 {
+	if n <= 1 {
+		return flops
+	}
+	return flops * (1 + float64(n-1)*c.marginal())
+}
+
+// ExecOption configures optional Executor behaviour at construction.
+type ExecOption func(*Executor)
+
+// WithBatching enables size/delay-bounded batching; a disabled (zero)
+// config is a no-op, so callers can plumb user configuration through
+// unconditionally.
+func WithBatching(cfg BatchConfig) ExecOption {
+	return func(e *Executor) { e.batch = cfg }
+}
+
+// WithAdmission bounds the executor's queue: a Do call that would push the
+// accepted-but-unfinished backlog beyond maxBacklogSec seconds of work (at
+// the current rate) is rejected with ErrOverloaded instead of queueing
+// without bound. Non-positive budgets leave the queue unbounded.
+func WithAdmission(maxBacklogSec float64) ExecOption {
+	return func(e *Executor) { e.admitSec = maxBacklogSec }
+}
+
 // Executor models one compute resource (a device CPU, a per-device edge
 // share, the cloud GPU) as a single-server FIFO queue: jobs burn wall-clock
 // time proportional to their FLOPs at the executor's current rate. The rate
 // can change at runtime (re-allocation when devices join), affecting jobs
 // that start after the change — the behaviour of a Docker CPU-quota update.
+//
+// Two optional capacity behaviours, both off by default: WithBatching
+// coalesces same-FLOPs jobs into amortized batches, and WithAdmission
+// bounds the backlog, rejecting excess work with ErrOverloaded.
 type Executor struct {
 	rateBits uint64 // atomic float64 bits: effective FLOPS
 	scale    Scale
+	batch    BatchConfig
+	admitSec float64
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []*job
-	closed  bool
-	pending int32 // atomic: accepted but unfinished jobs
+	mu           sync.Mutex
+	cond         *sync.Cond
+	queue        []*job
+	backlogFlops float64 // accepted-but-unfinished work, for admission
+	closed       bool
+	pending      int32 // atomic: accepted but unfinished jobs
 
 	wg sync.WaitGroup
 }
@@ -47,13 +121,16 @@ type job struct {
 }
 
 // NewExecutor starts an executor at the given FLOPS rating. Close releases
-// its worker.
-func NewExecutor(flops float64, scale Scale) (*Executor, error) {
+// its worker. Options enable batching and admission control.
+func NewExecutor(flops float64, scale Scale, opts ...ExecOption) (*Executor, error) {
 	if flops <= 0 {
 		return nil, fmt.Errorf("runtime: executor FLOPS %v must be positive", flops)
 	}
 	e := &Executor{scale: scale}
 	atomic.StoreUint64(&e.rateBits, math.Float64bits(flops))
+	for _, opt := range opts {
+		opt(e)
+	}
 	e.cond = sync.NewCond(&e.mu)
 	e.wg.Add(1)
 	go e.worker()
@@ -78,6 +155,15 @@ func (e *Executor) SetRate(flops float64) error {
 // one in service).
 func (e *Executor) Pending() int { return int(atomic.LoadInt32(&e.pending)) }
 
+// BacklogSeconds returns how many seconds of accepted-but-unfinished work
+// sit at the executor, at its current rate — the quantity WithAdmission
+// budgets against.
+func (e *Executor) BacklogSeconds() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.backlogFlops / e.Rate()
+}
+
 // Do enqueues a job of the given FLOPs and blocks until it completes. It
 // returns an error if the executor is closed.
 func (e *Executor) Do(flops float64) error {
@@ -97,6 +183,10 @@ func (e *Executor) DoTimed(flops float64) (wait, service time.Duration, err erro
 // of the edge and cloud), returning the context's error. A job already in
 // service runs to completion — the compute is spent either way, so the
 // result might as well be delivered.
+//
+// On an executor with an admission budget (WithAdmission), a job that would
+// push the backlog beyond the budget is rejected with ErrOverloaded before
+// it queues.
 func (e *Executor) DoTimedCtx(ctx context.Context, flops float64) (wait, service time.Duration, err error) {
 	if flops < 0 {
 		flops = 0
@@ -110,6 +200,13 @@ func (e *Executor) DoTimedCtx(ctx context.Context, flops float64) (wait, service
 		e.mu.Unlock()
 		return 0, 0, ErrExecutorClosed
 	}
+	if e.admitSec > 0 {
+		if backlog := (e.backlogFlops + flops) / e.Rate(); backlog > e.admitSec {
+			e.mu.Unlock()
+			return 0, 0, fmt.Errorf("%w (backlog %.3gs over budget %.3gs)", ErrOverloaded, backlog, e.admitSec)
+		}
+	}
+	e.backlogFlops += flops
 	atomic.AddInt32(&e.pending, 1)
 	e.queue = append(e.queue, j)
 	e.cond.Signal()
@@ -139,22 +236,87 @@ func (e *Executor) worker() {
 			e.mu.Unlock()
 			return
 		}
-		j := e.queue[0]
-		e.queue = e.queue[1:]
-		e.mu.Unlock()
-
-		if !atomic.CompareAndSwapInt32(&j.cancel, 0, 2) {
-			// Cancelled while queued: drop it without burning compute.
-			atomic.AddInt32(&e.pending, -1)
-			close(j.done)
-			continue
+		var batch []*job
+		if e.batch.Enabled() {
+			batch = e.collectBatchLocked()
+		} else {
+			batch = []*job{e.queue[0]}
+			e.queue = e.queue[1:]
 		}
-		j.wait = time.Since(j.enq)
-		start := time.Now()
-		if d := e.scale.Seconds(j.flops / e.Rate()); d > 0 {
+		e.mu.Unlock()
+		e.runBatch(batch)
+	}
+}
+
+// collectBatchLocked gathers the next batch: the contiguous same-FLOPs
+// prefix of the queue, held open for up to the batch window waiting for
+// co-arriving work. Called and returns with e.mu held. The prefix rule
+// preserves FIFO order — a job of a different class behind the head caps
+// the batch, because later same-class arrivals queue behind it and may not
+// overtake.
+func (e *Executor) collectBatchLocked() []*job {
+	head := e.queue[0]
+	deadline := time.Now().Add(e.scale.Seconds(e.batch.MaxDelaySec))
+	// sync.Cond has no timed wait; an AfterFunc broadcast bounds the hold.
+	timer := time.AfterFunc(time.Until(deadline), func() {
+		e.mu.Lock()
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	})
+	defer timer.Stop()
+	for {
+		n := 0
+		for n < len(e.queue) && n < e.batch.MaxSize && e.queue[n].flops == head.flops {
+			n++
+		}
+		blocked := n < len(e.queue) // a different-class job caps the prefix
+		if n >= e.batch.MaxSize || blocked || e.closed || !time.Now().Before(deadline) {
+			batch := append([]*job(nil), e.queue[:n]...)
+			e.queue = e.queue[n:]
+			return batch
+		}
+		e.cond.Wait()
+	}
+}
+
+// runBatch claims the batch's jobs, burns one amortized service for the
+// survivors and publishes identical service observations to each. A batch
+// of one degenerates exactly to the unbatched single-job burn.
+func (e *Executor) runBatch(batch []*job) {
+	live := make([]*job, 0, len(batch))
+	var discarded []*job
+	for _, j := range batch {
+		if atomic.CompareAndSwapInt32(&j.cancel, 0, 2) {
+			live = append(live, j)
+		} else {
+			// Cancelled while queued: drop it without burning compute.
+			discarded = append(discarded, j)
+		}
+	}
+	var start time.Time
+	var service time.Duration
+	if len(live) > 0 {
+		start = time.Now()
+		for _, j := range live {
+			j.wait = start.Sub(j.enq)
+		}
+		flops := e.batch.AmortizedFLOPs(live[0].flops, len(live))
+		if d := e.scale.Seconds(flops / e.Rate()); d > 0 {
 			time.Sleep(d)
 		}
-		j.service = time.Since(start)
+		service = time.Since(start)
+	}
+	e.mu.Lock()
+	for _, j := range batch {
+		e.backlogFlops -= j.flops
+	}
+	e.mu.Unlock()
+	for _, j := range discarded {
+		atomic.AddInt32(&e.pending, -1)
+		close(j.done)
+	}
+	for _, j := range live {
+		j.service = service
 		atomic.AddInt32(&e.pending, -1)
 		close(j.done)
 	}

@@ -462,6 +462,15 @@ func degradable(err error) bool {
 		errors.Is(err, ErrUnknownDevice)
 }
 
+// backpressured reports whether the edge refused work because it is
+// saturated — the per-tenant pending cap (ErrBusy) or the backlog-budget
+// admission control (ErrOverloaded). Both are degrade-to-local signals: the
+// work never started, so the device re-runs the blocks itself rather than
+// retrying against an overloaded server.
+func backpressured(err error) bool {
+	return errors.Is(err, ErrBusy) || errors.Is(err, ErrOverloaded)
+}
+
 // runTask executes one task end-to-end and records its completion time.
 func (d *deviceRun) runTask(id uint64, slot, exitStage int, offloaded bool) {
 	defer d.wg.Done()
@@ -487,10 +496,13 @@ func (d *deviceRun) runTask(id uint64, slot, exitStage int, offloaded bool) {
 		finalExit, err = d.offloadedPath(ctx, root.Context(), id, exitStage)
 		switch {
 		case err == nil:
-		case errors.Is(err, ErrBusy):
-			// The edge applied backpressure: execute locally instead.
+		case backpressured(err):
+			// The edge applied backpressure (pending-task cap or admission
+			// backlog budget): execute locally instead.
 			fellBack = true
-			finalExit, localDur, degraded, err = d.localPath(ctx, root.Context(), id, exitStage)
+			var fb bool
+			finalExit, localDur, fb, degraded, err = d.localPath(ctx, root.Context(), id, exitStage)
+			fellBack = fellBack || fb
 		case degradable(err):
 			// The edge is unreachable: run every block on the device.
 			degraded = true
@@ -500,7 +512,7 @@ func (d *deviceRun) runTask(id uint64, slot, exitStage int, offloaded bool) {
 			}
 		}
 	} else {
-		finalExit, localDur, degraded, err = d.localPath(ctx, root.Context(), id, exitStage)
+		finalExit, localDur, fellBack, degraded, err = d.localPath(ctx, root.Context(), id, exitStage)
 	}
 
 	deadlineMissed := err != nil && errors.Is(err, rpc.ErrDeadlineExceeded)
@@ -587,18 +599,20 @@ func localErr(err error) error {
 
 // localPath runs block 1 on the device CPU, then continues at the edge if
 // the task survives the First exit. It returns the final exit, the time
-// spent on the device (queueing plus service), and whether it had to
-// degrade to device-only execution because the edge became unreachable.
-func (d *deviceRun) localPath(ctx context.Context, parent telemetry.SpanContext, id uint64, exitStage int) (int, time.Duration, bool, error) {
+// spent on the device (queueing plus service), whether the edge refused the
+// continuation with backpressure (fellBack — the blocks re-ran locally),
+// and whether it had to degrade to device-only execution because the edge
+// became unreachable.
+func (d *deviceRun) localPath(ctx context.Context, parent telemetry.SpanContext, id uint64, exitStage int) (finalExit int, localDur time.Duration, fellBack, degraded bool, err error) {
 	start := time.Now()
 	wait, service, err := d.local.DoTimedCtx(ctx, d.cfg.Model.Mu[0])
 	if err != nil {
-		return 0, 0, false, localErr(err)
+		return 0, 0, false, false, localErr(err)
 	}
 	recordTimedSpans(d.tel.tracer, parent, "device.queue", "device.block1", d.cfg.ID, id, wait, service)
-	localDur := time.Since(start)
+	localDur = time.Since(start)
 	if exitStage <= 1 {
-		return 1, localDur, false, nil
+		return 1, localDur, false, false, nil
 	}
 	payload := make([]byte, int(d.cfg.Model.D[1]))
 	span := d.tel.tracer.StartSpan(parent, "rpc.second_block").SetDevice(d.cfg.ID).SetTask(id)
@@ -610,21 +624,25 @@ func (d *deviceRun) localPath(ctx context.Context, parent telemetry.SpanContext,
 	})
 	span.End()
 	if err != nil {
-		if !degradable(err) {
-			return 0, 0, false, err
+		if !degradable(err) && !backpressured(err) {
+			return 0, 0, false, false, err
 		}
-		// The edge vanished mid-task: finish the remaining blocks locally.
+		// The edge vanished mid-task or refused the continuation: finish
+		// the remaining blocks locally. Backpressure counts as a fallback,
+		// unreachability as degradation.
+		fellBack = backpressured(err)
+		degraded = !fellBack
 		more, derr := d.runLocalBlocks(ctx, parent, id, 2, exitStage)
 		if derr != nil {
-			return 0, 0, true, derr
+			return 0, 0, fellBack, degraded, derr
 		}
-		return exitStage, localDur + more, true, nil
+		return exitStage, localDur + more, fellBack, degraded, nil
 	}
 	resp, ok := got.(TaskResp)
 	if !ok {
-		return 0, 0, false, fmt.Errorf("runtime: unexpected reply %T", got)
+		return 0, 0, false, false, fmt.Errorf("runtime: unexpected reply %T", got)
 	}
-	return resp.ExitStage, localDur, false, nil
+	return resp.ExitStage, localDur, false, false, nil
 }
 
 // offloadedPath ships the raw input to the edge, which runs everything.

@@ -30,6 +30,19 @@ type EdgeConfig struct {
 	// control / backpressure), and well-behaved devices fall back to local
 	// execution instead of piling onto a saturated edge.
 	MaxPendingPerTenant int
+	// MaxBacklogSec, when positive, bounds every tenant executor's queue at
+	// that many seconds of accepted-but-unfinished work. The budget is
+	// rate-relative, so the implied per-tenant capacity follows the KKT
+	// share of the edge's FLOPS rating: a tenant with share p admits about
+	// MaxBacklogSec * p * FLOPS / mu_b block-b jobs. Work beyond the budget
+	// is rejected with the retriable ErrOverloaded, which devices treat as
+	// a degrade-to-local signal. Zero leaves queues unbounded (the
+	// pre-admission-control behaviour).
+	MaxBacklogSec float64
+	// Batch enables size/delay-bounded batching on every tenant executor:
+	// same-block executions that co-arrive within the window are coalesced
+	// into one amortized burn. The zero value disables batching.
+	Batch BatchConfig
 	// Model is the deployed ME-DNN (block FLOPs, data sizes, exit rates).
 	Model offload.ModelParams
 	// CloudAddr is the cloud server to forward third-block work to; empty
@@ -79,6 +92,7 @@ type edgeTelemetry struct {
 	reqQueue      *telemetry.Counter
 	reqControl    *telemetry.Counter
 	busy          *telemetry.Counter
+	overload      *telemetry.Counter
 	sheds         *telemetry.Counter
 	cloudDegraded *telemetry.Counter
 	cloudRetries  *telemetry.Counter
@@ -98,7 +112,8 @@ func newEdgeTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry) edgeTelemet
 		reqSecond:     reg.Counter("leime_edge_requests_total", reqHelp, telemetry.Label{Key: "type", Value: "second_block"}),
 		reqQueue:      reg.Counter("leime_edge_requests_total", reqHelp, telemetry.Label{Key: "type", Value: "queue_stat"}),
 		reqControl:    reg.Counter("leime_edge_requests_total", reqHelp, telemetry.Label{Key: "type", Value: "control"}),
-		busy:          reg.Counter("leime_edge_busy_rejections_total", "Offloads rejected by admission control."),
+		busy:          reg.Counter("leime_edge_busy_rejections_total", "Offloads rejected by the per-tenant pending-task cap."),
+		overload:      reg.Counter("leime_edge_overload_rejections_total", "Requests rejected by the backlog-budget admission control."),
 		sheds:         reg.Counter("leime_edge_deadline_shed_total", "Requests shed because their deadline passed (on arrival or while queued)."),
 		cloudDegraded: reg.Counter("leime_edge_cloud_degraded_total", "Exit-3 tasks degraded to the Second exit because the cloud was unreachable."),
 		cloudRetries:  reg.Counter("leime_edge_cloud_retries_total", "RPC retry attempts against the cloud."),
@@ -305,7 +320,10 @@ func (e *Edge) register(req RegisterReq) (any, error) {
 	defer e.mu.Unlock()
 	t, exists := e.tenants[req.DeviceID]
 	if !exists {
-		exec, err := NewExecutor(e.cfg.FLOPS, e.cfg.TimeScale) // rate fixed below
+		// Rate fixed below; batching and the admission budget come from the
+		// edge configuration (no-ops when zero).
+		exec, err := NewExecutor(e.cfg.FLOPS, e.cfg.TimeScale,
+			WithBatching(e.cfg.Batch), WithAdmission(e.cfg.MaxBacklogSec))
 		if err != nil {
 			return nil, err
 		}
@@ -359,13 +377,19 @@ func (e *Edge) tenantSnapshot(id string) (*tenant, offload.ModelParams, error) {
 	return t, t.model, nil
 }
 
-// execErr maps a context expiry inside an executor queue to the rpc deadline
-// sentinel, counting it as a shed: the work was abandoned unburned because
-// its propagated deadline passed while it waited.
+// execErr maps executor failures to their wire classification: a context
+// expiry inside the queue becomes the rpc deadline sentinel (counted as a
+// shed — the work was abandoned unburned because its propagated deadline
+// passed while it waited), and an admission rejection stays ErrOverloaded
+// with its counter bumped so saturation is visible in telemetry.
 func (e *Edge) execErr(err error) error {
 	if errors.Is(err, context.DeadlineExceeded) {
 		e.tel.sheds.Inc()
 		return fmt.Errorf("edge: queued work shed: %w", rpc.ErrDeadlineExceeded)
+	}
+	if errors.Is(err, ErrOverloaded) {
+		e.tel.overload.Inc()
+		return fmt.Errorf("edge: admission: %w", err)
 	}
 	return err
 }

@@ -18,9 +18,17 @@ var (
 	// state for — the normal outcome after an edge restart, which the
 	// device's reconnect hook repairs by re-registering.
 	ErrUnknownDevice = errors.New("edge: unknown device")
+	// ErrOverloaded marks work rejected by admission control: accepting it
+	// would push a bounded queue past its backlog budget (seconds of work
+	// derived from the node's FLOPS rating), so the server refuses rather
+	// than queueing without bound. The work never started, so the device
+	// side treats it as a degrade-to-local signal: re-run the blocks on the
+	// device instead of retrying against a saturated server.
+	ErrOverloaded = errors.New("runtime: overloaded: admission backlog budget exceeded")
 )
 
 func init() {
 	rpc.RegisterError("runtime/busy", ErrBusy)
 	rpc.RegisterError("runtime/unknown-device", ErrUnknownDevice)
+	rpc.RegisterError("runtime/overloaded", ErrOverloaded)
 }

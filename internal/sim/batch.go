@@ -1,0 +1,122 @@
+package sim
+
+// Batch configures window batching on a Station, mirroring the testbed
+// executor's BatchConfig (internal/runtime): up to MaxSize jobs of the same
+// service-duration class coalesce into one amortized burn, each batch held
+// open at most MaxDelaySec. The zero value disables batching, keeping the
+// station an exact single-server FIFO queue.
+//
+// One modeling difference from the executor is the window anchor: the
+// executor opens its window when the batch head reaches the server, while
+// the station opens it at the head's arrival (the analytic model has no
+// separate "server pulled the job" instant — service start is derived from
+// the busy horizon). Under saturation both anchor at effectively the same
+// point; when idle the station fires up to MaxDelaySec earlier.
+type Batch struct {
+	// MaxSize caps how many jobs share one burn. Values <= 1 disable
+	// batching.
+	MaxSize int
+	// MaxDelaySec bounds how long the first job of a batch waits for
+	// co-arriving work. Zero or negative disables batching.
+	MaxDelaySec float64
+	// Marginal is the cost of each batched job beyond the first as a
+	// fraction of a lone job's duration. Zero means the executor default
+	// (0.25); 1 restores serial cost.
+	Marginal float64
+}
+
+// DefaultBatchMarginal matches runtime.DefaultBatchMarginal so a simulated
+// batch window and a testbed batch window amortize identically.
+const DefaultBatchMarginal = 0.25
+
+// Enabled reports whether the configuration actually batches.
+func (b Batch) Enabled() bool { return b.MaxSize > 1 && b.MaxDelaySec > 0 }
+
+// marginal returns the effective per-extra-job cost fraction.
+func (b Batch) marginal() float64 {
+	if b.Marginal <= 0 {
+		return DefaultBatchMarginal
+	}
+	return b.Marginal
+}
+
+// AmortizedSec returns the service seconds one burn of n jobs of per-job
+// duration dur costs: dur * (1 + (n-1)*marginal).
+func (b Batch) AmortizedSec(dur float64, n int) float64 {
+	if n <= 1 {
+		return dur
+	}
+	return dur * (1 + float64(n-1)*b.marginal())
+}
+
+// batchJob is one submission parked in an open batch window.
+type batchJob struct {
+	enq        float64
+	extraDelay float64
+	done       func(enqueued, started, finish float64)
+}
+
+// openBatch is a station's in-progress batch window. Pointer identity guards
+// the deadline timer: a batch fired early (full, or capped by a class change)
+// is replaced, so the stale timer finds s.open != itself and does nothing.
+type openBatch struct {
+	dur  float64 // service-duration class shared by every job in the batch
+	jobs []batchJob
+}
+
+// SetBatch configures window batching on the station. Must be called before
+// any submissions; a disabled configuration leaves behaviour unchanged.
+func (s *Station) SetBatch(b Batch) { s.batch = b }
+
+// submitBatched parks the job in the station's open batch window, firing the
+// window when it fills, when a different duration class arrives (preserving
+// FIFO: later same-class jobs cannot overtake the blocked head), or when the
+// deadline timer expires.
+func (s *Station) submitBatched(e *Engine, dur, extraDelay float64, done func(enqueued, started, finish float64)) {
+	if s.open != nil && s.open.dur != dur {
+		s.fireBatch(e)
+	}
+	if s.open == nil {
+		b := &openBatch{dur: dur}
+		s.open = b
+		e.After(s.batch.MaxDelaySec, func() {
+			if s.open == b {
+				s.fireBatch(e)
+			}
+		})
+	}
+	s.inFlight++
+	s.open.jobs = append(s.open.jobs, batchJob{enq: e.Now(), extraDelay: extraDelay, done: done})
+	if len(s.open.jobs) >= s.batch.MaxSize {
+		s.fireBatch(e)
+	}
+}
+
+// fireBatch closes the open window and schedules its single amortized burn:
+// every job in the batch shares one service interval on the busy horizon and
+// completes at the same finish time (plus per-job propagation delay).
+func (s *Station) fireBatch(e *Engine) {
+	b := s.open
+	if b == nil {
+		return
+	}
+	s.open = nil
+	amort := s.batch.AmortizedSec(b.dur, len(b.jobs))
+	start := e.Now()
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	finish := start + amort
+	s.busyUntil = finish
+	s.busyTotal += amort
+	for _, j := range b.jobs {
+		j := j
+		e.At(finish+j.extraDelay, func() {
+			s.inFlight--
+			s.served++
+			if j.done != nil {
+				j.done(j.enq, start, finish+j.extraDelay)
+			}
+		})
+	}
+}

@@ -97,6 +97,9 @@ type Station struct {
 	inFlight  int
 	busyTotal float64 // accumulated service seconds
 	served    int     // completed jobs
+
+	batch Batch      // window batching; zero value = exact FIFO
+	open  *openBatch // in-progress batch window, nil when closed
 }
 
 // NewStation names a station for diagnostics.
@@ -153,6 +156,10 @@ func (s *Station) Submit(e *Engine, dur, extraDelay float64, done func(finish fl
 func (s *Station) SubmitObserved(e *Engine, dur, extraDelay float64, done func(enqueued, started, finish float64)) {
 	if dur < 0 {
 		dur = 0
+	}
+	if s.batch.Enabled() {
+		s.submitBatched(e, dur, extraDelay, done)
+		return
 	}
 	enq := e.Now()
 	start := enq

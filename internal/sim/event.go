@@ -39,6 +39,11 @@ type EventConfig struct {
 	DeadlineSec float64
 	// Seed drives arrival sampling, exit sampling and offload coin flips.
 	Seed int64
+	// EdgeBatch, when enabled, applies window batching to every device's
+	// edge share, mirroring the testbed executor's batch window
+	// (runtime.BatchConfig): same-block executions coalesce into one
+	// amortized burn. The zero value keeps the exact FIFO model.
+	EdgeBatch Batch
 	// Tracer, when non-nil, records one trace per task with the same span
 	// taxonomy the testbed emits (task, device.decision, rpc.*, *.queue,
 	// *.block*, exit). Sim spans are stamped in model seconds on the
@@ -143,6 +148,7 @@ func RunEvents(cfg EventConfig) (*EventResult, error) {
 		s.devCPU[i] = NewStation(fmt.Sprintf("dev%d-cpu", i))
 		s.uplink[i] = NewStation(fmt.Sprintf("dev%d-uplink", i))
 		s.edgeCPU[i] = NewStation(fmt.Sprintf("edge-share%d", i))
+		s.edgeCPU[i].SetBatch(cfg.EdgeBatch)
 	}
 	s.cloudLink = NewStation("edge-cloud-link")
 	s.cloudCPU = NewStation("cloud-cpu")

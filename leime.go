@@ -346,6 +346,30 @@ func toSweepPoints(pts []exitsetting.SweepPoint) []SweepPoint {
 	return out
 }
 
+// BatchOptions configure edge-side request batching: up to MaxSize
+// same-block executions coalesce into one amortized burn, each held at most
+// MaxDelaySec model seconds waiting for co-arriving work. The same options
+// drive both substrates — the testbed executor (runtime.BatchConfig) and the
+// event simulator (sim.Batch) — so a simulated capacity estimate and a
+// testbed measurement describe the same policy. The zero value disables
+// batching.
+type BatchOptions struct {
+	// MaxSize caps how many same-block executions share one burn; values
+	// <= 1 disable batching.
+	MaxSize int
+	// MaxDelaySec bounds, in model seconds, how long a task waits for
+	// co-arriving work; zero disables batching.
+	MaxDelaySec float64
+	// Marginal is the cost of each extra batched task as a fraction of the
+	// first (0 = the library default, 0.25).
+	Marginal float64
+}
+
+// simBatch converts the options for the event simulator.
+func (b BatchOptions) simBatch() sim.Batch {
+	return sim.Batch{MaxSize: b.MaxSize, MaxDelaySec: b.MaxDelaySec, Marginal: b.Marginal}
+}
+
 // SimOptions configure the built-in simulations.
 type SimOptions struct {
 	// Devices is the number of (homogeneous) end devices; 0 defaults to 1.
@@ -362,6 +386,10 @@ type SimOptions struct {
 	// Seed drives stochastic arrivals; 0 defaults to 1. Use SeedZero for
 	// the literal seed 0.
 	Seed int64
+	// EdgeBatch enables window batching on the simulated edge shares. Only
+	// SimulateTasks honours it — the slot model has no per-task service to
+	// coalesce.
+	EdgeBatch BatchOptions
 }
 
 // withDefaults resolves zero fields to their documented defaults (the
@@ -438,6 +466,7 @@ func (s *System) SimulateTasks(opts SimOptions) (*sim.EventResult, error) {
 		Slots:       opts.Slots,
 		WarmupSlots: opts.Slots / 10,
 		Seed:        opts.Seed,
+		EdgeBatch:   opts.EdgeBatch.simBatch(),
 	})
 }
 

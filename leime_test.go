@@ -194,6 +194,52 @@ func TestRunLocalTestbedValidation(t *testing.T) {
 	}
 }
 
+func TestSimulateTasksEdgeBatch(t *testing.T) {
+	sys := buildSystem(t, "inception-v3", TestbedEnv(RaspberryPi3B))
+	eOnly := EdgeOnly()
+	opts := SimOptions{Devices: 3, ArrivalRate: 8, Slots: 60, Policy: &eOnly}
+	base, err := sys.SimulateTasks(opts)
+	if err != nil {
+		t.Fatalf("SimulateTasks: %v", err)
+	}
+	opts.EdgeBatch = BatchOptions{MaxSize: 8, MaxDelaySec: 0.05}
+	batched, err := sys.SimulateTasks(opts)
+	if err != nil {
+		t.Fatalf("SimulateTasks(batched): %v", err)
+	}
+	if batched.Completed != batched.Generated || batched.Generated == 0 {
+		t.Errorf("conservation: generated %d completed %d", batched.Generated, batched.Completed)
+	}
+	if batched.Generated != base.Generated {
+		t.Errorf("batching changed arrivals: %d vs %d", batched.Generated, base.Generated)
+	}
+}
+
+func TestRunLocalTestbedBatchAndBudget(t *testing.T) {
+	sys := buildSystem(t, "inception-v3", TestbedEnv(RaspberryPi3B))
+	res, err := sys.RunLocalTestbed(TestbedOptions{
+		Devices: []TestbedDevice{
+			{Node: RaspberryPi3B, ArrivalRate: 4},
+			{Node: RaspberryPi3B, ArrivalRate: 4},
+		},
+		Slots:              15,
+		TimeScale:          0.01,
+		EdgeBatch:          BatchOptions{MaxSize: 4, MaxDelaySec: 0.05},
+		EdgeQueueBudgetSec: 5,
+	})
+	if err != nil {
+		t.Fatalf("RunLocalTestbed: %v", err)
+	}
+	for i, st := range res.Stats {
+		if st.Generated == 0 || st.Completed != st.Generated {
+			t.Errorf("device %d: generated %d completed %d", i, st.Generated, st.Completed)
+		}
+		if st.Errors != 0 {
+			t.Errorf("device %d: %d errors (budget rejections must degrade, not fail)", i, st.Errors)
+		}
+	}
+}
+
 func TestSolveJoint(t *testing.T) {
 	sys := buildSystem(t, "inception-v3", TestbedEnv(JetsonNano))
 	plan, err := sys.SolveJoint()

@@ -10,6 +10,11 @@ import (
 	"leime/internal/runtime"
 )
 
+// runtimeBatch converts the options for the testbed executor.
+func (b BatchOptions) runtimeBatch() runtime.BatchConfig {
+	return runtime.BatchConfig{MaxSize: b.MaxSize, MaxDelaySec: b.MaxDelaySec, Marginal: b.Marginal}
+}
+
 // TestbedDevice configures one device of a local testbed run.
 type TestbedDevice struct {
 	// ID names the device; empty IDs are auto-numbered.
@@ -50,6 +55,13 @@ type TestbedOptions struct {
 	// open the device degrades to device-only execution (zero value =
 	// library defaults).
 	Breaker BreakerConfig
+	// EdgeBatch enables the edge's batch window: same-block executions
+	// coalesce into amortized burns (zero value = batching off).
+	EdgeBatch BatchOptions
+	// EdgeQueueBudgetSec bounds each tenant's edge backlog in model seconds
+	// of work; offloads past the budget are rejected and the device runs
+	// them locally instead (zero = unbounded queues).
+	EdgeQueueBudgetSec float64
 }
 
 // withDefaults resolves zero fields to their documented defaults and
@@ -110,7 +122,9 @@ func (s *System) RunLocalTestbed(opts TestbedOptions) (*TestbedResult, error) {
 			BandwidthBps: s.env.EdgeCloud.BandwidthBps,
 			Latency:      time.Duration(s.env.EdgeCloud.LatencySec * float64(time.Second)),
 		},
-		TimeScale: scale,
+		TimeScale:     scale,
+		Batch:         opts.EdgeBatch.runtimeBatch(),
+		MaxBacklogSec: opts.EdgeQueueBudgetSec,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("leime: testbed edge: %w", err)
