@@ -1,0 +1,262 @@
+// Command leimevet is the repo's multichecker: it loads packages from
+// source and applies every project-specific analyzer in one pass —
+// determinism, unitsafety, lockdiscipline, wireerrors, plus the ctxfirst
+// and missingdocs checks that replaced cmd/ctxcheck and cmd/doccheck. It
+// prints one line per finding and exits non-zero when any survive the
+// //lint:ignore suppression filter.
+//
+// Usage:
+//
+//	leimevet [-json] [-fix] [-tests=false] [pattern ...]
+//
+// Patterns are directories, "./..."-style recursive patterns, or import
+// paths; the default is "./..." from the enclosing module root. -json
+// emits the findings as a JSON array instead of text. -fix applies each
+// finding's suggested fix (currently the errors.Is rewrites) to the files
+// in place and reports what remains unfixable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"leime/internal/analysis"
+	"leime/internal/analysis/ctxfirst"
+	"leime/internal/analysis/determinism"
+	"leime/internal/analysis/lockdiscipline"
+	"leime/internal/analysis/missingdocs"
+	"leime/internal/analysis/unitsafety"
+	"leime/internal/analysis/wireerrors"
+)
+
+// analyzers is the full suite, in the order findings are attributed.
+var analyzers = []*analysis.Analyzer{
+	ctxfirst.Analyzer,
+	determinism.Analyzer,
+	lockdiscipline.Analyzer,
+	missingdocs.Analyzer,
+	unitsafety.Analyzer,
+	wireerrors.Analyzer,
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	fix := flag.Bool("fix", false, "apply suggested fixes in place")
+	tests := flag.Bool("tests", true, "include _test.go files in analysis")
+	flag.Parse()
+	if err := run(flag.Args(), *jsonOut, *fix, *tests); err != nil {
+		fmt.Fprintln(os.Stderr, "leimevet:", err)
+		os.Exit(2)
+	}
+}
+
+func run(patterns []string, jsonOut, fix, tests bool) error {
+	root, err := findModuleRoot()
+	if err != nil {
+		return err
+	}
+	loader := analysis.NewLoader()
+	if err := loader.SetModule(root); err != nil {
+		return err
+	}
+	loader.IncludeTests = tests
+
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	paths, err := expandPatterns(loader, root, patterns)
+	if err != nil {
+		return err
+	}
+	var pkgs []*analysis.Package
+	for _, path := range paths {
+		loaded, err := loader.Load(path)
+		if err != nil {
+			return err
+		}
+		pkgs = append(pkgs, loaded...)
+	}
+	findings, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		return err
+	}
+	if fix {
+		return applyFixes(findings)
+	}
+	if jsonOut {
+		return emitJSON(findings)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "leimevet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+	return nil
+}
+
+// applyFixes rewrites files with every suggested fix, then lists what has
+// no machine fix and must be addressed by hand.
+func applyFixes(findings []analysis.Finding) error {
+	fixed, err := analysis.ApplyFixes(findings)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "leimevet: applied %d fix(es)\n", fixed)
+	unfixed := 0
+	for _, f := range findings {
+		if len(f.Diag.SuggestedFixes) == 0 {
+			fmt.Println(f)
+			unfixed++
+		}
+	}
+	if unfixed > 0 {
+		fmt.Fprintf(os.Stderr, "leimevet: %d finding(s) without fixes remain\n", unfixed)
+		os.Exit(1)
+	}
+	return nil
+}
+
+// jsonFinding is the -json wire form of one finding.
+type jsonFinding struct {
+	// Analyzer names the check.
+	Analyzer string `json:"analyzer"`
+	// Pos is the file:line:col location.
+	Pos string `json:"pos"`
+	// Message is the diagnostic text.
+	Message string `json:"message"`
+	// Fixable reports whether -fix can rewrite it.
+	Fixable bool `json:"fixable"`
+}
+
+func emitJSON(findings []analysis.Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			Analyzer: f.Analyzer,
+			Pos:      f.Position.String(),
+			Message:  f.Message,
+			Fixable:  len(f.Diag.SuggestedFixes) > 0,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// findModuleRoot walks up from the working directory to the enclosing
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// expandPatterns turns CLI patterns into import paths. A trailing "/..."
+// recurses; other patterns name one directory or import path.
+func expandPatterns(loader *analysis.Loader, root string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(path string) {
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			base, err := patternDir(root, rest)
+			if err != nil {
+				return nil, err
+			}
+			if err := walkPackages(root, base, loader.ModuleName, add); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if strings.HasPrefix(pat, loader.ModuleName) {
+			add(pat)
+			continue
+		}
+		dir, err := patternDir(root, pat)
+		if err != nil {
+			return nil, err
+		}
+		add(importPath(root, dir, loader.ModuleName))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// patternDir resolves a non-recursive pattern to an absolute directory.
+func patternDir(root, pat string) (string, error) {
+	if pat == "" || pat == "." {
+		return root, nil
+	}
+	dir := pat
+	if !filepath.IsAbs(dir) {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return "", err
+		}
+		dir = abs
+	}
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		return "", fmt.Errorf("pattern %q: not a directory", pat)
+	}
+	return dir, nil
+}
+
+// walkPackages invokes add for every directory under base that contains Go
+// files, skipping hidden, vendor and testdata trees.
+func walkPackages(root, base, module string, add func(string)) error {
+	return filepath.WalkDir(base, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			add(importPath(root, filepath.Dir(path), module))
+		}
+		return nil
+	})
+}
+
+// importPath maps a directory under root to its module import path.
+func importPath(root, dir, module string) string {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || rel == "." {
+		return module
+	}
+	return module + "/" + filepath.ToSlash(rel)
+}

@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"go/ast"
+	"go/token"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text        string
+		isDirective bool
+		names       []string
+		fileWide    bool
+	}{
+		{"// ordinary comment", false, nil, false},
+		{"//lint:ignore determinism caller sorts later", true, []string{"determinism"}, false},
+		{"//lint:ignore a,b both are deliberate", true, []string{"a", "b"}, false},
+		{"//lint:file-ignore determinism live driver by design", true, []string{"determinism"}, true},
+		{"//lint:ignore determinism", true, nil, false},            // missing reason
+		{"//lint:ignore", true, nil, false},                        // missing everything
+		{"//lint:frobnicate determinism reason", true, nil, false}, // unknown verb
+	}
+	for _, c := range cases {
+		isDirective, names, fileWide := parseDirective(c.text)
+		if isDirective != c.isDirective || fileWide != c.fileWide || !equalStrings(names, c.names) {
+			t.Errorf("parseDirective(%q) = (%v, %v, %v), want (%v, %v, %v)",
+				c.text, isDirective, names, fileWide, c.isDirective, c.names, c.fileWide)
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRunSuppression checks the directive plumbing end to end: a finding on
+// the line under an ignore directive disappears, a malformed directive
+// becomes a finding of its own, and output is position-sorted.
+func TestRunSuppression(t *testing.T) {
+	dir := t.TempDir()
+	src := `// Package p is a fixture.
+package p
+
+//lint:ignore probe covered by a pin test
+var a = 1
+
+var b = 2
+
+//lint:ignore probe
+var c = 3
+`
+	pkg := loadTempPackage(t, dir, "p", src)
+	probe := &Analyzer{
+		Name: "probe",
+		Doc:  "flags every var declaration",
+		Run: func(pass *Pass) (any, error) {
+			for _, f := range pass.Files {
+				for _, decl := range f.Decls {
+					if g, ok := decl.(*ast.GenDecl); ok && g.Tok == token.VAR {
+						pass.Reportf(g.Pos(), "var declared")
+					}
+				}
+			}
+			return nil, nil
+		},
+	}
+	findings, err := Run([]*Package{pkg}, []*Analyzer{probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.Analyzer+":"+f.Message)
+	}
+	// a is suppressed; b is flagged; the malformed directive above c is a
+	// finding itself and, lacking a reason, does not suppress c.
+	want := []string{
+		"probe:var declared",
+		"directive:malformed lint directive: need //lint:ignore <analyzers> <reason>",
+		"probe:var declared",
+	}
+	if !equalStrings(got, want) {
+		t.Errorf("findings = %q, want %q", got, want)
+	}
+}
+
+// TestApplyFixes rewrites a file through a SuggestedFix and verifies both
+// the edit and the fixed count.
+func TestApplyFixes(t *testing.T) {
+	dir := t.TempDir()
+	src := `// Package p is a fixture.
+package p
+
+var value = 1
+`
+	pkg := loadTempPackage(t, dir, "p", src)
+	rename := &Analyzer{
+		Name: "rename",
+		Doc:  "suggests renaming the var value",
+		Run: func(pass *Pass) (any, error) {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					id, ok := n.(*ast.Ident)
+					if !ok || id.Name != "value" {
+						return true
+					}
+					pass.Report(Diagnostic{
+						Pos:     id.Pos(),
+						End:     id.End(),
+						Message: "rename value",
+						SuggestedFixes: []SuggestedFix{{
+							Message:   "rename to renamed",
+							TextEdits: []TextEdit{{Pos: id.Pos(), End: id.End(), NewText: []byte("renamed")}},
+						}},
+					})
+					return true
+				})
+			}
+			return nil, nil
+		},
+	}
+	findings, err := Run([]*Package{pkg}, []*Analyzer{rename})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want 1", findings)
+	}
+	fixed, err := ApplyFixes(findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed != 1 {
+		t.Errorf("fixed = %d, want 1", fixed)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "p", "p.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "var renamed = 1") {
+		t.Errorf("file after fix:\n%s", data)
+	}
+}
+
+// loadTempPackage writes src as package path under dir and loads it through
+// an overlay rooted there.
+func loadTempPackage(t *testing.T, dir, path, src string) *Package {
+	t.Helper()
+	pkgDir := filepath.Join(dir, path)
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(pkgDir, path+".go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader()
+	loader.Overlay = dir
+	pkgs, err := loader.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	return pkgs[0]
+}

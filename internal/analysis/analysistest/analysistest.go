@@ -1,0 +1,145 @@
+// Package analysistest runs an analyzer against fixture packages under a
+// testdata/src tree and checks its diagnostics against // want comments,
+// mirroring golang.org/x/tools/go/analysis/analysistest on this repo's
+// dependency-free framework.
+//
+// A fixture line carries expectations as quoted regular expressions:
+//
+//	time.Now() // want `reads the wall clock`
+//
+// Every diagnostic must match an expectation on its line and every
+// expectation must be consumed. Because the runner goes through
+// analysis.Run, //lint:ignore directives are honored — a fixture line with
+// a directive and no want comment proves the suppression path works.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"leime/internal/analysis"
+)
+
+// Run loads each fixture package from testdata/src/<pkg>, applies the
+// analyzer, and reports mismatches between diagnostics and // want
+// expectations as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	loader := analysis.NewLoader()
+	loader.Overlay = filepath.Join(testdata, "src")
+	var pkgs []*analysis.Package
+	for _, path := range pkgpaths {
+		loaded, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		pkgs = append(pkgs, loaded...)
+	}
+	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	wants := collectWants(t, pkgs)
+	for _, f := range findings {
+		key := posKey(f.Position.Filename, f.Position.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matched want %q", key, w.raw)
+			}
+		}
+	}
+}
+
+// want is one expectation: a pattern and whether a diagnostic consumed it.
+type want struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func posKey(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
+
+// collectWants scans fixture comments for // want expectations.
+func collectWants(t *testing.T, pkgs []*analysis.Package) map[string][]*want {
+	t.Helper()
+	out := map[string][]*want{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					patterns, err := parsePatterns(rest)
+					if err != nil {
+						t.Fatalf("%s: bad want comment: %v", pos, err)
+					}
+					for _, p := range patterns {
+						re, err := regexp.Compile(p)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, p, err)
+						}
+						key := posKey(pos.Filename, pos.Line)
+						out[key] = append(out[key], &want{re: re, raw: p})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parsePatterns splits a want payload into its quoted regular expressions;
+// both `backquoted` and "double-quoted" forms are accepted.
+func parsePatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquote in %q", s)
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		case '"':
+			// Walk to the closing quote, honoring escapes, then unquote.
+			i := 1
+			for i < len(s) && (s[i] != '"' || s[i-1] == '\\') {
+				i++
+			}
+			if i == len(s) {
+				return nil, fmt.Errorf("unterminated quote in %q", s)
+			}
+			p, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+			s = strings.TrimSpace(s[i+1:])
+		default:
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+	}
+	return out, nil
+}

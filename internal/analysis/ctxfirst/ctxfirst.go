@@ -1,0 +1,115 @@
+// Package ctxfirst enforces the repo's context-aware API convention: any
+// function that accepts a context.Context must take it as the first
+// parameter, so deadlines and cancellation visibly enter every call chain
+// at the front. This is the internal/analysis port of the original
+// cmd/ctxcheck directory walker.
+package ctxfirst
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+
+	"leime/internal/analysis"
+)
+
+// Analyzer flags functions whose context.Context parameter is not first.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxfirst",
+	Doc:  "context.Context parameters must come first",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ctxName := contextImportName(f)
+		if ctxName == "" {
+			continue // file cannot name context.Context
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var typ *ast.FuncType
+			name := "func literal"
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				typ = fn.Type
+				name = fn.Name.Name
+				if fn.Recv != nil && len(fn.Recv.List) == 1 {
+					name = recvTypeName(fn.Recv.List[0].Type) + "." + name
+				}
+			case *ast.FuncLit:
+				typ = fn.Type
+			default:
+				return true
+			}
+			if pos, bad := ctxNotFirst(typ, ctxName); bad {
+				pass.Reportf(pos, "%s: context.Context must be the first parameter", name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// ctxNotFirst reports whether the function type takes a context.Context in
+// any position after the first parameter name.
+func ctxNotFirst(typ *ast.FuncType, ctxName string) (token.Pos, bool) {
+	if typ.Params == nil {
+		return token.NoPos, false
+	}
+	seen := 0 // parameter names (not fields) seen so far
+	for _, field := range typ.Params.List {
+		names := len(field.Names)
+		if names == 0 {
+			names = 1 // unnamed parameter still occupies a position
+		}
+		if isCtxType(field.Type, ctxName) && seen > 0 {
+			return field.Pos(), true
+		}
+		seen += names
+	}
+	return token.NoPos, false
+}
+
+func isCtxType(expr ast.Expr, ctxName string) bool {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == ctxName
+}
+
+// contextImportName returns the local name under which the file imports the
+// standard context package, or "" when it does not.
+func contextImportName(f *ast.File) string {
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || path != "context" {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		return "context"
+	}
+	return ""
+}
+
+// recvTypeName unwraps a receiver type expression to its base identifier.
+func recvTypeName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	default:
+		return "?"
+	}
+}

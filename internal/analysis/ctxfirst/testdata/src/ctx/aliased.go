@@ -1,0 +1,9 @@
+package ctx
+
+import stdctx "context"
+
+// AliasedGood keeps an aliased context first.
+func AliasedGood(c stdctx.Context, n int) {}
+
+// AliasedBad hides an aliased context.
+func AliasedBad(n int, c stdctx.Context) {} // want `AliasedBad: context\.Context must be the first parameter`

@@ -1,0 +1,27 @@
+// Package ctx is a ctxfirst fixture.
+package ctx
+
+import "context"
+
+// Good has the context first.
+func Good(ctx context.Context, n int) {}
+
+// Only takes just a context.
+func Only(ctx context.Context) {}
+
+// NoCtx takes no context at all.
+func NoCtx(a, b int) {}
+
+// Bad hides the context behind another parameter.
+func Bad(n int, ctx context.Context) {} // want `Bad: context\.Context must be the first parameter`
+
+// T carries methods.
+type T struct{}
+
+// Late puts the context after the name.
+func (t *T) Late(name string, ctx context.Context) {} // want `T\.Late: context\.Context must be the first parameter`
+
+// Handle follows the convention on a method.
+func (t *T) Handle(ctx context.Context, body any) error { return nil }
+
+var f = func(n int, ctx context.Context) {} // want `func literal: context\.Context must be the first parameter`

@@ -1,0 +1,74 @@
+// Package maporder is a determinism fixture for map-iteration ordering.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Keys leaks map order into the returned slice.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append inside range over map`
+	}
+	return out
+}
+
+// SortedKeys collects then sorts; the idiomatic fix is legal.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// First returns whichever element iteration happens to visit first.
+func First(m map[string]int) (string, bool) {
+	for k := range m {
+		return k, true // want `return of a loop-derived value`
+	}
+	return "", false
+}
+
+// Dump prints entries in random order.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println inside range over map`
+	}
+}
+
+// Sum is order-independent; legal.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Grouped appends to a slice declared inside the loop body; legal.
+func Grouped(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		for _, v := range vs {
+			local = append(local, v)
+		}
+		n += len(local)
+	}
+	return n
+}
+
+// Sanctioned documents a deliberate exception; the directive suppresses
+// the finding, proving the ignore path works.
+func Sanctioned(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//lint:ignore determinism the sole caller sorts the result before use
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+// Package pure is a determinism fixture modeling a pure package.
+package pure
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Tick reads the wall clock.
+func Tick() time.Time {
+	return time.Now() // want `reads the wall clock via time\.Now`
+}
+
+// Wait sleeps on the wall clock.
+func Wait() {
+	time.Sleep(time.Millisecond) // want `reads the wall clock via time\.Sleep`
+}
+
+// Span is legal: duration arithmetic never consults a clock.
+func Span(d time.Duration) time.Duration { return 2 * d }
+
+// Draw consults the shared global source.
+func Draw() float64 {
+	return rand.Float64() // want `global rand source via rand\.Float64`
+}
+
+// Seeded constructs an explicit source; legal.
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Use consumes an injected generator; naming the rand.Rand type is legal.
+func Use(rng *rand.Rand) float64 { return rng.Float64() }

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// offsetEdit is one TextEdit resolved to byte offsets within a file.
+type offsetEdit struct {
+	start, end int
+	text       []byte
+}
+
+// ApplyFixes applies the first SuggestedFix of every finding that carries
+// one, rewriting files in place. It returns the number of findings fixed.
+// Overlapping edits in one file abort with an error before anything is
+// written, so a partial application never reaches disk.
+func ApplyFixes(findings []Finding) (int, error) {
+	perFile := map[string][]offsetEdit{}
+	fixed := 0
+	var filenames []string
+	for _, f := range findings {
+		if len(f.Diag.SuggestedFixes) == 0 {
+			continue
+		}
+		fixed++
+		for _, edit := range f.Diag.SuggestedFixes[0].TextEdits {
+			start := f.Pkg.Fset.Position(edit.Pos)
+			end := f.Pkg.Fset.Position(edit.End)
+			if end.Filename != start.Filename || end.Offset < start.Offset {
+				return 0, fmt.Errorf("analysis: bad edit range %s..%s", start, end)
+			}
+			if len(perFile[start.Filename]) == 0 {
+				filenames = append(filenames, start.Filename)
+			}
+			perFile[start.Filename] = append(perFile[start.Filename], offsetEdit{
+				start: start.Offset, end: end.Offset, text: edit.NewText,
+			})
+		}
+	}
+	sort.Strings(filenames)
+	for _, name := range filenames {
+		edits := perFile[name]
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		for i := 1; i < len(edits); i++ {
+			if edits[i].end > edits[i-1].start {
+				return 0, fmt.Errorf("analysis: overlapping fixes in %s", name)
+			}
+		}
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return 0, err
+		}
+		for _, e := range edits {
+			if e.end > len(data) {
+				return 0, fmt.Errorf("analysis: edit past end of %s", name)
+			}
+			data = append(data[:e.start], append(append([]byte{}, e.text...), data[e.end:]...)...)
+		}
+		if err := os.WriteFile(name, data, 0o644); err != nil {
+			return 0, err
+		}
+	}
+	return fixed, nil
+}

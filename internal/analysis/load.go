@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, typechecked package ready for analysis.
+type Package struct {
+	// Path is the import path ("leime/internal/sim", or a bare fixture
+	// name under an analysistest overlay).
+	Path string
+	// Fset maps positions for Files.
+	Fset *token.FileSet
+	// Files are the parsed files: GoFiles plus, for analysis targets,
+	// in-package _test.go files.
+	Files []*ast.File
+	// Pkg is the typechecked package object.
+	Pkg *types.Package
+	// Info carries the typechecker's facts for Files.
+	Info *types.Info
+}
+
+// Loader typechecks packages from source. Imports resolve in order against
+// the Overlay (analysistest fixtures), the module root (paths under the
+// module name), and GOROOT/src with its vendor tree. Dependencies are
+// typechecked once and cached; only analysis targets keep syntax and
+// types.Info.
+type Loader struct {
+	// Fset is the shared file set for every package this loader touches.
+	Fset *token.FileSet
+	// ModuleName and ModuleRoot map module-internal import paths to
+	// directories; SetModule fills them from a go.mod file.
+	ModuleName string
+	// ModuleRoot is the directory containing the module's go.mod.
+	ModuleRoot string
+	// Overlay, when non-empty, is a directory whose path/<import> children
+	// shadow every other resolution root (analysistest's testdata/src).
+	Overlay string
+	// IncludeTests makes Load parse and typecheck in-package _test.go
+	// files along with the target package.
+	IncludeTests bool
+
+	ctxt  build.Context
+	cache map[string]*types.Package
+}
+
+// NewLoader returns a loader with cgo disabled so every dependency —
+// including net and friends — typechecks from pure-Go source files.
+func NewLoader() *Loader {
+	ctxt := build.Default
+	ctxt.CgoEnabled = false
+	return &Loader{
+		Fset:  token.NewFileSet(),
+		ctxt:  ctxt,
+		cache: map[string]*types.Package{},
+	}
+}
+
+// SetModule points the loader at the module rooted at dir, reading the
+// module path from its go.mod.
+func (l *Loader) SetModule(dir string) error {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			l.ModuleName = strings.TrimSpace(rest)
+			l.ModuleRoot = dir
+			return nil
+		}
+	}
+	return fmt.Errorf("analysis: no module line in %s/go.mod", dir)
+}
+
+// resolve maps an import path to the directory holding its source.
+func (l *Loader) resolve(path string) (string, error) {
+	if l.Overlay != "" {
+		if dir := filepath.Join(l.Overlay, filepath.FromSlash(path)); isDir(dir) {
+			return dir, nil
+		}
+	}
+	if l.ModuleName != "" && (path == l.ModuleName || strings.HasPrefix(path, l.ModuleName+"/")) {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModuleName), "/")
+		return filepath.Join(l.ModuleRoot, filepath.FromSlash(rel)), nil
+	}
+	if dir := filepath.Join(l.ctxt.GOROOT, "src", filepath.FromSlash(path)); isDir(dir) {
+		return dir, nil
+	}
+	// GOROOT vendors its external dependencies (golang.org/x/...) under
+	// src/vendor; imports between std packages use the unvendored path.
+	if dir := filepath.Join(l.ctxt.GOROOT, "src", "vendor", filepath.FromSlash(path)); isDir(dir) {
+		return dir, nil
+	}
+	return "", fmt.Errorf("analysis: cannot resolve import %q", path)
+}
+
+func isDir(p string) bool {
+	fi, err := os.Stat(p)
+	return err == nil && fi.IsDir()
+}
+
+// Import implements types.Importer, typechecking dependencies from source
+// on first use. Syntax and info for dependencies are discarded.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	dir, err := l.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	files, _, err := l.parseDir(dir, false)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{Importer: l, FakeImportC: true, Error: func(error) {}}
+	pkg, err := conf.Check(path, l.Fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typecheck %s: %w", path, err)
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses the build-constraint-selected files of one directory,
+// returning the package's files and, when tests is set, the external
+// (package foo_test) files separately.
+func (l *Loader) parseDir(dir string, tests bool) (files, xtest []*ast.File, err error) {
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok && tests {
+			// Test-only directories still carry analyzable test files.
+			bp = &build.Package{Dir: dir}
+			if bp.TestGoFiles, bp.XTestGoFiles, err = l.listTestFiles(dir); err != nil {
+				return nil, nil, err
+			}
+		} else {
+			return nil, nil, fmt.Errorf("analysis: %s: %w", dir, err)
+		}
+	}
+	parse := func(names []string) ([]*ast.File, error) {
+		var out []*ast.File
+		for _, name := range names {
+			f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, f)
+		}
+		return out, nil
+	}
+	if files, err = parse(bp.GoFiles); err != nil {
+		return nil, nil, err
+	}
+	if tests {
+		tf, err := parse(bp.TestGoFiles)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, tf...)
+		if xtest, err = parse(bp.XTestGoFiles); err != nil {
+			return nil, nil, err
+		}
+	}
+	return files, xtest, nil
+}
+
+// listTestFiles splits a directory's _test.go files into in-package and
+// external-test lists without build.ImportDir (which rejects test-only
+// directories with NoGoError before reporting them).
+func (l *Loader) listTestFiles(dir string) (tests, xtests []string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(token.NewFileSet(), filepath.Join(dir, name), nil, parser.PackageClauseOnly)
+		if err != nil {
+			return nil, nil, err
+		}
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			xtests = append(xtests, name)
+		} else {
+			tests = append(tests, name)
+		}
+	}
+	sort.Strings(tests)
+	sort.Strings(xtests)
+	return tests, xtests, nil
+}
+
+// Load typechecks one analysis target, keeping syntax and info. When
+// IncludeTests is set, in-package test files join the target and any
+// external test package is returned as a second "<path>_test" entry.
+func (l *Loader) Load(path string) ([]*Package, error) {
+	dir, err := l.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	files, xtest, err := l.parseDir(dir, l.IncludeTests)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	if len(files) > 0 {
+		pkg, err := l.check(path, files)
+		if err != nil {
+			return nil, err
+		}
+		// Cache only if no dependency load got here first: replacing an
+		// entry would hand later importers a second, non-identical package
+		// object for the same path and break type identity.
+		if _, exists := l.cache[path]; !exists {
+			l.cache[path] = pkg.Pkg
+		}
+		out = append(out, pkg)
+	}
+	if len(xtest) > 0 {
+		pkg, err := l.check(path+"_test", xtest)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// check typechecks a file set as one package with full info collection.
+func (l *Loader) check(path string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l, FakeImportC: true}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typecheck %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: l.Fset, Files: files, Pkg: pkg, Info: info}, nil
+}

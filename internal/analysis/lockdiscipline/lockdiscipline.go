@@ -1,0 +1,354 @@
+// Package lockdiscipline keeps the runtime's mutexes away from blocking
+// operations. The breaker/executor/telemetry paths share small mutex-guarded
+// state; holding one of those locks across an RPC round trip, a channel
+// operation, a sleep, or an executor submission turns a microsecond critical
+// section into a convoy (or a deadlock once two such paths meet in opposite
+// order). The analyzer tracks Lock/RLock…Unlock regions linearly through
+// each function body — a deferred unlock holds to the end of the function,
+// and a function whose name ends in "Locked" is analyzed as called with the
+// lock already held — and reports any blocking operation inside a region:
+//
+//   - channel sends and receives, and select statements without a default
+//   - time.Sleep
+//   - rpc Client/ReliableClient Call* methods
+//   - Executor Do/DoTimed/DoTimedCtx submissions
+//   - sync.WaitGroup.Wait
+//
+// sync.Cond.Wait is exempt: it atomically releases the mutex it rides on.
+// Function literals are analyzed as their own functions — code inside a
+// deferred or spawned closure does not run under the enclosing region.
+package lockdiscipline
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"leime/internal/analysis"
+)
+
+// Analyzer flags blocking operations performed while a sync mutex is held.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "no blocking operations (rpc calls, channel ops, sleeps, executor submissions) while holding a mutex",
+	Run:  run,
+}
+
+// blockingMethods maps receiver type names to the method prefixes that
+// block. Matching is by bare type name so analysistest fixtures can model
+// the runtime's types without importing it.
+var blockingMethods = map[string][]string{
+	"Client":         {"Call"},
+	"ReliableClient": {"Call"},
+	"Executor":       {"Do"},
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{pass: pass}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					c.scanFunc(fn.Name.Name, fn.Body)
+				}
+			case *ast.FuncLit:
+				// Every literal is scanned fresh here; enclosing scans skip
+				// literal bodies, so each body is analyzed exactly once.
+				c.scanFunc("", fn.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checker walks function bodies tracking which mutexes are held.
+type checker struct {
+	pass *analysis.Pass
+}
+
+// heldSet maps a mutex's rendered receiver expression ("e.mu") to the
+// position that locked it.
+type heldSet map[string]token.Pos
+
+func (h heldSet) clone() heldSet {
+	out := make(heldSet, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+// any returns an arbitrary-but-deterministic held entry for messages.
+func (h heldSet) any() (string, token.Pos) {
+	best := ""
+	for k := range h {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best, h[best]
+}
+
+// scanFunc analyzes one function body. Functions named *Locked are treated
+// as entered with their receiver's lock held.
+func (c *checker) scanFunc(name string, body *ast.BlockStmt) {
+	held := heldSet{}
+	if strings.HasSuffix(name, "Locked") {
+		held["(caller-held lock)"] = body.Pos()
+	}
+	c.scanStmts(body.List, held)
+}
+
+// scanStmts walks one statement list, updating the held set at lock and
+// unlock boundaries and reporting blocking operations inside held regions.
+// Nested control flow is scanned with a copy of the set: a conditional
+// unlock inside a branch must not unmark the fall-through path.
+func (c *checker) scanStmts(stmts []ast.Stmt, held heldSet) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if key, ok := c.mutexCall(s.X, "Lock", "RLock"); ok {
+				c.checkExprs(held, s.X) // lock args can't block, but keep uniform
+				held[key] = s.Pos()
+				continue
+			}
+			if key, ok := c.mutexCall(s.X, "Unlock", "RUnlock"); ok {
+				delete(held, key)
+				continue
+			}
+			c.checkExprs(held, s.X)
+		case *ast.DeferStmt:
+			if _, ok := c.mutexCall(s.Call, "Unlock", "RUnlock"); ok {
+				continue // held until return; the region simply never closes
+			}
+			c.checkExprs(held, s.Call.Fun) // the call itself runs later
+			for _, a := range s.Call.Args {
+				c.checkExprs(held, a)
+			}
+		case *ast.GoStmt:
+			// Spawning is non-blocking; argument evaluation can block.
+			for _, a := range s.Call.Args {
+				c.checkExprs(held, a)
+			}
+		case *ast.SendStmt:
+			if len(held) > 0 {
+				c.report(s.Pos(), held, "channel send")
+			}
+			c.checkExprs(held, s.Chan, s.Value)
+		case *ast.SelectStmt:
+			if len(held) > 0 && !hasDefault(s) {
+				c.report(s.Pos(), held, "select without default")
+			}
+			for _, clause := range s.Body.List {
+				if comm, ok := clause.(*ast.CommClause); ok {
+					c.scanStmts(comm.Body, held.clone())
+				}
+			}
+		case *ast.BlockStmt:
+			c.scanStmts(s.List, held)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				c.scanStmts([]ast.Stmt{s.Init}, held)
+			}
+			c.checkExprs(held, s.Cond)
+			c.scanStmts(s.Body.List, held.clone())
+			if s.Else != nil {
+				c.scanStmts([]ast.Stmt{s.Else}, held.clone())
+			}
+		case *ast.ForStmt:
+			c.checkExprs(held, s.Cond)
+			c.scanStmts(s.Body.List, held.clone())
+		case *ast.RangeStmt:
+			c.checkExprs(held, s.X)
+			if len(held) > 0 {
+				if t := c.pass.TypesInfo.Types[s.X].Type; t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						c.report(s.Pos(), held, "range over channel")
+					}
+				}
+			}
+			c.scanStmts(s.Body.List, held.clone())
+		case *ast.SwitchStmt:
+			c.checkExprs(held, s.Tag)
+			for _, clause := range s.Body.List {
+				if cc, ok := clause.(*ast.CaseClause); ok {
+					c.scanStmts(cc.Body, held.clone())
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, clause := range s.Body.List {
+				if cc, ok := clause.(*ast.CaseClause); ok {
+					c.scanStmts(cc.Body, held.clone())
+				}
+			}
+		case *ast.AssignStmt:
+			c.checkExprs(held, s.Rhs...)
+		case *ast.ReturnStmt:
+			c.checkExprs(held, s.Results...)
+		case *ast.LabeledStmt:
+			c.scanStmts([]ast.Stmt{s.Stmt}, held)
+		}
+	}
+}
+
+// checkExprs reports blocking operations inside the given expressions,
+// without descending into function literals (their bodies run elsewhere
+// and are scanned as functions of their own).
+func (c *checker) checkExprs(held heldSet, exprs ...ast.Expr) {
+	if len(held) == 0 {
+		return
+	}
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					c.report(x.Pos(), held, "channel receive")
+				}
+			case *ast.CallExpr:
+				if what, ok := c.blockingCall(x); ok {
+					c.report(x.Pos(), held, what)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// mutexCall matches expr as a call to one of the named sync.Mutex/RWMutex
+// methods, returning the rendered receiver as the region key.
+func (c *checker) mutexCall(expr ast.Expr, names ...string) (string, bool) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	matched := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			matched = true
+		}
+	}
+	if !matched {
+		return "", false
+	}
+	fn := c.methodObj(sel)
+	if fn == nil {
+		return "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", false
+	}
+	name := strings.TrimPrefix(recv.Type().String(), "*")
+	if name != "sync.Mutex" && name != "sync.RWMutex" {
+		return "", false
+	}
+	return renderExpr(sel.X), true
+}
+
+// blockingCall classifies a call as a blocking operation, returning a
+// human label for the report.
+func (c *checker) blockingCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	// time.Sleep: package-level selector.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pkg, ok := c.pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+			if pkg.Imported().Path() == "time" && sel.Sel.Name == "Sleep" {
+				return "time.Sleep", true
+			}
+			return "", false
+		}
+	}
+	fn := c.methodObj(sel)
+	if fn == nil {
+		return "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", false
+	}
+	recvName := strings.TrimPrefix(recv.Type().String(), "*")
+	if recvName == "sync.WaitGroup" && fn.Name() == "Wait" {
+		return "sync.WaitGroup.Wait", true
+	}
+	base := recvName
+	if i := strings.LastIndex(base, "."); i >= 0 {
+		base = base[i+1:]
+	}
+	for _, prefix := range blockingMethods[base] {
+		if strings.HasPrefix(fn.Name(), prefix) {
+			return base + "." + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+// methodObj resolves a selector to the *types.Func it calls, nil for
+// non-method selectors.
+func (c *checker) methodObj(sel *ast.SelectorExpr) *types.Func {
+	if selection, ok := c.pass.TypesInfo.Selections[sel]; ok {
+		if fn, ok := selection.Obj().(*types.Func); ok {
+			return fn
+		}
+		return nil
+	}
+	if fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+		return fn
+	}
+	return nil
+}
+
+// report emits one diagnostic naming the operation and the oldest-named
+// held mutex.
+func (c *checker) report(pos token.Pos, held heldSet, what string) {
+	mu, at := held.any()
+	c.pass.Reportf(pos, "%s while holding %s (locked at %s); release the lock first", what, mu, c.pass.Fset.Position(at))
+}
+
+func hasDefault(s *ast.SelectStmt) bool {
+	for _, clause := range s.Body.List {
+		if comm, ok := clause.(*ast.CommClause); ok && comm.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// renderExpr prints a compact receiver expression for region keys.
+func renderExpr(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return renderExpr(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return renderExpr(x.X)
+	case *ast.IndexExpr:
+		return renderExpr(x.X) + "[i]"
+	case *ast.StarExpr:
+		return renderExpr(x.X)
+	case *ast.CallExpr:
+		return renderExpr(x.Fun) + "()"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}

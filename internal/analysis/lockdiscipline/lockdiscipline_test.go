@@ -1,0 +1,12 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"leime/internal/analysis/analysistest"
+	"leime/internal/analysis/lockdiscipline"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", lockdiscipline.Analyzer, "locks")
+}

@@ -1,0 +1,134 @@
+// Package locks is a lockdiscipline fixture.
+package locks
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"rpc"
+)
+
+// Server guards its state with a mutex.
+type Server struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+	c  *rpc.Client
+	ch chan int
+}
+
+// BadSleep sleeps while holding the lock.
+func (s *Server) BadSleep() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// GoodSleep releases before sleeping.
+func (s *Server) GoodSleep() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// BadCall holds the lock across an RPC via a deferred unlock.
+func (s *Server) BadCall(ctx context.Context) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = s.c.Call(ctx, nil) // want `Client\.Call while holding s\.mu`
+}
+
+// BadSend sends on a channel under the lock.
+func (s *Server) BadSend() {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// BadRecv receives under the lock.
+func (s *Server) BadRecv() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want `channel receive while holding s\.mu`
+}
+
+// BadWait parks on the group under the lock.
+func (s *Server) BadWait() {
+	s.mu.Lock()
+	s.wg.Wait() // want `sync\.WaitGroup\.Wait while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// flushLocked is entered with the caller already holding the lock.
+func (s *Server) flushLocked() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding \(caller-held lock\)`
+}
+
+// GoodClosure spawns the blocking work; the literal runs outside the region.
+func (s *Server) GoodClosure() {
+	s.mu.Lock()
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+	s.mu.Unlock()
+}
+
+// WaitCond blocks on a condition variable, which releases the mutex it
+// rides on; exempt.
+func (s *Server) WaitCond(cond *sync.Cond) {
+	s.mu.Lock()
+	cond.Wait()
+	s.mu.Unlock()
+}
+
+// BranchUnlock releases in one branch only; the fall-through path still
+// holds the lock.
+func (s *Server) BranchUnlock(early bool) {
+	s.mu.Lock()
+	if early {
+		s.mu.Unlock()
+		time.Sleep(time.Millisecond) // branch released its copy: legal
+		return
+	}
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// BadSelect waits on a select without default under the lock.
+func (s *Server) BadSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select without default while holding s\.mu`
+	case v := <-s.ch:
+		_ = v
+	}
+}
+
+// GoodSelect polls: a default branch cannot block.
+func (s *Server) GoodSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+}
+
+// BadDrain ranges over the channel under the lock.
+func (s *Server) BadDrain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for v := range s.ch { // want `range over channel while holding s\.mu`
+		_ = v
+	}
+}
+
+// Shutdown documents a deliberate exception; the directive suppresses the
+// finding, proving the ignore path works.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore lockdiscipline close-time send on an unbuffered ack channel with a parked reader; no contention is possible after close
+	s.ch <- 0
+}

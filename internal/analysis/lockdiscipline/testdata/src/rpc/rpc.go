@@ -1,0 +1,10 @@
+// Package rpc is a fixture stand-in for the transport layer.
+package rpc
+
+import "context"
+
+// Client is a fake connection whose Call blocks on the network.
+type Client struct{}
+
+// Call performs a blocking round trip.
+func (c *Client) Call(ctx context.Context, body any) (any, error) { return nil, nil }

@@ -1,0 +1,103 @@
+// Package missingdocs enforces the repo's documentation convention: every
+// exported top-level declaration carries a doc comment and every package has
+// a package comment (the repo-local ST1000/ST1020 equivalents). This is the
+// internal/analysis port of the original cmd/doccheck directory walker;
+// _test.go files stay exempt because their audience is the test reader, not
+// the API consumer.
+package missingdocs
+
+import (
+	"go/ast"
+	"go/token"
+
+	"leime/internal/analysis"
+)
+
+// Analyzer flags undocumented exported declarations and package clauses.
+var Analyzer = &analysis.Analyzer{
+	Name: "missingdocs",
+	Doc:  "exported declarations and packages need doc comments",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	documented := false
+	var first *ast.File
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		if f.Doc != nil {
+			documented = true
+		}
+		if first == nil || pass.Fset.Position(f.Pos()).Filename < pass.Fset.Position(first.Pos()).Filename {
+			first = f
+		}
+		checkDecls(pass, f)
+	}
+	if first != nil && !documented {
+		pass.Reportf(first.Name.Pos(), "package %s: packages need a package comment", first.Name.Name)
+	}
+	return nil, nil
+}
+
+// checkDecls reports one file's undocumented exported top-level decls. A
+// comment on a grouped declaration (one const (...) or var (...) block)
+// covers every spec in the group, matching godoc's rendering.
+func checkDecls(pass *analysis.Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			name := d.Name.Name
+			if d.Recv != nil && len(d.Recv.List) == 1 {
+				recv := recvTypeName(d.Recv.List[0].Type)
+				if !ast.IsExported(recv) {
+					continue // method on an unexported type: not API surface
+				}
+				name = recv + "." + name
+			}
+			pass.Reportf(d.Pos(), "%s: exported declarations need a doc comment", name)
+		case *ast.GenDecl:
+			if d.Tok == token.IMPORT || d.Doc != nil {
+				continue
+			}
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && s.Doc == nil {
+						pass.Reportf(s.Pos(), "%s: exported declarations need a doc comment", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if s.Doc != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							pass.Reportf(n.Pos(), "%s: exported declarations need a doc comment", n.Name)
+							break // one violation per spec line
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// recvTypeName unwraps a receiver type expression to its base identifier.
+func recvTypeName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	default:
+		return "?"
+	}
+}

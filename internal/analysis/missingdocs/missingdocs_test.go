@@ -1,0 +1,12 @@
+package missingdocs_test
+
+import (
+	"testing"
+
+	"leime/internal/analysis/analysistest"
+	"leime/internal/analysis/missingdocs"
+)
+
+func TestMissingDocs(t *testing.T) {
+	analysistest.Run(t, "testdata", missingdocs.Analyzer, "docs", "nodoc")
+}

@@ -1,0 +1,27 @@
+// Package docs is a missingdocs fixture.
+package docs
+
+// Documented carries a doc comment.
+func Documented() {}
+
+func Undocumented() {} // want `Undocumented: exported declarations need a doc comment`
+
+// T is documented.
+type T struct{}
+
+func (t *T) M() {} // want `T\.M: exported declarations need a doc comment`
+
+type hidden struct{}
+
+// Exported methods on unexported types are not API surface; no doc needed.
+func (h hidden) Exported() {}
+
+var Exported = 1 // want `Exported: exported declarations need a doc comment`
+
+// Grouped declarations share the group comment.
+var (
+	A = 1
+	B = 2
+)
+
+type U struct{} // want `U: exported declarations need a doc comment`

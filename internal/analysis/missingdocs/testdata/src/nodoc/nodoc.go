@@ -1,0 +1,3 @@
+package nodoc // want `package nodoc: packages need a package comment`
+
+func internalOnly() {}

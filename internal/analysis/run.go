@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+)
+
+// Finding is one reported diagnostic bound to its package, position-resolved
+// and past the suppression filter.
+type Finding struct {
+	// Analyzer names the check that produced the finding.
+	Analyzer string
+	// Position is the resolved file:line:column location.
+	Position token.Position
+	// Message is the diagnostic text.
+	Message string
+	// Diag is the raw diagnostic, kept for SuggestedFixes.
+	Diag Diagnostic
+	// Pkg is the package the finding was reported against.
+	Pkg *Package
+}
+
+// String renders the finding as a "file:line:col: message (analyzer)"
+// diagnostic line.
+func (f Finding) String() string {
+	return f.Position.String() + ": " + f.Message + " (" + f.Analyzer + ")"
+}
+
+// Run applies every analyzer to every package, resolves positions, drops
+// findings silenced by //lint:ignore directives, surfaces malformed
+// directives as findings of their own, and returns the remainder sorted by
+// position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var all []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.Info,
+			}
+			pkg, a := pkg, a
+			pass.Report = func(d Diagnostic) {
+				all = append(all, Finding{
+					Analyzer: a.Name,
+					Position: pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+					Diag:     d,
+					Pkg:      pkg,
+				})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+	ix, malformed := buildIgnoreIndex(pkgs)
+	out := malformed
+	for _, f := range all {
+		if !ix.suppressed(f) {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// Suppression directives, implemented in the driver so every analyzer gets
+// them uniformly:
+//
+//	//lint:ignore name1[,name2...] reason       — suppresses the named
+//	  analyzers on the directive's own line and the line below it (so it
+//	  works both trailing a statement and on the line before one).
+//	//lint:file-ignore name1[,name2...] reason  — suppresses the named
+//	  analyzers for the whole file.
+//
+// A reason is mandatory: an ignore that cannot say why it exists is a
+// finding itself, attributed to the pseudo-analyzer "directive".
+
+// ignoreIndex records which analyzers are suppressed where.
+type ignoreIndex struct {
+	// file maps filename to analyzers ignored file-wide.
+	file map[string][]string
+	// line maps filename to line number to analyzers ignored there.
+	line map[string]map[int][]string
+}
+
+// buildIgnoreIndex scans every comment in pkgs for lint directives,
+// returning the index plus one Finding per malformed directive.
+func buildIgnoreIndex(pkgs []*Package) (ignoreIndex, []Finding) {
+	ix := ignoreIndex{file: map[string][]string{}, line: map[string]map[int][]string{}}
+	var bad []Finding
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					isDirective, names, fileWide := parseDirective(c.Text)
+					if !isDirective {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					if len(names) == 0 {
+						bad = append(bad, Finding{
+							Analyzer: "directive",
+							Position: pos,
+							Message:  "malformed lint directive: need //lint:ignore <analyzers> <reason>",
+							Pkg:      pkg,
+						})
+						continue
+					}
+					if fileWide {
+						ix.file[pos.Filename] = append(ix.file[pos.Filename], names...)
+						continue
+					}
+					lines := ix.line[pos.Filename]
+					if lines == nil {
+						lines = map[int][]string{}
+						ix.line[pos.Filename] = lines
+					}
+					lines[pos.Line] = append(lines[pos.Line], names...)
+					lines[pos.Line+1] = append(lines[pos.Line+1], names...)
+				}
+			}
+		}
+	}
+	return ix, bad
+}
+
+// parseDirective decodes one comment. isDirective reports whether the
+// comment claims the //lint: namespace at all; names is empty when such a
+// directive is malformed (unknown verb, or missing analyzer list/reason).
+func parseDirective(text string) (isDirective bool, names []string, fileWide bool) {
+	if !strings.HasPrefix(text, "//lint:") {
+		return false, nil, false
+	}
+	rest, ok := strings.CutPrefix(text, "//lint:ignore ")
+	if !ok {
+		if rest, fileWide = strings.CutPrefix(text, "//lint:file-ignore "); !fileWide {
+			return true, nil, false
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return true, nil, fileWide // missing analyzer list or reason
+	}
+	return true, strings.Split(fields[0], ","), fileWide
+}
+
+// suppressed reports whether the index silences finding f.
+func (ix ignoreIndex) suppressed(f Finding) bool {
+	if matches(ix.file[f.Position.Filename], f.Analyzer) {
+		return true
+	}
+	lines := ix.line[f.Position.Filename]
+	return lines != nil && matches(lines[f.Position.Line], f.Analyzer)
+}
+
+func matches(names []string, analyzer string) bool {
+	for _, n := range names {
+		if n == analyzer {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,59 @@
+// Package units is a unitsafety fixture.
+package units
+
+// Job carries quantities in different units.
+type Job struct {
+	// SizeBytes is the payload size.
+	SizeBytes float64
+	// BudgetSec is the time budget.
+	BudgetSec float64
+}
+
+// Mix adds bytes to seconds.
+func Mix(sizeBytes, budgetSec float64) float64 {
+	return sizeBytes + budgetSec // want `mixes Bytes and Sec`
+}
+
+// Compare relates a work count to a rate.
+func Compare(workFLOPs, rateFLOPS float64) bool {
+	return workFLOPs > rateFLOPS // want `mixes FLOPs and FLOPS`
+}
+
+// SameUnit adds two quantities of the same unit; legal.
+func SameUnit(aSec, bSec float64) float64 { return aSec + bSec }
+
+// Assign stores a rate into a seconds variable.
+func Assign(linkBps float64) {
+	var delaySec float64
+	delaySec = linkBps // want `assigning Bps value linkBps to Sec variable delaySec`
+	_ = delaySec
+}
+
+// Convert uses multiplicative arithmetic, which is how units legally
+// change; no finding.
+func Convert(sizeBytes, linkBps float64) float64 {
+	return sizeBytes * 8 / linkBps
+}
+
+// Fill sets a keyed field from the wrong unit.
+func Fill(linkBps float64) Job {
+	return Job{BudgetSec: linkBps} // want `field BudgetSec \(Sec\) set from Bps value`
+}
+
+// Call passes a rate where the callee's parameter names a count.
+func Call(rateFLOPS float64) float64 {
+	return burn(rateFLOPS) // want `argument rateFLOPS \(FLOPS\) passed as parameter workFLOPs \(FLOPs\)`
+}
+
+func burn(workFLOPs float64) float64 { return workFLOPs }
+
+// Acronym is all-caps; "S" suffixes inside acronyms do not count.
+func Acronym(useHTTPS bool) bool { return useHTTPS }
+
+// Helper converts through a named call, resetting the unit; legal.
+func Helper(sizeBytes float64) float64 {
+	transferSec := toSeconds(sizeBytes)
+	return transferSec
+}
+
+func toSeconds(sizeBytes float64) float64 { return sizeBytes / 1e9 }

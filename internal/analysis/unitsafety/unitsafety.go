@@ -1,0 +1,221 @@
+// Package unitsafety guards the repo's unit naming convention. Every
+// quantity in the system is an untyped float64 that is secretly seconds,
+// FLOPs, bytes, bits per second, FLOPS, or a per-second rate; the only
+// thing standing between a correct cost model and a silent unit bug is the
+// identifier suffix convention (...Sec, ...FLOPs, ...FLOPS, ...Bytes,
+// ...Bps, ...Rate). This analyzer makes the convention load-bearing: it
+// flags assignments, comparisons, additive arithmetic, keyed composite
+// literal fields, and call arguments that mix two different unit suffixes
+// with no explicit conversion in between.
+//
+// Multiplication and division deliberately stay exempt — they are how
+// units legally change (Bytes * 8 / Bps = Sec) — and any function call
+// resets the unit to unknown, so a named conversion helper is always an
+// escape hatch.
+package unitsafety
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+
+	"leime/internal/analysis"
+)
+
+// Analyzer flags additive arithmetic, comparisons and assignments mixing
+// identifier unit suffixes.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitsafety",
+	Doc:  "identifiers with unit suffixes (Sec, FLOPs, FLOPS, Bytes, Bps, Rate) must not mix without conversion",
+	Run:  run,
+}
+
+// suffixes are the recognized units, longest first so FLOPs/FLOPS win over
+// shorter accidental matches. Case matters: FLOPs is a count, FLOPS a rate.
+var suffixes = []string{"FLOPs", "FLOPS", "Bytes", "Bps", "Sec", "Rate"}
+
+// unitOf derives the unit of an expression from identifier suffixes. It
+// returns "" when the unit is unknown or the expression converts units
+// (calls, multiplicative arithmetic).
+func unitOf(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return suffixUnit(x.Name)
+	case *ast.SelectorExpr:
+		return suffixUnit(x.Sel.Name)
+	case *ast.ParenExpr:
+		return unitOf(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.ADD || x.Op == token.SUB {
+			return unitOf(x.X)
+		}
+	case *ast.IndexExpr:
+		return unitOf(x.X)
+	case *ast.BinaryExpr:
+		if x.Op == token.ADD || x.Op == token.SUB {
+			a, b := unitOf(x.X), unitOf(x.Y)
+			if a == b {
+				return a
+			}
+		}
+	}
+	return ""
+}
+
+// suffixUnit extracts the unit suffix of one identifier. The suffix only
+// counts when the preceding character is a lowercase letter or digit (or
+// the name is the bare suffix, case-folded), so e.g. GFLOPS and TauSec
+// match but an all-caps acronym like HTTPS does not match "S"-suffixes.
+func suffixUnit(name string) string {
+	for _, s := range suffixes {
+		if name == s {
+			return s
+		}
+		if len(name) > len(s) && strings.HasSuffix(name, s) {
+			prev := rune(name[len(name)-len(s)-1])
+			if unicode.IsLower(prev) || unicode.IsDigit(prev) {
+				return s
+			}
+		}
+	}
+	// A bare lowercase name ("bytes", "sec") still announces its unit.
+	// Exact matches above win first so FLOPs and FLOPS stay distinct.
+	for _, s := range suffixes {
+		if strings.EqualFold(name, s) {
+			return s
+		}
+	}
+	return ""
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				checkBinary(pass, x)
+			case *ast.AssignStmt:
+				checkAssign(pass, x)
+			case *ast.CompositeLit:
+				checkCompositeLit(pass, x)
+			case *ast.CallExpr:
+				checkCall(pass, x)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// additiveOrCompare reports ops where both operands must share a unit.
+func additiveOrCompare(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		return true
+	}
+	return false
+}
+
+func checkBinary(pass *analysis.Pass, x *ast.BinaryExpr) {
+	if !additiveOrCompare(x.Op) {
+		return
+	}
+	a, b := unitOf(x.X), unitOf(x.Y)
+	if a != "" && b != "" && a != b {
+		pass.Reportf(x.OpPos, "unit mismatch: %s %s %s mixes %s and %s; convert explicitly", render(x.X), x.Op, render(x.Y), a, b)
+	}
+}
+
+func checkAssign(pass *analysis.Pass, x *ast.AssignStmt) {
+	switch x.Tok {
+	case token.ASSIGN, token.DEFINE, token.ADD_ASSIGN, token.SUB_ASSIGN:
+	default:
+		return
+	}
+	if len(x.Lhs) != len(x.Rhs) {
+		return
+	}
+	for i := range x.Lhs {
+		a, b := unitOf(x.Lhs[i]), unitOf(x.Rhs[i])
+		if a != "" && b != "" && a != b {
+			pass.Reportf(x.Pos(), "unit mismatch: assigning %s value %s to %s variable %s; convert explicitly", b, render(x.Rhs[i]), a, render(x.Lhs[i]))
+		}
+	}
+}
+
+// checkCompositeLit compares each keyed field's name suffix against its
+// value's unit: Config{TauSec: bandwidthBps} is almost certainly a bug.
+func checkCompositeLit(pass *analysis.Pass, x *ast.CompositeLit) {
+	for _, elt := range x.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		a, b := suffixUnit(key.Name), unitOf(kv.Value)
+		if a != "" && b != "" && a != b {
+			pass.Reportf(kv.Pos(), "unit mismatch: field %s (%s) set from %s value %s; convert explicitly", key.Name, a, b, render(kv.Value))
+		}
+	}
+}
+
+// checkCall compares each argument's unit against the parameter name it
+// lands in, when the callee's signature is known.
+func checkCall(pass *analysis.Pass, x *ast.CallExpr) {
+	sig := callSignature(pass, x)
+	if sig == nil || x.Ellipsis.IsValid() {
+		return
+	}
+	for i, arg := range x.Args {
+		if i >= sig.Params().Len() {
+			break // variadic tail: parameter name no longer positional
+		}
+		param := sig.Params().At(i)
+		if sig.Variadic() && i == sig.Params().Len()-1 {
+			break
+		}
+		a, b := suffixUnit(param.Name()), unitOf(arg)
+		if a != "" && b != "" && a != b {
+			pass.Reportf(arg.Pos(), "unit mismatch: argument %s (%s) passed as parameter %s (%s); convert explicitly", render(arg), b, param.Name(), a)
+		}
+	}
+}
+
+// callSignature resolves the static signature of a call's callee, or nil
+// for builtins, type conversions and dynamic calls.
+func callSignature(pass *analysis.Pass, x *ast.CallExpr) *types.Signature {
+	tv, ok := pass.TypesInfo.Types[x.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.(*types.Signature)
+	return sig
+}
+
+// render prints a compact source form of simple expressions for messages.
+func render(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return render(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return "(" + render(x.X) + ")"
+	case *ast.IndexExpr:
+		return render(x.X) + "[...]"
+	case *ast.UnaryExpr:
+		return x.Op.String() + render(x.X)
+	case *ast.BinaryExpr:
+		return render(x.X) + " " + x.Op.String() + " " + render(x.Y)
+	case *ast.CallExpr:
+		return render(x.Fun) + "(...)"
+	case *ast.BasicLit:
+		return x.Value
+	}
+	return "expr"
+}

@@ -1,0 +1,12 @@
+package unitsafety_test
+
+import (
+	"testing"
+
+	"leime/internal/analysis/analysistest"
+	"leime/internal/analysis/unitsafety"
+)
+
+func TestUnitSafety(t *testing.T) {
+	analysistest.Run(t, "testdata", unitsafety.Analyzer, "units")
+}

@@ -1,0 +1,5 @@
+// Package rpc is a fixture stand-in for the transport layer.
+package rpc
+
+// RegisterError associates a wire code with a sentinel error.
+func RegisterError(code string, sentinel error) {}

@@ -1,0 +1,61 @@
+// Package wire is a wireerrors fixture.
+package wire
+
+import (
+	"errors"
+	"strings"
+
+	"rpc"
+)
+
+// ErrRegistered crosses the wire with a code.
+var ErrRegistered = errors.New("wire: registered")
+
+// ErrForgotten never gets a code.
+var ErrForgotten = errors.New("wire: forgotten") // want `never registered with rpc\.RegisterError`
+
+func init() {
+	rpc.RegisterError("wire/registered", ErrRegistered)
+}
+
+// Classify compares errors by identity.
+func Classify(err error) bool {
+	if err == ErrRegistered { // want `error compared with ==`
+		return true
+	}
+	return err != nil // nil comparisons stay legal
+}
+
+// ClassifyNot negates an identity comparison.
+func ClassifyNot(err error) bool {
+	return err != ErrRegistered // want `error compared with !=`
+}
+
+// ByMessage matches the message text.
+func ByMessage(err error) bool {
+	return err.Error() == "wire: registered" // want `classified by message text`
+}
+
+// ByContains greps the message.
+func ByContains(err error) bool {
+	return strings.Contains(err.Error(), "registered") // want `classified by message text via strings\.Contains`
+}
+
+// Good classifies with errors.Is; no finding.
+func Good(err error) bool { return errors.Is(err, ErrRegistered) }
+
+// signalError implements the errors.Is protocol; identity comparison
+// inside an Is method is the protocol itself, not a violation.
+type signalError struct{}
+
+func (signalError) Error() string { return "wire: signal" }
+
+// Is matches the registered sentinel.
+func (signalError) Is(target error) bool { return target == ErrRegistered }
+
+// Same documents a deliberate exception; the directive suppresses the
+// finding, proving the ignore path works.
+func Same(a, b error) bool {
+	//lint:ignore wireerrors deduplication wants pointer identity, not classification
+	return a == b
+}

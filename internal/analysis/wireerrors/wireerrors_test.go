@@ -1,0 +1,12 @@
+package wireerrors_test
+
+import (
+	"testing"
+
+	"leime/internal/analysis/analysistest"
+	"leime/internal/analysis/wireerrors"
+)
+
+func TestWireErrors(t *testing.T) {
+	analysistest.Run(t, "testdata", wireerrors.Analyzer, "wire")
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"strings"
 	"sync"
@@ -37,7 +38,7 @@ func TestParallelForReturnsLowestIndexError(t *testing.T) {
 			return nil
 		})
 		SetParallelism(0)
-		if err != io.ErrUnexpectedEOF {
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
 			t.Errorf("width %d: err = %v, want ErrUnexpectedEOF", width, err)
 		}
 	}

@@ -58,6 +58,7 @@ func RegisterError(code string, sentinel error) {
 	}
 	codesMu.Lock()
 	defer codesMu.Unlock()
+	//lint:ignore wireerrors identity on purpose: re-registering the same sentinel object is idempotent, an equivalent-but-distinct error is a bug
 	if prev, ok := sentinels[code]; ok && prev != sentinel {
 		panic("rpc: duplicate error code " + code)
 	}
@@ -66,19 +67,28 @@ func RegisterError(code string, sentinel error) {
 
 func init() {
 	RegisterError("rpc/deadline", ErrDeadlineExceeded)
+	// The connection-state sentinels are minted on the client side, but a
+	// server that is itself a client (an edge calling its cloud) returns
+	// them from handlers, so they need wire codes like any other sentinel.
+	RegisterError("rpc/closed", ErrClosed)
+	RegisterError("rpc/peer-unavailable", ErrPeerUnavailable)
+	RegisterError("rpc/circuit-open", ErrCircuitOpen)
 }
 
-// codeFor returns the wire code of the first registered sentinel err matches,
-// or "" for uncoded errors.
+// codeFor returns the wire code of the registered sentinel err matches, or
+// "" for uncoded errors. An error matching several sentinels always maps
+// to the lexicographically smallest code: map iteration order must not
+// decide what goes on the wire.
 func codeFor(err error) string {
 	codesMu.RLock()
 	defer codesMu.RUnlock()
+	best := ""
 	for code, sentinel := range sentinels {
-		if errors.Is(err, sentinel) {
-			return code
+		if errors.Is(err, sentinel) && (best == "" || code < best) {
+			best = code
 		}
 	}
-	return ""
+	return best
 }
 
 // sentinelFor resolves a wire code back to its sentinel, nil if unknown.

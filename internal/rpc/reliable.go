@@ -372,7 +372,7 @@ func (r *ReliableClient) CallMeta(ctx context.Context, meta Meta, body any) (any
 		}
 		c, err := r.conn(ctx)
 		if err != nil {
-			if err == ErrClosed {
+			if errors.Is(err, ErrClosed) {
 				return nil, err // this reliable client was closed
 			}
 			lastErr = err

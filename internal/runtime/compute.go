@@ -122,12 +122,12 @@ type job struct {
 
 // NewExecutor starts an executor at the given FLOPS rating. Close releases
 // its worker. Options enable batching and admission control.
-func NewExecutor(flops float64, scale Scale, opts ...ExecOption) (*Executor, error) {
-	if flops <= 0 {
-		return nil, fmt.Errorf("runtime: executor FLOPS %v must be positive", flops)
+func NewExecutor(rateFLOPS float64, scale Scale, opts ...ExecOption) (*Executor, error) {
+	if rateFLOPS <= 0 {
+		return nil, fmt.Errorf("runtime: executor FLOPS %v must be positive", rateFLOPS)
 	}
 	e := &Executor{scale: scale}
-	atomic.StoreUint64(&e.rateBits, math.Float64bits(flops))
+	atomic.StoreUint64(&e.rateBits, math.Float64bits(rateFLOPS))
 	for _, opt := range opts {
 		opt(e)
 	}
@@ -143,11 +143,11 @@ func (e *Executor) Rate() float64 {
 }
 
 // SetRate updates the FLOPS rating for subsequently started jobs.
-func (e *Executor) SetRate(flops float64) error {
-	if flops <= 0 {
-		return fmt.Errorf("runtime: executor FLOPS %v must be positive", flops)
+func (e *Executor) SetRate(rateFLOPS float64) error {
+	if rateFLOPS <= 0 {
+		return fmt.Errorf("runtime: executor FLOPS %v must be positive", rateFLOPS)
 	}
-	atomic.StoreUint64(&e.rateBits, math.Float64bits(flops))
+	atomic.StoreUint64(&e.rateBits, math.Float64bits(rateFLOPS))
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -233,10 +234,27 @@ func (e *Edge) update(req UpdateReq) (any, error) {
 		e.mu.Unlock()
 		return nil, fmt.Errorf("%w %q", ErrUnknownDevice, req.DeviceID)
 	}
-	flops := t.dev.FLOPS
+	deviceFLOPS := t.dev.FLOPS
 	model := t.model
 	e.mu.Unlock()
-	return e.register(RegisterReq{DeviceID: req.DeviceID, FLOPS: flops, ArrivalMean: req.ArrivalMean, Model: model})
+	return e.register(RegisterReq{DeviceID: req.DeviceID, FLOPS: deviceFLOPS, ArrivalMean: req.ArrivalMean, Model: model})
+}
+
+// tenantOrder snapshots tenant ids in sorted order alongside their device
+// parameters. The KKT allocation's float arithmetic is order-sensitive, so
+// handing it map-iteration order would make shares drift run to run; callers
+// hold e.mu.
+func (e *Edge) tenantOrder() ([]string, []offload.Device) {
+	ids := make([]string, 0, len(e.tenants))
+	for id := range e.tenants {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	devs := make([]offload.Device, len(ids))
+	for i, id := range ids {
+		devs[i] = e.tenants[id].dev
+	}
+	return ids, devs
 }
 
 // unregister removes a tenant and redistributes its edge share. The tenant's
@@ -252,12 +270,7 @@ func (e *Edge) unregister(req UnregisterReq) (any, error) {
 	delete(e.tenants, req.DeviceID)
 	remaining := len(e.tenants)
 	e.tel.tenants.Set(float64(remaining))
-	ids := make([]string, 0, remaining)
-	devs := make([]offload.Device, 0, remaining)
-	for id, tn := range e.tenants {
-		ids = append(ids, id)
-		devs = append(devs, tn.dev)
-	}
+	ids, devs := e.tenantOrder()
 	var shares []float64
 	var err error
 	if remaining > 0 {
@@ -334,12 +347,7 @@ func (e *Edge) register(req RegisterReq) (any, error) {
 	t.dev = dev
 	t.model = model
 
-	ids := make([]string, 0, len(e.tenants))
-	devs := make([]offload.Device, 0, len(e.tenants))
-	for id, tn := range e.tenants {
-		ids = append(ids, id)
-		devs = append(devs, tn.dev)
-	}
+	ids, devs := e.tenantOrder()
 	shares, err := offload.Allocate(devs, e.cfg.FLOPS)
 	if err != nil {
 		return nil, fmt.Errorf("edge: allocation: %w", err)

@@ -31,4 +31,7 @@ func init() {
 	rpc.RegisterError("runtime/busy", ErrBusy)
 	rpc.RegisterError("runtime/unknown-device", ErrUnknownDevice)
 	rpc.RegisterError("runtime/overloaded", ErrOverloaded)
+	// A shutdown race can surface the executor's closed state from a
+	// handler mid-drain; without a code it would reach the device untyped.
+	rpc.RegisterError("runtime/executor-closed", ErrExecutorClosed)
 }

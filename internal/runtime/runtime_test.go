@@ -207,7 +207,7 @@ func TestEndToEndSingleDevice(t *testing.T) {
 func TestEndToEndConcurrentDevices(t *testing.T) {
 	_, edge := startTestbed(t)
 	ids := []string{"pi-1", "pi-2", "nano-1"}
-	flops := []float64{1.2e9, 1.2e9, 9.84e9}
+	deviceFLOPS := []float64{1.2e9, 1.2e9, 9.84e9}
 	var wg sync.WaitGroup
 	results := make([]*DeviceStats, len(ids))
 	errs := make([]error, len(ids))
@@ -216,7 +216,7 @@ func TestEndToEndConcurrentDevices(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			cfg := testDeviceConfig(edge.Addr(), ids[i])
-			cfg.FLOPS = flops[i]
+			cfg.FLOPS = deviceFLOPS[i]
 			cfg.Seed = int64(100 + i)
 			cfg.Slots = 20
 			results[i], errs[i] = RunDevice(cfg)

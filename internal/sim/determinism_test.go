@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"leime/internal/telemetry"
+)
+
+// TestRunEventsSeedReplay pins the simulator's replay contract: two runs
+// with equal configurations (including Seed) must produce byte-identical
+// trace streams and equal results.
+//
+// Randomness audit backing this pin: every random draw in the event
+// simulator flows through sources derived from cfg.Seed — per-device
+// Poisson arrival processes are seeded with cfg.Seed+i*104729 and the
+// shared exit/decision generator with rand.New(rand.NewSource(cfg.Seed ^
+// 0x5eed)); nothing consults math/rand's package-global source or the wall
+// clock (the determinism analyzer enforces both). What the analyzer cannot
+// see — map iteration order leaking into event order — is what the
+// byte-compare here would catch.
+func TestRunEventsSeedReplay(t *testing.T) {
+	run := func() (*EventResult, []byte) {
+		cfg := baseEventConfig(3, 4)
+		cfg.Slots = 60
+		cfg.WarmupSlots = 5
+		cfg.Tracer = telemetry.NewTracerWithBase(1<<16, uint64(cfg.Seed+1)<<40)
+		res, err := RunEvents(cfg)
+		if err != nil {
+			t.Fatalf("RunEvents: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := cfg.Tracer.WriteJSONL(&buf); err != nil {
+			t.Fatalf("WriteJSONL: %v", err)
+		}
+		if cfg.Tracer.Dropped() != 0 {
+			t.Fatalf("tracer dropped %d spans; raise capacity", cfg.Tracer.Dropped())
+		}
+		return res, buf.Bytes()
+	}
+	a, traceA := run()
+	b, traceB := run()
+	if a.Generated != b.Generated || a.Completed != b.Completed {
+		t.Errorf("task counts differ across same-seed runs: %d/%d vs %d/%d",
+			a.Generated, a.Completed, b.Generated, b.Completed)
+	}
+	if a.ExitCounts != b.ExitCounts {
+		t.Errorf("exit counts differ across same-seed runs: %v vs %v", a.ExitCounts, b.ExitCounts)
+	}
+	if a.TCT.Mean() != b.TCT.Mean() {
+		t.Errorf("mean TCT differs across same-seed runs: %v vs %v", a.TCT.Mean(), b.TCT.Mean())
+	}
+	if len(traceA) == 0 {
+		t.Fatal("no trace output; the byte compare below would be vacuous")
+	}
+	if !bytes.Equal(traceA, traceB) {
+		t.Errorf("trace streams differ across same-seed runs (%d vs %d bytes)", len(traceA), len(traceB))
+	}
+}

@@ -79,14 +79,24 @@ type Tracer struct {
 // NewTracer creates a tracer holding at most capacity finished spans
 // (DefaultSpanCapacity when capacity <= 0).
 func NewTracer(capacity int) *Tracer {
+	var seed [8]byte
+	_, _ = rand.Read(seed[:])
+	return NewTracerWithBase(capacity, binary.LittleEndian.Uint64(seed[:]))
+}
+
+// NewTracerWithBase creates a tracer whose ID base comes from the given
+// value instead of process randomness, so two runs replaying the same
+// inputs mint identical span IDs (the simulator's seed-replay pin test
+// depends on this). Only the high 24 bits of base are used; the low 40
+// bits stay reserved for the per-tracer allocation counter, and a base
+// with empty high bits falls back to 1<<40 to keep IDs nonzero.
+func NewTracerWithBase(capacity int, base uint64) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultSpanCapacity
 	}
-	var seed [8]byte
-	_, _ = rand.Read(seed[:])
 	// Keep the low 40 bits for the counter; the high 24 bits distinguish
 	// processes so a device trace ID cannot collide with an edge span ID.
-	base := binary.LittleEndian.Uint64(seed[:]) &^ ((1 << 40) - 1)
+	base &^= (1 << 40) - 1
 	if base == 0 {
 		base = 1 << 40
 	}
