@@ -49,6 +49,7 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	if *admin != "" {
 		tracer = telemetry.NewTracer(4096)
 		reg = telemetry.NewRegistry()
+		runtime.RegisterWireMetrics(reg)
 	}
 
 	sys, err := leime.Build(leime.Options{Arch: *arch, Env: leime.TestbedEnv(leime.RaspberryPi3B)})

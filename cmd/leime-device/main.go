@@ -92,6 +92,7 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	if *admin != "" {
 		tracer = telemetry.NewTracer(4096)
 		reg = telemetry.NewRegistry()
+		runtime.RegisterWireMetrics(reg)
 		adm, err := telemetry.ServeAdmin(*admin, reg, tracer)
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 // Command leimevet is the repo's multichecker: it loads packages from
 // source and applies every project-specific analyzer in one pass —
-// determinism, unitsafety, lockdiscipline, wireerrors, plus the ctxfirst
+// codeccomplete, determinism, unitsafety, lockdiscipline, wireerrors,
+// plus the ctxfirst
 // and missingdocs checks that replaced cmd/ctxcheck and cmd/doccheck. It
 // prints one line per finding and exits non-zero when any survive the
 // //lint:ignore suppression filter.
@@ -27,6 +28,7 @@ import (
 	"strings"
 
 	"leime/internal/analysis"
+	"leime/internal/analysis/codeccomplete"
 	"leime/internal/analysis/ctxfirst"
 	"leime/internal/analysis/determinism"
 	"leime/internal/analysis/lockdiscipline"
@@ -37,6 +39,7 @@ import (
 
 // analyzers is the full suite, in the order findings are attributed.
 var analyzers = []*analysis.Analyzer{
+	codeccomplete.Analyzer,
 	ctxfirst.Analyzer,
 	determinism.Analyzer,
 	lockdiscipline.Analyzer,

@@ -1,0 +1,138 @@
+// Package codeccomplete keeps the binary wire protocol's closed set
+// closed. The rpc layer transports registered message types through a
+// hand-rolled binary codec and silently falls back to gob reflection for
+// any body type without one — correct, but it surrenders exactly the
+// allocation and throughput budget the codec layer exists to win, and
+// nothing at runtime makes the regression visible. This analyzer flags
+// every type a package registers on the wire (rpc.Register) without also
+// installing its binary codec (rpc.RegisterCodec), so a new protocol
+// message cannot land half-registered.
+//
+// Test files are exempt: tests deliberately run gob-only types through
+// the fallback path.
+package codeccomplete
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"leime/internal/analysis"
+)
+
+// RPCPaths names the import paths recognized as "the rpc layer"; the bare
+// "rpc" entry lets analysistest fixtures model it without the full module.
+var RPCPaths = []string{"leime/internal/rpc", "rpc"}
+
+// Analyzer flags wire-registered message types missing a binary codec.
+var Analyzer = &analysis.Analyzer{
+	Name: "codeccomplete",
+	Doc:  "every wire-registered message type must also register a binary codec",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// site remembers where each type was gob-registered, for the report
+	// position; coded marks types that also got a binary codec.
+	registered := map[types.Object]ast.Expr{}
+	coded := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch rpcCallee(pass, call.Fun) {
+			case "Register":
+				if len(call.Args) == 1 {
+					if obj := prototypeType(pass, call.Args[0]); obj != nil {
+						if _, seen := registered[obj]; !seen {
+							registered[obj] = call.Args[0]
+						}
+					}
+				}
+			case "RegisterCodec":
+				if len(call.Args) >= 2 {
+					if obj := prototypeType(pass, call.Args[1]); obj != nil {
+						coded[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	var missing []types.Object
+	for obj := range registered {
+		if !coded[obj] {
+			missing = append(missing, obj)
+		}
+	}
+	// Deterministic report order regardless of map iteration.
+	sort.Slice(missing, func(i, j int) bool {
+		return registered[missing[i]].Pos() < registered[missing[j]].Pos()
+	})
+	for _, obj := range missing {
+		pass.Reportf(registered[obj].Pos(),
+			"%s is registered on the wire without a binary codec; it rides the gob reflection fallback — add an rpc.RegisterCodec entry to keep the protocol set closed",
+			obj.Name())
+	}
+	return nil, nil
+}
+
+// rpcCallee returns the function name when fun is a call into the rpc
+// layer — a selector on an imported rpc package, or a bare identifier
+// inside the rpc package itself — and "" otherwise.
+func rpcCallee(pass *analysis.Pass, fun ast.Expr) string {
+	switch x := fun.(type) {
+	case *ast.SelectorExpr:
+		id, ok := x.X.(*ast.Ident)
+		if !ok {
+			return ""
+		}
+		pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+		if !ok || !isRPCPath(pkg.Imported().Path()) {
+			return ""
+		}
+		return x.Sel.Name
+	case *ast.Ident:
+		if isRPCPath(pass.Pkg.Path()) {
+			return x.Name
+		}
+	}
+	return ""
+}
+
+// prototypeType resolves the registered prototype expression (T{} or
+// &T{}) to the type's object; nil when the argument is not a literal
+// prototype the analyzer can see through.
+func prototypeType(pass *analysis.Pass, e ast.Expr) types.Object {
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		e = u.X
+	}
+	lit, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return nil
+	}
+	var id *ast.Ident
+	switch t := lit.Type.(type) {
+	case *ast.Ident:
+		id = t
+	case *ast.SelectorExpr:
+		id = t.Sel
+	default:
+		return nil
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+func isRPCPath(path string) bool {
+	for _, p := range RPCPaths {
+		if path == p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package codeccomplete_test
+
+import (
+	"testing"
+
+	"leime/internal/analysis/analysistest"
+	"leime/internal/analysis/codeccomplete"
+)
+
+func TestCodecComplete(t *testing.T) {
+	analysistest.Run(t, "testdata", codeccomplete.Analyzer, "msgs")
+}

@@ -1,0 +1,40 @@
+// Package msgs exercises the codeccomplete analyzer: one fully
+// registered message, one riding the gob fallback, and shapes the
+// analyzer must see through (&T{} prototypes) or ignore (non-literals).
+package msgs
+
+import "rpc"
+
+// TaskReq is registered both ways: no finding.
+type TaskReq struct {
+	ID      uint64
+	Payload []byte
+}
+
+// StatsResp is gob-registered only: the finding.
+type StatsResp struct {
+	Tenants int
+}
+
+// PtrReq is registered via a &T{} prototype on both sides: no finding.
+type PtrReq struct {
+	N int
+}
+
+func registerAll() {
+	rpc.Register(TaskReq{})
+	rpc.Register(StatsResp{}) // want `StatsResp is registered on the wire without a binary codec`
+	rpc.Register(&PtrReq{})
+
+	rpc.RegisterCodec(1, TaskReq{},
+		func(e *rpc.Encoder, v any) {},
+		func(d *rpc.Decoder) (any, error) { return TaskReq{}, nil })
+	rpc.RegisterCodec(2, &PtrReq{},
+		func(e *rpc.Encoder, v any) {},
+		func(d *rpc.Decoder) (any, error) { return &PtrReq{}, nil })
+
+	// Non-literal prototypes are outside the analyzer's reach; it must
+	// stay silent rather than guess.
+	var dynamic any
+	rpc.Register(dynamic)
+}

@@ -1,0 +1,15 @@
+// Package rpc is a fixture stand-in for the transport layer.
+package rpc
+
+// Encoder mirrors the real append-only wire encoder.
+type Encoder struct{}
+
+// Decoder mirrors the real sticky-error wire decoder.
+type Decoder struct{}
+
+// Register mirrors rpc.Register.
+func Register(v any) {}
+
+// RegisterCodec mirrors rpc.RegisterCodec.
+func RegisterCodec(id uint16, prototype any, enc func(*Encoder, any), dec func(*Decoder) (any, error)) {
+}

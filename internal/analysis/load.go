@@ -220,6 +220,7 @@ func (l *Loader) Load(path string) ([]*Package, error) {
 		return nil, err
 	}
 	var out []*Package
+	var target *Package
 	if len(files) > 0 {
 		pkg, err := l.check(path, files)
 		if err != nil {
@@ -231,10 +232,26 @@ func (l *Loader) Load(path string) ([]*Package, error) {
 		if _, exists := l.cache[path]; !exists {
 			l.cache[path] = pkg.Pkg
 		}
+		target = pkg
 		out = append(out, pkg)
 	}
 	if len(xtest) > 0 {
+		// The external test package must resolve its import of path to the
+		// test-augmented package so export_test.go symbols are visible.
+		// Swap it in just for this check, then restore the cached entry so
+		// later importers keep a single identity for the package's types.
+		prev, hadPrev := l.cache[path]
+		if target != nil {
+			l.cache[path] = target.Pkg
+		}
 		pkg, err := l.check(path+"_test", xtest)
+		if target != nil {
+			if hadPrev {
+				l.cache[path] = prev
+			} else {
+				delete(l.cache, path)
+			}
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -52,6 +52,7 @@ func All() []Experiment {
 		Joint(),
 		CrossCheck(),
 		Capacity(),
+		Wire(),
 	}
 }
 

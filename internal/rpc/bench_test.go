@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"bytes"
 	"context"
 	"sync"
 	"testing"
@@ -19,8 +20,70 @@ func benchServer(b *testing.B) *Server {
 	return s
 }
 
-// BenchmarkCallRoundTrip measures one request/response over loopback TCP.
+// benchTaskReq mirrors the shape of a block-continuation request (IDs, a
+// tensor payload, an exit stage) so codec benchmarks measure a
+// representative task message without importing the runtime package.
+type benchTaskReq struct {
+	DeviceID string
+	TaskID   uint64
+	Payload  []byte
+	Exit     int
+}
+
+var benchCodecOnce sync.Once
+
+// registerBenchCodecs gives the bench types binary codecs (high IDs, far
+// from the runtime protocol's range) so benchmarks exercise the binary
+// fast path; the *Gob variants force the fallback for comparison.
+func registerBenchCodecs() {
+	benchCodecOnce.Do(func() {
+		RegisterCodec(60001, echoReq{},
+			func(e *Encoder, v any) {
+				r := v.(echoReq)
+				e.String(r.Text)
+				e.Int(r.N)
+			},
+			func(d *Decoder) (any, error) {
+				var r echoReq
+				r.Text = d.String()
+				r.N = d.Int()
+				return r, nil
+			})
+		RegisterCodec(60002, echoResp{},
+			func(e *Encoder, v any) {
+				r := v.(echoResp)
+				e.String(r.Text)
+				e.Int(r.N)
+			},
+			func(d *Decoder) (any, error) {
+				var r echoResp
+				r.Text = d.String()
+				r.N = d.Int()
+				return r, nil
+			})
+		RegisterCodec(60003, benchTaskReq{},
+			func(e *Encoder, v any) {
+				r := v.(benchTaskReq)
+				e.String(r.DeviceID)
+				e.Uvarint(r.TaskID)
+				e.Bytes(r.Payload)
+				e.Int(r.Exit)
+			},
+			func(d *Decoder) (any, error) {
+				var r benchTaskReq
+				r.DeviceID = d.String()
+				r.TaskID = d.Uvarint()
+				r.Payload = d.Bytes()
+				r.Exit = d.Int()
+				return r, nil
+			})
+	})
+}
+
+// BenchmarkCallRoundTrip measures one request/response over loopback TCP
+// on the binary codec.
 func BenchmarkCallRoundTrip(b *testing.B) {
+	registerBenchCodecs()
 	s := benchServer(b)
 	c, err := Dial(s.Addr(), nil)
 	if err != nil {
@@ -28,6 +91,7 @@ func BenchmarkCallRoundTrip(b *testing.B) {
 	}
 	defer c.Close()
 	req := echoReq{Text: "payload", N: 7}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := c.Call(context.Background(), req); err != nil {
@@ -36,37 +100,91 @@ func BenchmarkCallRoundTrip(b *testing.B) {
 	}
 }
 
-// BenchmarkCallConcurrent measures pipelined throughput on one connection.
-func BenchmarkCallConcurrent(b *testing.B) {
+// BenchmarkCallRoundTripGob is BenchmarkCallRoundTrip with the binary
+// codec disabled: the gob-fallback baseline the tentpole is measured
+// against.
+func BenchmarkCallRoundTripGob(b *testing.B) {
+	registerBenchCodecs()
+	restore := ForceGob()
+	defer restore()
 	s := benchServer(b)
 	c, err := Dial(s.Addr(), nil)
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer c.Close()
-	const workers = 16
+	req := echoReq{Text: "payload", N: 7}
+	b.ReportAllocs()
 	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Call(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// runConcurrent distributes exactly n calls over the workers (worker w
+// takes one extra while w < n%workers), so the reported calls/s is an
+// honest n/elapsed.
+func runConcurrent(b *testing.B, c *Client, workers, n int) {
 	var wg sync.WaitGroup
-	per := b.N/workers + 1
+	base, extra := n/workers, n%workers
 	for w := 0; w < workers; w++ {
+		calls := base
+		if w < extra {
+			calls++
+		}
 		wg.Add(1)
-		go func() {
+		go func(calls int) {
 			defer wg.Done()
 			req := echoReq{Text: "payload"}
-			for i := 0; i < per; i++ {
+			for i := 0; i < calls; i++ {
 				if _, err := c.Call(context.Background(), req); err != nil {
 					b.Error(err)
 					return
 				}
 			}
-		}()
+		}(calls)
 	}
 	wg.Wait()
-	b.ReportMetric(float64(per*workers)/b.Elapsed().Seconds(), "calls/s")
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "calls/s")
+}
+
+// BenchmarkCallConcurrent measures pipelined throughput on one connection
+// over the binary codec.
+func BenchmarkCallConcurrent(b *testing.B) {
+	registerBenchCodecs()
+	s := benchServer(b)
+	c, err := Dial(s.Addr(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	runConcurrent(b, c, 16, b.N)
+}
+
+// BenchmarkCallConcurrentGob is the gob-fallback baseline for
+// BenchmarkCallConcurrent.
+func BenchmarkCallConcurrentGob(b *testing.B) {
+	registerBenchCodecs()
+	restore := ForceGob()
+	defer restore()
+	s := benchServer(b)
+	c, err := Dial(s.Addr(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	runConcurrent(b, c, 16, b.N)
 }
 
 // BenchmarkLargePayload measures a 64 KiB intermediate-tensor-sized message.
 func BenchmarkLargePayload(b *testing.B) {
+	registerBenchCodecs()
 	s := benchServer(b)
 	c, err := Dial(s.Addr(), nil)
 	if err != nil {
@@ -75,9 +193,62 @@ func BenchmarkLargePayload(b *testing.B) {
 	defer c.Close()
 	req := echoReq{Text: string(make([]byte, 64<<10))}
 	b.SetBytes(64 << 10)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := c.Call(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodecTaskRoundTrip measures the steady-state codec cost of one
+// task message — encode a frame, decode it back — isolated from the
+// network. This is the ≤2 allocs/op budget the wire format is built
+// around: the pooled encode path allocates nothing; decode allocates the
+// envelope block and the body's interface box.
+func BenchmarkCodecTaskRoundTrip(b *testing.B) {
+	registerBenchCodecs()
+	env := &envelope{
+		ID:   7,
+		Meta: Meta{TraceID: 11, SpanID: 13, Deadline: 1_700_000_000_000_000_000},
+		Body: benchTaskReq{DeviceID: "device-42", TaskID: 99, Payload: make([]byte, 1024), Exit: 2},
+	}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := writeFrame(&buf, env); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := decodeBinaryEnvelope(buf.Bytes()[frameHeaderLen:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodecTaskRoundTripGob measures the same message through the
+// gob fallback: the reflection cost the binary codec removes.
+func BenchmarkCodecTaskRoundTripGob(b *testing.B) {
+	registerBenchCodecs()
+	Register(benchTaskReq{})
+	restore := ForceGob()
+	defer restore()
+	env := &envelope{
+		ID:   7,
+		Meta: Meta{TraceID: 11, SpanID: 13, Deadline: 1_700_000_000_000_000_000},
+		Body: benchTaskReq{DeviceID: "device-42", TaskID: 99, Payload: make([]byte, 1024), Exit: 2},
+	}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := writeFrame(&buf, env); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := readFrame(&buf); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,404 @@
+// Binary wire codec: the zero-allocation data plane of the rpc layer.
+//
+// Every frame on the wire is length-prefixed and versioned:
+//
+//	[4 bytes] big-endian payload length n (bytes after this prefix)
+//	[1 byte ] wire version (currently 1)
+//	[1 byte ] codec tag: 0 = gob envelope, 1 = binary envelope
+//	[n-2 B  ] envelope payload in the tagged codec
+//
+// The binary codec hand-rolls the envelope header (correlation ID, flags,
+// error text/code, trace metadata) and dispatches the body through a
+// registry of per-type encode/decode functions keyed by a stable uint16
+// type ID (RegisterCodec). The closed set of runtime protocol messages all
+// register codecs; any body type without one falls back to a gob-encoded
+// envelope, tagged per frame, so the two codecs negotiate per message and
+// unregistered (test-only, experimental) types keep working unchanged.
+//
+// Allocation discipline: encoding borrows a pooled buffer and emits the
+// frame with a single Write (the one-message-per-Write invariant netem
+// shaping relies on), so the steady-state encode path allocates nothing.
+// Decoding allocates the frame buffer and the body box only; byte-slice
+// and string fields alias the frame buffer instead of copying — the buffer
+// is never pooled or reused, so the aliases stay valid for the life of the
+// decoded message.
+package rpc
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Wire format constants. bumping wireVersion breaks older peers loudly (a
+// reader rejects unknown versions and drops the connection) rather than
+// silently misparsing — version negotiation by construction, since both
+// ends of every link in this repo ship together.
+const (
+	wireVersion = 1
+	codecGob    = 0
+	codecBinary = 1
+)
+
+// frameHeaderLen is the length prefix plus version and codec tags.
+const frameHeaderLen = 6
+
+// EncodeFunc appends one registered body's binary form to the encoder.
+// It must be the exact inverse of its DecodeFunc.
+type EncodeFunc func(e *Encoder, v any)
+
+// DecodeFunc rebuilds one registered body from the decoder. It returns the
+// decoded value boxed as any; field-level failures surface through the
+// decoder's sticky error, so implementations only return an error for
+// structural violations the decoder cannot see.
+type DecodeFunc func(d *Decoder) (any, error)
+
+// codecEntry binds one concrete body type to its wire ID and functions.
+type codecEntry struct {
+	id  uint16
+	typ reflect.Type
+	enc EncodeFunc
+	dec DecodeFunc
+}
+
+// codecTables is the immutable registry snapshot swapped atomically on
+// registration, so hot-path lookups take no lock.
+type codecTables struct {
+	byType map[reflect.Type]*codecEntry
+	byID   map[uint16]*codecEntry
+}
+
+var (
+	codecMu     sync.Mutex
+	codecsValue atomic.Value // holds *codecTables
+)
+
+func init() {
+	codecsValue.Store(&codecTables{
+		byType: map[reflect.Type]*codecEntry{},
+		byID:   map[uint16]*codecEntry{},
+	})
+}
+
+func codecTablesSnapshot() *codecTables {
+	return codecsValue.Load().(*codecTables)
+}
+
+// RegisterCodec makes a message type transportable through the binary
+// codec under the given stable wire ID. IDs identify the type on the wire,
+// so they must never be reused for a different type; re-registering the
+// same (id, type) pair is idempotent (setup functions run once per tier
+// construction). ID 0 is reserved for the nil body. Types without a
+// registered codec still travel — as gob-envelope frames (the negotiated
+// fallback) — so registration is a performance contract, not a
+// correctness one.
+func RegisterCodec(id uint16, prototype any, enc EncodeFunc, dec DecodeFunc) {
+	if id == 0 {
+		panic("rpc: codec ID 0 is reserved for the nil body")
+	}
+	if prototype == nil || enc == nil || dec == nil {
+		panic("rpc: RegisterCodec needs a prototype and both functions")
+	}
+	typ := reflect.TypeOf(prototype)
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	cur := codecTablesSnapshot()
+	if prev, ok := cur.byID[id]; ok {
+		if prev.typ != typ {
+			panic(fmt.Sprintf("rpc: codec ID %d already bound to %v, cannot rebind to %v", id, prev.typ, typ))
+		}
+		return // idempotent re-registration
+	}
+	if prev, ok := cur.byType[typ]; ok {
+		panic(fmt.Sprintf("rpc: type %v already has codec ID %d, cannot also bind ID %d", typ, prev.id, id))
+	}
+	next := &codecTables{
+		byType: make(map[reflect.Type]*codecEntry, len(cur.byType)+1),
+		byID:   make(map[uint16]*codecEntry, len(cur.byID)+1),
+	}
+	for k, v := range cur.byType {
+		next.byType[k] = v
+	}
+	for k, v := range cur.byID {
+		next.byID[k] = v
+	}
+	entry := &codecEntry{id: id, typ: typ, enc: enc, dec: dec}
+	next.byType[typ] = entry
+	next.byID[id] = entry
+	codecsValue.Store(next)
+}
+
+// binaryDisabled, when non-zero, forces every frame down the gob fallback;
+// tests use it to differential-check the two codecs over one code path.
+var binaryDisabled atomic.Bool
+
+// lookupCodec returns the entry for body's concrete type, nil when the
+// body must take the gob fallback.
+func lookupCodec(body any) *codecEntry {
+	if body == nil || binaryDisabled.Load() {
+		return nil
+	}
+	return codecTablesSnapshot().byType[reflect.TypeOf(body)]
+}
+
+// Encoder is an append-only byte builder for the binary codec. Encode
+// methods never fail: the buffer grows as needed and the frame writer
+// enforces MaxMessageBytes once, after encoding.
+type Encoder struct {
+	buf []byte
+}
+
+// Write appends p, satisfying io.Writer so the gob fallback streams into
+// the same pooled buffer as the binary path.
+func (e *Encoder) Write(p []byte) (int, error) {
+	e.buf = append(e.buf, p...)
+	return len(p), nil
+}
+
+// Byte appends one raw byte.
+func (e *Encoder) Byte(b byte) { e.buf = append(e.buf, b) }
+
+// Bool appends a bool as one byte.
+func (e *Encoder) Bool(b bool) {
+	if b {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// Uvarint appends an unsigned varint (LEB128, like encoding/binary).
+func (e *Encoder) Uvarint(v uint64) {
+	for v >= 0x80 {
+		e.buf = append(e.buf, byte(v)|0x80)
+		v >>= 7
+	}
+	e.buf = append(e.buf, byte(v))
+}
+
+// Varint appends a signed varint (zigzag).
+func (e *Encoder) Varint(v int64) {
+	e.Uvarint(uint64(v)<<1 ^ uint64(v>>63))
+}
+
+// Int appends an int as a signed varint.
+func (e *Encoder) Int(v int) { e.Varint(int64(v)) }
+
+// Float64 appends the IEEE-754 bits as 8 fixed little-endian bytes —
+// floats are profile constants and shares, where varint buys nothing.
+func (e *Encoder) Float64(f float64) {
+	bits := math.Float64bits(f)
+	e.buf = append(e.buf,
+		byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24),
+		byte(bits>>32), byte(bits>>40), byte(bits>>48), byte(bits>>56))
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Bytes appends a length-prefixed byte slice.
+func (e *Encoder) Bytes(p []byte) {
+	e.Uvarint(uint64(len(p)))
+	e.buf = append(e.buf, p...)
+}
+
+func (e *Encoder) reset() { e.buf = e.buf[:0] }
+
+// Decoder consumes the binary form produced by an Encoder. Errors are
+// sticky: after the first malformed field every subsequent read returns a
+// zero value, and Err reports the failure once at the end — corrupt frames
+// always surface as errors, never panics.
+type Decoder struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewDecoder wraps data for decoding. The decoder and every Bytes/String
+// value it returns alias data; callers must not mutate it afterwards.
+func NewDecoder(data []byte) *Decoder { return &Decoder{data: data} }
+
+// Err returns the first decode failure, nil if none so far.
+func (d *Decoder) Err() error { return d.err }
+
+// Len returns the number of unconsumed bytes.
+func (d *Decoder) Len() int { return len(d.data) - d.off }
+
+func (d *Decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Byte consumes one raw byte.
+func (d *Decoder) Byte() byte {
+	if d.err != nil || d.off >= len(d.data) {
+		d.fail("rpc: decode: truncated byte at offset %d", d.off)
+		return 0
+	}
+	b := d.data[d.off]
+	d.off++
+	return b
+}
+
+// Bool consumes one byte as a bool; values other than 0/1 are corruption.
+func (d *Decoder) Bool() bool {
+	switch d.Byte() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail("rpc: decode: invalid bool at offset %d", d.off-1)
+		return false
+	}
+}
+
+// Uvarint consumes an unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	var v uint64
+	var shift uint
+	for {
+		if d.off >= len(d.data) {
+			d.fail("rpc: decode: truncated varint at offset %d", d.off)
+			return 0
+		}
+		b := d.data[d.off]
+		d.off++
+		if shift == 63 && b > 1 {
+			d.fail("rpc: decode: varint overflows uint64 at offset %d", d.off-1)
+			return 0
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v
+		}
+		shift += 7
+		if shift > 63 {
+			d.fail("rpc: decode: varint too long at offset %d", d.off-1)
+			return 0
+		}
+	}
+}
+
+// Varint consumes a signed (zigzag) varint.
+func (d *Decoder) Varint() int64 {
+	u := d.Uvarint()
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// Int consumes an int-sized signed varint.
+func (d *Decoder) Int() int {
+	v := d.Varint()
+	if int64(int(v)) != v {
+		d.fail("rpc: decode: varint %d overflows int", v)
+		return 0
+	}
+	return int(v)
+}
+
+// Float64 consumes 8 fixed little-endian bytes as IEEE-754 bits.
+func (d *Decoder) Float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.data) {
+		d.fail("rpc: decode: truncated float64 at offset %d", d.off)
+		return 0
+	}
+	b := d.data[d.off : d.off+8]
+	d.off += 8
+	bits := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+	return math.Float64frombits(bits)
+}
+
+// Bytes consumes a length-prefixed byte slice. The result aliases the
+// frame buffer (zero copy); nil for the empty slice.
+func (d *Decoder) Bytes() []byte {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.data)-d.off) {
+		d.fail("rpc: decode: byte slice of %d exceeds remaining %d", n, len(d.data)-d.off)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	b := d.data[d.off : d.off+int(n) : d.off+int(n)]
+	d.off += int(n)
+	return b
+}
+
+// String consumes a length-prefixed string. Like Bytes it aliases the
+// frame buffer — safe because frame buffers are single-use — so decoding a
+// message costs no per-string copies.
+func (d *Decoder) String() string {
+	b := d.Bytes()
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// encPool recycles encode buffers; oversized ones (a large payload passed
+// through) are dropped rather than pinned in the pool.
+var encPool = sync.Pool{New: func() any { return &Encoder{buf: make([]byte, 0, 4096)} }}
+
+// maxPooledBuf bounds the capacity the encode pool retains.
+const maxPooledBuf = 64 << 10
+
+func getEncoder() *Encoder {
+	e := encPool.Get().(*Encoder)
+	e.reset()
+	return e
+}
+
+func putEncoder(e *Encoder) {
+	if cap(e.buf) <= maxPooledBuf {
+		encPool.Put(e)
+	}
+}
+
+// CodecStats is a snapshot of the wire codec counters: how many frames and
+// payload bytes each codec moved in each direction. The runtime daemons
+// export these through telemetry gauges; the split shows whether the data
+// plane is actually riding the binary fast path or leaking into the gob
+// fallback.
+type CodecStats struct {
+	// BinaryEncoded / GobEncoded count frames written by codec.
+	BinaryEncoded, GobEncoded uint64
+	// BinaryDecoded / GobDecoded count frames read by codec.
+	BinaryDecoded, GobDecoded uint64
+	// BinaryBytes / GobBytes count encoded payload bytes by codec.
+	BinaryBytes, GobBytes uint64
+}
+
+var wireStats struct {
+	binEnc, gobEnc   atomic.Uint64
+	binDec, gobDec   atomic.Uint64
+	binByte, gobByte atomic.Uint64
+}
+
+// WireStats snapshots the process-wide codec counters.
+func WireStats() CodecStats {
+	return CodecStats{
+		BinaryEncoded: wireStats.binEnc.Load(),
+		GobEncoded:    wireStats.gobEnc.Load(),
+		BinaryDecoded: wireStats.binDec.Load(),
+		GobDecoded:    wireStats.gobDec.Load(),
+		BinaryBytes:   wireStats.binByte.Load(),
+		GobBytes:      wireStats.gobByte.Load(),
+	}
+}

@@ -1,8 +1,10 @@
 // Package rpc is a minimal typed message layer over TCP for the testbed
-// runtime: length-prefixed gob envelopes, concurrent request/response with
-// correlation IDs, a handler-based server with graceful shutdown, and
-// optional netem shaping on the client side (emulating the wireless uplink
-// or the edge–cloud Internet path).
+// runtime: length-prefixed versioned envelopes (hand-rolled binary for the
+// registered runtime messages, gob as the negotiated fallback — see
+// codec.go), concurrent request/response with correlation IDs, a
+// handler-based server with graceful shutdown, and optional netem shaping
+// on the client side (emulating the wireless uplink or the edge–cloud
+// Internet path).
 //
 // The call APIs are context-aware: a caller's deadline travels in the
 // envelope metadata, servers shed requests whose deadline already passed
@@ -51,8 +53,9 @@ type Meta struct {
 // Valid reports whether the metadata carries a live trace.
 func (m Meta) Valid() bool { return m.TraceID != 0 }
 
-// envelope is the wire frame. Body carries any gob-registered value; Code
-// carries the typed cause of Err (see RegisterError).
+// envelope is the wire frame. Body carries any registered value (binary
+// codec or gob fallback); Code carries the typed cause of Err (see
+// RegisterError).
 type envelope struct {
 	ID      uint64
 	IsReply bool
@@ -62,32 +65,155 @@ type envelope struct {
 	Body    any
 }
 
-// Register makes a message type transportable. Call it once per concrete
-// type, typically from an init-free setup function in the owning package.
+// Register makes a message type transportable through the gob fallback.
+// Call it once per concrete type, typically from an init-free setup
+// function in the owning package. Types that additionally register a
+// binary codec (RegisterCodec) ride the zero-allocation fast path; the
+// runtime's closed protocol set registers both, and the codeccomplete
+// analyzer keeps that set closed.
 func Register(v any) { gob.Register(v) }
 
-// writeFrame gob-encodes the envelope and writes it as one length-prefixed
-// frame with a single Write (one message per Write keeps netem shaping
-// faithful).
+// Binary envelope flag bits (the byte after the correlation ID).
+const (
+	flagIsReply = 1 << iota
+	flagHasErr
+	flagHasMeta
+	flagHasBody
+)
+
+// encodeEnvelope appends the binary form of env: correlation ID, flags,
+// then only the sections the flags declare. entry is the body's codec
+// (nil means no body travels).
+func encodeEnvelope(e *Encoder, env *envelope, entry *codecEntry) {
+	e.Uvarint(env.ID)
+	var flags byte
+	if env.IsReply {
+		flags |= flagIsReply
+	}
+	hasErr := env.Err != "" || env.Code != ""
+	if hasErr {
+		flags |= flagHasErr
+	}
+	hasMeta := env.Meta != (Meta{})
+	if hasMeta {
+		flags |= flagHasMeta
+	}
+	if entry != nil {
+		flags |= flagHasBody
+	}
+	e.Byte(flags)
+	if hasErr {
+		e.String(env.Err)
+		e.String(env.Code)
+	}
+	if hasMeta {
+		e.Uvarint(env.Meta.TraceID)
+		e.Uvarint(env.Meta.SpanID)
+		e.Varint(env.Meta.Deadline)
+	}
+	if entry != nil {
+		e.Uvarint(uint64(entry.id))
+		entry.enc(e, env.Body)
+	}
+}
+
+// binFrame owns one decoded binary envelope and its decoder as a single
+// allocation, keeping the steady-state decode path at two allocations
+// (this struct plus the body's interface box).
+type binFrame struct {
+	env envelope
+	dec Decoder
+}
+
+// decodeBinaryEnvelope rebuilds an envelope from a binary payload. Every
+// corruption mode — truncation, unknown flags, unknown codec ID, bad
+// field, trailing garbage — returns an error; nothing panics.
+func decodeBinaryEnvelope(payload []byte) (*envelope, error) {
+	f := &binFrame{dec: Decoder{data: payload}}
+	d := &f.dec
+	env := &f.env
+	env.ID = d.Uvarint()
+	flags := d.Byte()
+	if flags&^(flagIsReply|flagHasErr|flagHasMeta|flagHasBody) != 0 {
+		return nil, fmt.Errorf("rpc: decode: unknown envelope flags %#x", flags)
+	}
+	env.IsReply = flags&flagIsReply != 0
+	if flags&flagHasErr != 0 {
+		env.Err = d.String()
+		env.Code = d.String()
+	}
+	if flags&flagHasMeta != 0 {
+		env.Meta.TraceID = d.Uvarint()
+		env.Meta.SpanID = d.Uvarint()
+		env.Meta.Deadline = d.Varint()
+	}
+	if flags&flagHasBody != 0 {
+		id := d.Uvarint()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if id == 0 || id > 0xffff {
+			return nil, fmt.Errorf("rpc: decode: invalid codec ID %d", id)
+		}
+		entry := codecTablesSnapshot().byID[uint16(id)]
+		if entry == nil {
+			return nil, fmt.Errorf("rpc: decode: no codec registered for ID %d", id)
+		}
+		body, err := entry.dec(d)
+		if err != nil {
+			return nil, err
+		}
+		env.Body = body
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if d.Len() != 0 {
+		return nil, fmt.Errorf("rpc: decode: %d trailing bytes after envelope", d.Len())
+	}
+	return env, nil
+}
+
+// writeFrame encodes the envelope — binary when the body type has a
+// registered codec (or there is no body), gob otherwise — and writes it as
+// one length-prefixed versioned frame with a single Write (one message per
+// Write keeps netem shaping faithful). The encode buffer is pooled, so the
+// steady-state write path allocates nothing.
 func writeFrame(w io.Writer, env *envelope) error {
-	var body bytes.Buffer
-	body.Write(make([]byte, 4)) // length placeholder
-	if err := gob.NewEncoder(&body).Encode(env); err != nil {
+	e := getEncoder()
+	defer putEncoder(e)
+	// Header placeholder: 4-byte length prefix, version, codec tag.
+	e.buf = append(e.buf, 0, 0, 0, 0, wireVersion, codecGob)
+	entry := lookupCodec(env.Body)
+	binaryOK := entry != nil || (env.Body == nil && !binaryDisabled.Load())
+	if binaryOK {
+		encodeEnvelope(e, env, entry)
+	} else if err := gob.NewEncoder(e).Encode(env); err != nil {
 		return fmt.Errorf("rpc: encode: %w", err)
 	}
-	frame := body.Bytes()
+	frame := e.buf
 	payload := len(frame) - 4
 	if payload > MaxMessageBytes {
 		return fmt.Errorf("rpc: message of %d bytes exceeds limit", payload)
 	}
 	binary.BigEndian.PutUint32(frame[:4], uint32(payload))
+	if binaryOK {
+		frame[5] = codecBinary
+		wireStats.binEnc.Add(1)
+		wireStats.binByte.Add(uint64(payload - 2))
+	} else {
+		wireStats.gobEnc.Add(1)
+		wireStats.gobByte.Add(uint64(payload - 2))
+	}
 	if _, err := w.Write(frame); err != nil {
 		return fmt.Errorf("rpc: write: %w", err)
 	}
 	return nil
 }
 
-// readFrame reads one length-prefixed envelope.
+// readFrame reads one length-prefixed envelope, dispatching on the frame's
+// version and codec tag. The frame buffer is allocated exactly-sized and
+// never reused, so decoded byte-slice and string fields may alias it.
 func readFrame(r io.Reader) (*envelope, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
@@ -97,15 +223,35 @@ func readFrame(r io.Reader) (*envelope, error) {
 	if n > MaxMessageBytes {
 		return nil, fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
 	}
+	if n < 2 {
+		return nil, fmt.Errorf("rpc: frame of %d bytes lacks version header", n)
+	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}
-	var env envelope
-	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&env); err != nil {
-		return nil, fmt.Errorf("rpc: decode: %w", err)
+	if buf[0] != wireVersion {
+		return nil, fmt.Errorf("rpc: unsupported wire version %d (want %d)", buf[0], wireVersion)
 	}
-	return &env, nil
+	payload := buf[2:]
+	switch buf[1] {
+	case codecBinary:
+		env, err := decodeBinaryEnvelope(payload)
+		if err != nil {
+			return nil, err
+		}
+		wireStats.binDec.Add(1)
+		return env, nil
+	case codecGob:
+		var env envelope
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); err != nil {
+			return nil, fmt.Errorf("rpc: decode: %w", err)
+		}
+		wireStats.gobDec.Add(1)
+		return &env, nil
+	default:
+		return nil, fmt.Errorf("rpc: unknown codec tag %d", buf[1])
+	}
 }
 
 // Handler processes one request body and returns a reply body or an error.

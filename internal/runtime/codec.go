@@ -1,0 +1,273 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+
+	"leime/internal/offload"
+	"leime/internal/rpc"
+	"leime/internal/telemetry"
+)
+
+// Binary wire codecs for the closed protocol set. Each message type gets a
+// stable codec ID and a hand-rolled encode/decode pair that is the exact
+// inverse of the other; RegisterMessages installs them next to the gob
+// registrations, so every tier negotiates the binary fast path for these
+// types and falls back to gob only for unregistered (test or experimental)
+// bodies. The codeccomplete analyzer enforces that every type registered
+// here with rpc.Register also appears below.
+//
+// IDs are wire contract: never reuse one for a different type. Field order
+// within each codec is likewise frozen — append-only evolution requires a
+// new ID (or a wire version bump).
+const (
+	codecIDRegisterReq    = 1
+	codecIDRegisterResp   = 2
+	codecIDFirstBlockReq  = 3
+	codecIDSecondBlockReq = 4
+	codecIDThirdBlockReq  = 5
+	codecIDTaskResp       = 6
+	codecIDQueueStatReq   = 7
+	codecIDQueueStatResp  = 8
+	codecIDUpdateReq      = 9
+	codecIDUnregisterReq  = 10
+	codecIDUnregisterResp = 11
+	codecIDEdgeStatsReq   = 12
+	codecIDEdgeStatsResp  = 13
+)
+
+// encodeModel appends the nine profile constants in declaration order.
+func encodeModel(e *rpc.Encoder, m *offload.ModelParams) {
+	for _, v := range m.Mu {
+		e.Float64(v)
+	}
+	for _, v := range m.D {
+		e.Float64(v)
+	}
+	for _, v := range m.Sigma {
+		e.Float64(v)
+	}
+}
+
+func decodeModel(d *rpc.Decoder, m *offload.ModelParams) {
+	for i := range m.Mu {
+		m.Mu[i] = d.Float64()
+	}
+	for i := range m.D {
+		m.D[i] = d.Float64()
+	}
+	for i := range m.Sigma {
+		m.Sigma[i] = d.Float64()
+	}
+}
+
+// registerCodecs installs the binary codec for every protocol message.
+// Idempotent, like RegisterMessages that calls it.
+func registerCodecs() {
+	rpc.RegisterCodec(codecIDRegisterReq, RegisterReq{},
+		func(e *rpc.Encoder, v any) {
+			r := v.(RegisterReq)
+			e.String(r.DeviceID)
+			e.Float64(r.FLOPS)
+			e.Float64(r.ArrivalMean)
+			encodeModel(e, &r.Model)
+		},
+		func(d *rpc.Decoder) (any, error) {
+			var r RegisterReq
+			r.DeviceID = d.String()
+			r.FLOPS = d.Float64()
+			r.ArrivalMean = d.Float64()
+			decodeModel(d, &r.Model)
+			return r, nil
+		})
+	rpc.RegisterCodec(codecIDRegisterResp, RegisterResp{},
+		func(e *rpc.Encoder, v any) {
+			e.Float64(v.(RegisterResp).ShareFLOPS)
+		},
+		func(d *rpc.Decoder) (any, error) {
+			return RegisterResp{ShareFLOPS: d.Float64()}, nil
+		})
+	rpc.RegisterCodec(codecIDFirstBlockReq, FirstBlockReq{},
+		func(e *rpc.Encoder, v any) {
+			r := v.(FirstBlockReq)
+			e.String(r.DeviceID)
+			e.Uvarint(r.TaskID)
+			e.Bytes(r.Payload)
+			e.Int(r.ExitStage)
+		},
+		func(d *rpc.Decoder) (any, error) {
+			var r FirstBlockReq
+			r.DeviceID = d.String()
+			r.TaskID = d.Uvarint()
+			r.Payload = d.Bytes()
+			r.ExitStage = d.Int()
+			return r, nil
+		})
+	rpc.RegisterCodec(codecIDSecondBlockReq, SecondBlockReq{},
+		func(e *rpc.Encoder, v any) {
+			r := v.(SecondBlockReq)
+			e.String(r.DeviceID)
+			e.Uvarint(r.TaskID)
+			e.Bytes(r.Payload)
+			e.Int(r.ExitStage)
+		},
+		func(d *rpc.Decoder) (any, error) {
+			var r SecondBlockReq
+			r.DeviceID = d.String()
+			r.TaskID = d.Uvarint()
+			r.Payload = d.Bytes()
+			r.ExitStage = d.Int()
+			return r, nil
+		})
+	rpc.RegisterCodec(codecIDThirdBlockReq, ThirdBlockReq{},
+		func(e *rpc.Encoder, v any) {
+			r := v.(ThirdBlockReq)
+			e.Uvarint(r.TaskID)
+			e.Bytes(r.Payload)
+			e.Float64(r.FLOPs)
+		},
+		func(d *rpc.Decoder) (any, error) {
+			var r ThirdBlockReq
+			r.TaskID = d.Uvarint()
+			r.Payload = d.Bytes()
+			r.FLOPs = d.Float64()
+			return r, nil
+		})
+	rpc.RegisterCodec(codecIDTaskResp, TaskResp{},
+		func(e *rpc.Encoder, v any) {
+			r := v.(TaskResp)
+			e.Uvarint(r.TaskID)
+			e.Int(r.ExitStage)
+		},
+		func(d *rpc.Decoder) (any, error) {
+			var r TaskResp
+			r.TaskID = d.Uvarint()
+			r.ExitStage = d.Int()
+			return r, nil
+		})
+	rpc.RegisterCodec(codecIDQueueStatReq, QueueStatReq{},
+		func(e *rpc.Encoder, v any) {
+			e.String(v.(QueueStatReq).DeviceID)
+		},
+		func(d *rpc.Decoder) (any, error) {
+			return QueueStatReq{DeviceID: d.String()}, nil
+		})
+	rpc.RegisterCodec(codecIDQueueStatResp, QueueStatResp{},
+		func(e *rpc.Encoder, v any) {
+			e.Int(v.(QueueStatResp).PendingFirstBlock)
+		},
+		func(d *rpc.Decoder) (any, error) {
+			return QueueStatResp{PendingFirstBlock: d.Int()}, nil
+		})
+	rpc.RegisterCodec(codecIDUpdateReq, UpdateReq{},
+		func(e *rpc.Encoder, v any) {
+			r := v.(UpdateReq)
+			e.String(r.DeviceID)
+			e.Float64(r.ArrivalMean)
+		},
+		func(d *rpc.Decoder) (any, error) {
+			var r UpdateReq
+			r.DeviceID = d.String()
+			r.ArrivalMean = d.Float64()
+			return r, nil
+		})
+	rpc.RegisterCodec(codecIDUnregisterReq, UnregisterReq{},
+		func(e *rpc.Encoder, v any) {
+			e.String(v.(UnregisterReq).DeviceID)
+		},
+		func(d *rpc.Decoder) (any, error) {
+			return UnregisterReq{DeviceID: d.String()}, nil
+		})
+	rpc.RegisterCodec(codecIDUnregisterResp, UnregisterResp{},
+		func(e *rpc.Encoder, v any) {
+			e.Int(v.(UnregisterResp).RemainingTenants)
+		},
+		func(d *rpc.Decoder) (any, error) {
+			return UnregisterResp{RemainingTenants: d.Int()}, nil
+		})
+	rpc.RegisterCodec(codecIDEdgeStatsReq, EdgeStatsReq{},
+		func(e *rpc.Encoder, v any) {},
+		func(d *rpc.Decoder) (any, error) {
+			return EdgeStatsReq{}, nil
+		})
+	rpc.RegisterCodec(codecIDEdgeStatsResp, EdgeStatsResp{},
+		func(e *rpc.Encoder, v any) {
+			r := v.(EdgeStatsResp)
+			e.Int(r.Tenants)
+			e.Int(r.PendingFirstBlock)
+			// Maps iterate in random order; sort the keys so encoding is
+			// deterministic (differential tests compare byte streams).
+			e.Uvarint(uint64(len(r.Shares)))
+			keys := make([]string, 0, len(r.Shares))
+			for k := range r.Shares {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				e.String(k)
+				e.Float64(r.Shares[k])
+			}
+		},
+		func(d *rpc.Decoder) (any, error) {
+			var r EdgeStatsResp
+			r.Tenants = d.Int()
+			r.PendingFirstBlock = d.Int()
+			n := d.Uvarint()
+			if d.Err() != nil {
+				return nil, d.Err()
+			}
+			if n > uint64(d.Len()) {
+				// Each entry needs at least one byte; a larger count is a
+				// corrupt frame, not a huge allocation.
+				return nil, fmt.Errorf("runtime: shares count %d exceeds frame", n)
+			}
+			if n > 0 {
+				r.Shares = make(map[string]float64, n)
+				for i := uint64(0); i < n; i++ {
+					k := d.String()
+					r.Shares[k] = d.Float64()
+				}
+			}
+			return r, nil
+		})
+}
+
+// RegisterWireMetrics exposes the process-wide rpc codec counters on reg
+// as scrape-time gauges, split by codec (binary fast path vs gob
+// fallback) and direction. In steady state the gob frame gauges should
+// sit at zero for the runtime protocol; movement there means a message
+// type is missing its binary codec and the data plane is paying
+// reflection costs. Safe to call more than once per registry.
+func RegisterWireMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	frames := []struct {
+		codec, dir string
+		get        func(rpc.CodecStats) uint64
+	}{
+		{"binary", "encode", func(s rpc.CodecStats) uint64 { return s.BinaryEncoded }},
+		{"binary", "decode", func(s rpc.CodecStats) uint64 { return s.BinaryDecoded }},
+		{"gob", "encode", func(s rpc.CodecStats) uint64 { return s.GobEncoded }},
+		{"gob", "decode", func(s rpc.CodecStats) uint64 { return s.GobDecoded }},
+	}
+	for _, f := range frames {
+		get := f.get
+		reg.GaugeFunc("leime_wire_frames", "Frames moved by the rpc wire codec.",
+			func() float64 { return float64(get(rpc.WireStats())) },
+			telemetry.Label{Key: "codec", Value: f.codec}, telemetry.Label{Key: "dir", Value: f.dir})
+	}
+	sizes := []struct {
+		codec string
+		get   func(rpc.CodecStats) uint64
+	}{
+		{"binary", func(s rpc.CodecStats) uint64 { return s.BinaryBytes }},
+		{"gob", func(s rpc.CodecStats) uint64 { return s.GobBytes }},
+	}
+	for _, f := range sizes {
+		get := f.get
+		reg.GaugeFunc("leime_wire_encoded_bytes", "Envelope payload bytes produced by the rpc wire codec.",
+			func() float64 { return float64(get(rpc.WireStats())) },
+			telemetry.Label{Key: "codec", Value: f.codec})
+	}
+}

@@ -87,27 +87,72 @@ func WithAdmission(maxBacklogSec float64) ExecOption {
 // can change at runtime (re-allocation when devices join), affecting jobs
 // that start after the change — the behaviour of a Docker CPU-quota update.
 //
+// Internally the queue is sharded by FLOPs class (one shard per distinct
+// per-job cost — in ME-DNN terms, per DNN block): submitters of different
+// classes enqueue and cancel against their own shard's lock and never
+// contend with each other. A single dispatcher goroutine preserves the
+// single-server semantics, serving the shard whose head job enqueued
+// earliest — with batching disabled that reproduces the old global FIFO
+// exactly (jobs run one at a time in arrival order); with batching enabled
+// each shard is by construction a same-class run, and an open batch window
+// fires early as soon as any other shard holds work, so no class stalls
+// behind another's window.
+//
 // Two optional capacity behaviours, both off by default: WithBatching
 // coalesces same-FLOPs jobs into amortized batches, and WithAdmission
-// bounds the backlog, rejecting excess work with ErrOverloaded.
+// bounds the backlog, rejecting excess work with ErrOverloaded. The
+// admission budget spans the whole executor (the sum of all shard
+// backlogs, exactly the old semantics); its accounting is a lock-free
+// atomic so the check costs no cross-shard lock.
 type Executor struct {
 	rateBits uint64 // atomic float64 bits: effective FLOPS
 	scale    Scale
 	batch    BatchConfig
 	admitSec float64
 
-	mu           sync.Mutex
-	cond         *sync.Cond
-	queue        []*job
-	backlogFlops float64 // accepted-but-unfinished work, for admission
-	closed       bool
-	pending      int32 // atomic: accepted but unfinished jobs
+	// shardsValue holds an immutable map[float64]*shard swapped
+	// copy-on-write under shardsMu; lookups on the enqueue path are
+	// lock-free. Shard creation (first job of a new FLOPs class) is the
+	// only writer.
+	shardsValue atomic.Value
+	shardsMu    sync.Mutex
+
+	// closeMu serializes enqueue sections against Close: submitters hold
+	// the read side while they check closed and append, so every job
+	// admitted before Close is visible to the dispatcher's drain.
+	closeMu sync.RWMutex
+	closed  atomic.Bool
+
+	// ready wakes the dispatcher (capacity 1: one token is enough, the
+	// dispatcher rescans all shards on every wake).
+	ready chan struct{}
+
+	// collecting names the shard whose batch window the dispatcher is
+	// holding open, nil outside a window. Foreign-class enqueues broadcast
+	// that shard's cond so the window fires without waiting for its timer.
+	collecting atomic.Pointer[shard]
+
+	seq         atomic.Uint64 // global enqueue order, for oldest-head dispatch
+	queuedTotal atomic.Int64  // jobs queued across shards, not yet collected
+	backlogBits atomic.Uint64 // float64 bits: accepted-but-unfinished FLOPs
+	pending     int32         // atomic: accepted but unfinished jobs
 
 	wg sync.WaitGroup
 }
 
+// shard is one FLOPs class's private queue. Its mutex is the only lock a
+// submitter of that class touches on enqueue and the only one the
+// dispatcher holds while collecting from it.
+type shard struct {
+	flops float64
+	mu    sync.Mutex
+	cond  *sync.Cond // wakes an open batch window on arrivals and close
+	queue []*job
+}
+
 type job struct {
 	flops float64
+	seq   uint64
 	enq   time.Time
 	// cancel is the job's claim word: 0 queued, 1 cancelled by the
 	// submitter (the worker discards it unburned), 2 claimed by the worker
@@ -126,15 +171,59 @@ func NewExecutor(rateFLOPS float64, scale Scale, opts ...ExecOption) (*Executor,
 	if rateFLOPS <= 0 {
 		return nil, fmt.Errorf("runtime: executor FLOPS %v must be positive", rateFLOPS)
 	}
-	e := &Executor{scale: scale}
+	e := &Executor{ready: make(chan struct{}, 1)}
+	e.scale = scale
 	atomic.StoreUint64(&e.rateBits, math.Float64bits(rateFLOPS))
 	for _, opt := range opts {
 		opt(e)
 	}
-	e.cond = sync.NewCond(&e.mu)
+	e.shardsValue.Store(map[float64]*shard{})
 	e.wg.Add(1)
-	go e.worker()
+	go e.dispatcher()
 	return e, nil
+}
+
+// shardFor returns the shard owning the FLOPs class, creating it on first
+// use (copy-on-write, so the common lookup takes no lock).
+func (e *Executor) shardFor(flops float64) *shard {
+	if s, ok := e.shardsValue.Load().(map[float64]*shard)[flops]; ok {
+		return s
+	}
+	e.shardsMu.Lock()
+	defer e.shardsMu.Unlock()
+	cur := e.shardsValue.Load().(map[float64]*shard)
+	if s, ok := cur[flops]; ok {
+		return s
+	}
+	next := make(map[float64]*shard, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	s := &shard{flops: flops}
+	s.cond = sync.NewCond(&s.mu)
+	next[flops] = s
+	e.shardsValue.Store(next)
+	return s
+}
+
+// addBacklog adjusts the executor-wide backlog accounting by delta FLOPs
+// (lock-free CAS on the float bits).
+func (e *Executor) addBacklog(delta float64) {
+	for {
+		old := e.backlogBits.Load()
+		if e.backlogBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// wake hands the dispatcher a scan token; a token already pending covers
+// this wake too.
+func (e *Executor) wake() {
+	select {
+	case e.ready <- struct{}{}:
+	default:
+	}
 }
 
 // Rate returns the current FLOPS rating.
@@ -156,12 +245,10 @@ func (e *Executor) SetRate(rateFLOPS float64) error {
 func (e *Executor) Pending() int { return int(atomic.LoadInt32(&e.pending)) }
 
 // BacklogSeconds returns how many seconds of accepted-but-unfinished work
-// sit at the executor, at its current rate — the quantity WithAdmission
-// budgets against.
+// sit at the executor (summed over all shards), at its current rate — the
+// quantity WithAdmission budgets against.
 func (e *Executor) BacklogSeconds() float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.backlogFlops / e.Rate()
+	return math.Float64frombits(e.backlogBits.Load()) / e.Rate()
 }
 
 // Do enqueues a job of the given FLOPs and blocks until it completes. It
@@ -195,22 +282,54 @@ func (e *Executor) DoTimedCtx(ctx context.Context, flops float64) (wait, service
 		return 0, 0, err
 	}
 	j := &job{flops: flops, enq: time.Now(), done: make(chan struct{})}
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	// The read side of closeMu brackets the admit-and-enqueue section:
+	// concurrent submitters (any mix of classes) share it freely; Close
+	// excludes it, so every job that saw closed == false is fully enqueued
+	// before Close proceeds and is drained by the dispatcher.
+	e.closeMu.RLock()
+	if e.closed.Load() {
+		e.closeMu.RUnlock()
 		return 0, 0, ErrExecutorClosed
 	}
 	if e.admitSec > 0 {
-		if backlog := (e.backlogFlops + flops) / e.Rate(); backlog > e.admitSec {
-			e.mu.Unlock()
-			return 0, 0, fmt.Errorf("%w (backlog %.3gs over budget %.3gs)", ErrOverloaded, backlog, e.admitSec)
+		// Admit or reject with one CAS on the executor-wide backlog; no
+		// lock is held, so rejection under overload is contention-free.
+		for {
+			old := e.backlogBits.Load()
+			backlog := (math.Float64frombits(old) + flops) / e.Rate()
+			if backlog > e.admitSec {
+				e.closeMu.RUnlock()
+				return 0, 0, fmt.Errorf("%w (backlog %.3gs over budget %.3gs)", ErrOverloaded, backlog, e.admitSec)
+			}
+			if e.backlogBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+flops)) {
+				break
+			}
 		}
+	} else {
+		e.addBacklog(flops)
 	}
-	e.backlogFlops += flops
 	atomic.AddInt32(&e.pending, 1)
-	e.queue = append(e.queue, j)
-	e.cond.Signal()
-	e.mu.Unlock()
+	s := e.shardFor(flops)
+	s.mu.Lock()
+	j.seq = e.seq.Add(1)
+	s.queue = append(s.queue, j)
+	collecting := e.collecting.Load()
+	if collecting == s {
+		// The dispatcher holds this shard's batch window open; a same-class
+		// arrival may join the batch.
+		s.cond.Signal()
+	}
+	s.mu.Unlock()
+	e.queuedTotal.Add(1)
+	e.closeMu.RUnlock()
+	if collecting != nil && collecting != s {
+		// A foreign class's window is open: wake it so it fires early
+		// rather than holding this job behind its delay bound.
+		collecting.mu.Lock()
+		collecting.cond.Broadcast()
+		collecting.mu.Unlock()
+	}
+	e.wake()
 	select {
 	case <-j.done:
 		return j.wait, j.service, nil
@@ -225,57 +344,86 @@ func (e *Executor) DoTimedCtx(ctx context.Context, flops float64) (wait, service
 	}
 }
 
-func (e *Executor) worker() {
+// dispatcher is the executor's single server loop: scan the shards, serve
+// the one whose head enqueued first, repeat. One batch burns at a time, so
+// sharding changes contention, never the service discipline.
+func (e *Executor) dispatcher() {
 	defer e.wg.Done()
 	for {
-		e.mu.Lock()
-		for len(e.queue) == 0 && !e.closed {
-			e.cond.Wait()
+		s := e.oldestHead()
+		if s == nil {
+			if e.closed.Load() && e.queuedTotal.Load() == 0 {
+				return
+			}
+			<-e.ready
+			continue
 		}
-		if len(e.queue) == 0 && e.closed {
-			e.mu.Unlock()
-			return
-		}
-		var batch []*job
-		if e.batch.Enabled() {
-			batch = e.collectBatchLocked()
-		} else {
-			batch = []*job{e.queue[0]}
-			e.queue = e.queue[1:]
-		}
-		e.mu.Unlock()
-		e.runBatch(batch)
+		e.runBatch(e.collect(s))
 	}
 }
 
-// collectBatchLocked gathers the next batch: the contiguous same-FLOPs
-// prefix of the queue, held open for up to the batch window waiting for
-// co-arriving work. Called and returns with e.mu held. The prefix rule
-// preserves FIFO order — a job of a different class behind the head caps
-// the batch, because later same-class arrivals queue behind it and may not
-// overtake.
-func (e *Executor) collectBatchLocked() []*job {
-	head := e.queue[0]
+// oldestHead returns the shard whose head job has the smallest enqueue
+// sequence number, nil when every shard is empty. Scanning locks each
+// shard only for the head peek.
+func (e *Executor) oldestHead() *shard {
+	var best *shard
+	var bestSeq uint64
+	for _, s := range e.shardsValue.Load().(map[float64]*shard) {
+		s.mu.Lock()
+		if len(s.queue) > 0 {
+			if seq := s.queue[0].seq; best == nil || seq < bestSeq {
+				best, bestSeq = s, seq
+			}
+		}
+		s.mu.Unlock()
+	}
+	return best
+}
+
+// collect takes the next batch from shard s. Without batching it pops one
+// job (global FIFO by oldest-head dispatch). With batching it holds the
+// window open for co-arriving same-class work — every job in a shard is
+// the same class, so the batch is simply the queue prefix — and fires
+// early when the window fills, the executor closes, or another class
+// enqueues anywhere (the cross-shard analogue of the old "a foreign job
+// behind the head caps the batch" rule: no class waits out another's
+// window).
+func (e *Executor) collect(s *shard) []*job {
+	s.mu.Lock()
+	if !e.batch.Enabled() {
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+		e.queuedTotal.Add(-1)
+		return []*job{j}
+	}
 	deadline := time.Now().Add(e.scale.Seconds(e.batch.MaxDelaySec))
+	e.collecting.Store(s)
 	// sync.Cond has no timed wait; an AfterFunc broadcast bounds the hold.
 	timer := time.AfterFunc(time.Until(deadline), func() {
-		e.mu.Lock()
-		e.cond.Broadcast()
-		e.mu.Unlock()
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
 	})
 	defer timer.Stop()
 	for {
-		n := 0
-		for n < len(e.queue) && n < e.batch.MaxSize && e.queue[n].flops == head.flops {
-			n++
+		n := len(s.queue)
+		if n > e.batch.MaxSize {
+			n = e.batch.MaxSize
 		}
-		blocked := n < len(e.queue) // a different-class job caps the prefix
-		if n >= e.batch.MaxSize || blocked || e.closed || !time.Now().Before(deadline) {
-			batch := append([]*job(nil), e.queue[:n]...)
-			e.queue = e.queue[n:]
+		// queuedTotal counts this shard's queue plus every other shard's;
+		// any excess over our length is foreign work that must not stall
+		// behind our window.
+		foreign := e.queuedTotal.Load() > int64(len(s.queue))
+		if n >= e.batch.MaxSize || foreign || e.closed.Load() || !time.Now().Before(deadline) {
+			e.collecting.Store(nil)
+			batch := append([]*job(nil), s.queue[:n]...)
+			s.queue = s.queue[n:]
+			s.mu.Unlock()
+			e.queuedTotal.Add(int64(-n))
 			return batch
 		}
-		e.cond.Wait()
+		s.cond.Wait()
 	}
 }
 
@@ -306,11 +454,9 @@ func (e *Executor) runBatch(batch []*job) {
 		}
 		service = time.Since(start)
 	}
-	e.mu.Lock()
 	for _, j := range batch {
-		e.backlogFlops -= j.flops
+		e.addBacklog(-j.flops)
 	}
-	e.mu.Unlock()
 	for _, j := range discarded {
 		atomic.AddInt32(&e.pending, -1)
 		close(j.done)
@@ -322,16 +468,23 @@ func (e *Executor) runBatch(batch []*job) {
 	}
 }
 
-// Close drains queued jobs and stops the worker. Do calls issued after
+// Close drains queued jobs and stops the dispatcher. Do calls issued after
 // Close fail; calls already queued still complete.
 func (e *Executor) Close() {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	e.closeMu.Lock()
+	if e.closed.Load() {
+		e.closeMu.Unlock()
+		e.wg.Wait()
 		return
 	}
-	e.closed = true
-	e.cond.Broadcast()
-	e.mu.Unlock()
+	e.closed.Store(true)
+	e.closeMu.Unlock()
+	// Wake an open batch window and the dispatcher's idle wait.
+	for _, s := range e.shardsValue.Load().(map[float64]*shard) {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+	e.wake()
 	e.wg.Wait()
 }

@@ -151,10 +151,13 @@ func (UnregisterReq) Idempotent() bool { return true }
 // Idempotent marks tenancy snapshots as safely repeatable.
 func (EdgeStatsReq) Idempotent() bool { return true }
 
-// RegisterMessages registers all protocol types with the rpc layer. It is
-// idempotent per process and must be called by every tier before serving or
-// dialing.
+// RegisterMessages registers all protocol types with the rpc layer — the
+// gob fallback registration here plus the binary codecs (codec.go) — so
+// every tier rides the zero-allocation binary wire path for the closed
+// protocol set. It is idempotent per process and must be called by every
+// tier before serving or dialing.
 func RegisterMessages() {
+	registerCodecs()
 	rpc.Register(RegisterReq{})
 	rpc.Register(RegisterResp{})
 	rpc.Register(FirstBlockReq{})

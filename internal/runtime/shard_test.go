@@ -1,0 +1,264 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestExecutorShardedConcurrentStress hammers one executor from many
+// tenants across several FLOPs classes with concurrent submission,
+// cancellation, rate changes and stat reads, then closes it mid-flight.
+// Run under -race this is the memory-safety proof of the sharded queue;
+// the assertions check conservation: every job resolves exactly one way
+// and the accounting drains to zero.
+func TestExecutorShardedConcurrentStress(t *testing.T) {
+	e, err := NewExecutor(1e9, 0.001,
+		WithBatching(BatchConfig{MaxSize: 4, MaxDelaySec: 0.002}),
+		WithAdmission(5))
+	if err != nil {
+		t.Fatalf("NewExecutor: %v", err)
+	}
+	classes := []float64{1e7, 2e7, 3e7, 4e7}
+	const (
+		workers    = 8
+		jobsPerW   = 25
+		cancelFrac = 4 // every 4th job is cancelled while queued
+	)
+	var completed, cancelled, rejected, closedErr atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < jobsPerW; i++ {
+				flops := classes[rng.Intn(len(classes))]
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if i%cancelFrac == 0 {
+					ctx, cancel = context.WithCancel(ctx)
+					delay := time.Duration(rng.Intn(200)) * time.Microsecond
+					go func() {
+						time.Sleep(delay)
+						cancel()
+					}()
+				}
+				_, _, err := e.DoTimedCtx(ctx, flops)
+				switch {
+				case err == nil:
+					completed.Add(1)
+				case errors.Is(err, context.Canceled):
+					cancelled.Add(1)
+				case errors.Is(err, ErrOverloaded):
+					rejected.Add(1)
+				case errors.Is(err, ErrExecutorClosed):
+					closedErr.Add(1)
+				default:
+					t.Errorf("unexpected error: %v", err)
+				}
+				if cancel != nil {
+					cancel()
+				}
+			}
+		}(w)
+	}
+	// Concurrent control-plane traffic: rate changes and stat reads.
+	stop := make(chan struct{})
+	var ctlWG sync.WaitGroup
+	ctlWG.Add(1)
+	go func() {
+		defer ctlWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := e.SetRate(1e9 + float64(i%7)*1e8); err != nil {
+				t.Errorf("SetRate: %v", err)
+			}
+			_ = e.Pending()
+			_ = e.BacklogSeconds()
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	ctlWG.Wait()
+	e.Close()
+
+	total := completed.Load() + cancelled.Load() + rejected.Load() + closedErr.Load()
+	if total != workers*jobsPerW {
+		t.Errorf("conservation: %d outcomes for %d jobs", total, workers*jobsPerW)
+	}
+	if completed.Load() == 0 {
+		t.Error("no job completed")
+	}
+	if got := e.Pending(); got != 0 {
+		t.Errorf("Pending after drain = %d, want 0", got)
+	}
+	if got := e.BacklogSeconds(); got < -1e-9 || got > 1e-9 {
+		t.Errorf("BacklogSeconds after drain = %v, want 0", got)
+	}
+}
+
+// TestExecutorCloseDrainsAcceptedJobs pins the Close contract on the
+// sharded queue: jobs accepted before Close complete normally (no error),
+// jobs submitted after Close fail with ErrExecutorClosed, and Close does
+// not return until the dispatcher drained everything.
+func TestExecutorCloseDrainsAcceptedJobs(t *testing.T) {
+	e, err := NewExecutor(1e9, 0.01)
+	if err != nil {
+		t.Fatalf("NewExecutor: %v", err)
+	}
+	const queued = 6
+	var wg sync.WaitGroup
+	errs := make([]error, queued)
+	for i := 0; i < queued; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Two classes, so the drain crosses shards.
+			_, _, errs[i] = e.DoTimed(1e7 * float64(1+i%2))
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond) // let them enqueue
+	e.Close()
+	if got := e.Pending(); got != 0 {
+		t.Errorf("Pending after Close = %d, want 0 (Close must drain)", got)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("queued job %d: %v (accepted work must complete)", i, err)
+		}
+	}
+	if err := e.Do(1e7); !errors.Is(err, ErrExecutorClosed) {
+		t.Errorf("Do after Close = %v, want ErrExecutorClosed", err)
+	}
+}
+
+// TestExecutorShardFIFOPinsSingleQueueBehavior pins that the sharded
+// dispatcher reproduces the old single-FIFO semantics exactly when
+// batching is disabled: jobs of mixed classes run one at a time in
+// submission order, and the wait/service split attributes time the same
+// way (a job's wait is its predecessors' service).
+func TestExecutorShardFIFOPinsSingleQueueBehavior(t *testing.T) {
+	e, err := NewExecutor(1e9, 1)
+	if err != nil {
+		t.Fatalf("NewExecutor: %v", err)
+	}
+	defer e.Close()
+
+	// Mixed classes, submitted with deterministic spacing while the head
+	// job occupies the server: completion order must equal submission
+	// order even though the classes land in different shards.
+	const perJob = 4e7 // 40ms at 1e9 FLOPS
+	classes := []float64{perJob, 2 * perJob, perJob, 2 * perJob, perJob}
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i, flops := range classes {
+		wg.Add(1)
+		go func(i int, flops float64) {
+			defer wg.Done()
+			wait, service, err := e.DoTimed(flops)
+			if err != nil {
+				t.Errorf("job %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			if i == 0 && wait > 30*time.Millisecond {
+				t.Errorf("head job waited %v, want ~0", wait)
+			}
+			wantService := time.Duration(float64(time.Second) * flops / 1e9)
+			if service < wantService || service > wantService+80*time.Millisecond {
+				t.Errorf("job %d service = %v, want ≈%v", i, service, wantService)
+			}
+		}(i, flops)
+		time.Sleep(8 * time.Millisecond) // deterministic enqueue order
+	}
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("completion order %v, want submission order (sharding must not reorder the FIFO)", order)
+		}
+	}
+
+	// Wait/service split: with the server busy on a 40ms head job, the
+	// next job's wait is the head's residual service, not its own.
+	var headWG sync.WaitGroup
+	headWG.Add(1)
+	go func() {
+		defer headWG.Done()
+		if _, _, err := e.DoTimed(perJob); err != nil {
+			t.Errorf("head: %v", err)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	wait, service, err := e.DoTimed(perJob)
+	headWG.Wait()
+	if err != nil {
+		t.Fatalf("queued job: %v", err)
+	}
+	if wait < 10*time.Millisecond || wait > 100*time.Millisecond {
+		t.Errorf("queued job wait = %v, want ≈30ms (head's residual service)", wait)
+	}
+	if service < 40*time.Millisecond || service > 120*time.Millisecond {
+		t.Errorf("queued job service = %v, want ≈40ms", service)
+	}
+}
+
+// TestExecutorShardBatchCoalescingPinned pins the batching side of the
+// old behavior on the sharded queue: co-arriving same-class jobs coalesce
+// into one amortized burn (identical published service), and a batch of
+// one degenerates to the lone-job burn.
+func TestExecutorShardBatchCoalescingPinned(t *testing.T) {
+	e, err := NewExecutor(1e9, 1, WithBatching(BatchConfig{MaxSize: 4, MaxDelaySec: 0.05}))
+	if err != nil {
+		t.Fatalf("NewExecutor: %v", err)
+	}
+	defer e.Close()
+
+	const perJob = 4e7 // 40ms lone burn
+	var wg sync.WaitGroup
+	services := make([]time.Duration, 4)
+	for i := range services {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, service, err := e.DoTimed(perJob)
+			if err != nil {
+				t.Errorf("job %d: %v", i, err)
+			}
+			services[i] = service
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(services); i++ {
+		if services[i] != services[0] {
+			t.Fatalf("batched services diverge: %v", services)
+		}
+	}
+	// 4 jobs at marginal 0.25 burn 40ms*(1+3*0.25) = 70ms, far under the
+	// 160ms serial cost; the shared service must reflect amortization.
+	if services[0] >= 160*time.Millisecond {
+		t.Errorf("batch service %v shows no amortization", services[0])
+	}
+
+	// A lone job after the batch burns its own 40ms.
+	_, service, err := e.DoTimed(perJob)
+	if err != nil {
+		t.Fatalf("lone job: %v", err)
+	}
+	if service < 40*time.Millisecond || service > 120*time.Millisecond {
+		t.Errorf("lone service = %v, want ≈40ms", service)
+	}
+}

@@ -174,6 +174,7 @@ type metric struct {
 	c      *Counter
 	g      *Gauge
 	h      *Histogram
+	fn     func() float64 // scrape-time gauge callback (GaugeFunc)
 }
 
 // family groups all label variants of one metric name.
@@ -245,6 +246,24 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 		m.g = &Gauge{}
 	}
 	return m.g
+}
+
+// GaugeFunc registers a gauge whose value fn computes at scrape time —
+// for state that already lives in someone else's counters (the rpc wire
+// codec's atomics, queue depths) where a stored Gauge would just be a
+// stale copy. fn must be safe to call from any goroutine. The first
+// callback registered for a name+labels wins; later calls are no-ops, so
+// re-registration on reconnect is safe.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.family(name, help, "gauge").metric(labels)
+	if m.fn == nil && m.g == nil {
+		m.fn = fn
+	}
 }
 
 // Histogram returns (creating on first use) the histogram for name+labels.
@@ -340,6 +359,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, m.labels, m.c.Value())
 			case m.g != nil:
 				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, m.labels, formatValue(m.g.Value()))
+			case m.fn != nil:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, m.labels, formatValue(m.fn()))
 			case m.h != nil:
 				err = writeHistogram(w, f.name, m)
 			}
@@ -401,6 +422,8 @@ func (r *Registry) Samples() []Sample {
 				out = append(out, Sample{Name: f.name, Labels: m.labels, Value: float64(m.c.Value())})
 			case m.g != nil:
 				out = append(out, Sample{Name: f.name, Labels: m.labels, Value: m.g.Value()})
+			case m.fn != nil:
+				out = append(out, Sample{Name: f.name, Labels: m.labels, Value: m.fn()})
 			case m.h != nil:
 				out = append(out, Sample{Name: f.name + "_count", Labels: m.labels, Value: float64(m.h.Count())})
 				out = append(out, Sample{Name: f.name + "_sum", Labels: m.labels, Value: m.h.Sum()})

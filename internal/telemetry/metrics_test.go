@@ -333,3 +333,38 @@ func ExampleRegistry_WritePrometheus() {
 	// # TYPE leime_requests_total counter
 	// leime_requests_total{type="first_block"} 7
 }
+
+// TestGaugeFunc checks scrape-time gauges: the callback is evaluated at
+// render/snapshot time, the first registration wins, and a nil registry
+// or nil callback is a no-op.
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 1.5
+	r.GaugeFunc("wire_frames", "Frames by codec.", func() float64 { return v }, Label{"codec", "binary"})
+	r.GaugeFunc("wire_frames", "Frames by codec.", func() float64 { return -1 }, Label{"codec", "binary"}) // loser
+	samples := r.Samples()
+	if len(samples) != 1 || samples[0].Value != 1.5 {
+		t.Fatalf("Samples = %+v, want one sample of 1.5", samples)
+	}
+	v = 7 // the callback, not a copy, is scraped
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	want := "# HELP wire_frames Frames by codec.\n# TYPE wire_frames gauge\nwire_frames{codec=\"binary\"} 7\n"
+	if buf.String() != want {
+		t.Errorf("exposition:\n%q\nwant:\n%q", buf.String(), want)
+	}
+	// A plain Gauge already owning the slot is not displaced.
+	g := r.Gauge("depth", "Queue depth.")
+	g.Set(3)
+	r.GaugeFunc("depth", "Queue depth.", func() float64 { return 9 })
+	for _, s := range r.Samples() {
+		if s.Name == "depth" && s.Value != 3 {
+			t.Errorf("GaugeFunc displaced stored gauge: %v", s.Value)
+		}
+	}
+	var nilReg *Registry
+	nilReg.GaugeFunc("x", "", func() float64 { return 1 })
+	r.GaugeFunc("y", "", nil)
+}
