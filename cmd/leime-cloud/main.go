@@ -38,7 +38,7 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		arch  = fs.String("arch", "inception-v3", "DNN profile (fixes the third block's FLOPs)")
 		flops = fs.Float64("flops", leime.CloudV100.FLOPS, "cloud capability in FLOPS")
 		scale = fs.Float64("scale", 1, "time compression factor (1 = real time)")
-		admin = fs.String("admin", "", "admin HTTP address serving /metrics, /healthz and /debug/traces (empty = telemetry off)")
+		admin = fs.String("admin", "", "admin HTTP address serving /metrics, /healthz, /readyz and /debug/traces (empty = telemetry off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,6 +69,9 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	}
 	defer cloud.Close()
 	if *admin != "" {
+		// The cloud is stateless: once StartCloud has returned it can serve
+		// third-block work, so readiness coincides with liveness (the
+		// default /readyz behaviour).
 		adm, err := telemetry.ServeAdmin(*admin, reg, tracer)
 		if err != nil {
 			return err

@@ -9,6 +9,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -42,7 +44,7 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("leime-device", flag.ContinueOnError)
 	var (
 		id       = fs.String("id", "device-1", "device identifier")
-		edgeAddr = fs.String("edge", "127.0.0.1:7102", "edge server address")
+		edgeAddr = fs.String("edge", "127.0.0.1:7102", "comma-separated edge server addresses; more than one enables Lyapunov-aware edge selection")
 		arch     = fs.String("arch", "inception-v3", "DNN profile (must match the edge)")
 		device   = fs.String("device", "pi", "hardware preset: pi or nano")
 		rate     = fs.Float64("rate", 5, "mean task arrivals per slot")
@@ -52,7 +54,7 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		policy   = fs.String("policy", "leime", "offloading policy: leime, device-only, edge-only, cap")
 		scale    = fs.Float64("scale", 1, "time compression factor (1 = real time)")
 		seed     = fs.Int64("seed", 1, "randomness seed")
-		admin    = fs.String("admin", "", "admin HTTP address serving /metrics, /healthz and /debug/traces (empty = telemetry off)")
+		admin    = fs.String("admin", "", "admin HTTP address serving /metrics, /healthz, /readyz and /debug/traces (empty = telemetry off)")
 
 		deadline   = fs.Float64("deadline", 0, "per-task completion budget in model seconds; RPCs carry it so remote tiers shed late work (0 = no deadlines)")
 		retries    = fs.Int("retries", 0, "max attempts for idempotent control requests, first try included (0 = library default)")
@@ -87,13 +89,17 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		return fmt.Errorf("unknown policy %q", *policy)
 	}
 
+	// Readiness flips once the device has registered with an edge and holds
+	// a warm KKT share — before that it must not be treated as a traffic
+	// source by orchestration probing /readyz.
+	var registered atomic.Bool
 	var tracer *telemetry.Tracer
 	var reg *telemetry.Registry
 	if *admin != "" {
 		tracer = telemetry.NewTracer(4096)
 		reg = telemetry.NewRegistry()
 		runtime.RegisterWireMetrics(reg)
-		adm, err := telemetry.ServeAdmin(*admin, reg, tracer)
+		adm, err := telemetry.ServeAdmin(*admin, reg, tracer, telemetry.WithReadiness(registered.Load))
 		if err != nil {
 			return err
 		}
@@ -105,14 +111,19 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	if err != nil {
 		return err
 	}
+	edges := splitEdges(*edgeAddr)
+	if len(edges) == 0 {
+		return fmt.Errorf("-edge %q lists no addresses", *edgeAddr)
+	}
 	fmt.Fprintf(out, "leime-device %s: %s on %s, edge %s, policy %s, %d slots at rate %.1f\n",
-		*id, *arch, node.Name, *edgeAddr, pol.Name, *slots, *rate)
+		*id, *arch, node.Name, strings.Join(edges, ","), pol.Name, *slots, *rate)
 
 	stats, err := runtime.RunDevice(runtime.DeviceConfig{
-		ID:       *id,
-		FLOPS:    node.FLOPS,
-		Model:    sys.Params(),
-		EdgeAddr: *edgeAddr,
+		ID:        *id,
+		FLOPS:     node.FLOPS,
+		Model:     sys.Params(),
+		EdgeAddrs: edges,
+		Ready:     func() { registered.Store(true) },
 		Uplink: netem.Link{
 			BandwidthBps: leime.Mbps(*bw),
 			Latency:      time.Duration(*lat * float64(time.Second)),
@@ -141,7 +152,18 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	fmt.Fprintf(out, "TCT: mean=%.4fs p50=%.4fs p99=%.4fs max=%.4fs (model seconds)\n",
 		stats.TCT.Mean(), stats.TCT.Percentile(50), stats.TCT.Percentile(99), stats.TCT.Max())
 	fmt.Fprintf(out, "mean offloading ratio: %.3f\n", stats.Ratio.Mean())
-	fmt.Fprintf(out, "faults: degraded=%d fallbacks=%d deadline-misses=%d retries=%d breaker-opens=%d\n",
-		stats.Degraded, stats.Fallbacks, stats.DeadlineMisses, stats.Retries, stats.BreakerOpens)
+	fmt.Fprintf(out, "faults: degraded=%d fallbacks=%d deadline-misses=%d retries=%d breaker-opens=%d migrations=%d\n",
+		stats.Degraded, stats.Fallbacks, stats.DeadlineMisses, stats.Retries, stats.BreakerOpens, stats.Migrations)
 	return nil
+}
+
+// splitEdges parses the comma-separated -edge list.
+func splitEdges(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }

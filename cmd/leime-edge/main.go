@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -45,7 +46,8 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		cloudBW   = fs.Float64("cloud-bandwidth", 50, "edge-cloud bandwidth in Mbps")
 		cloudLat  = fs.Float64("cloud-latency", 0.03, "edge-cloud latency in seconds")
 		scale     = fs.Float64("scale", 1, "time compression factor (1 = real time)")
-		admin     = fs.String("admin", "", "admin HTTP address serving /metrics, /healthz and /debug/traces (empty = telemetry off)")
+		admin     = fs.String("admin", "", "admin HTTP address serving /metrics, /healthz, /readyz and /debug/traces (empty = telemetry off)")
+		peers     = fs.String("peers", "", "comma-separated sibling edge addresses; admission-rejected tasks are stolen to the least-loaded ready peer (one hop)")
 
 		retries    = fs.Int("cloud-retries", 0, "max attempts for idempotent cloud requests, first try included (0 = library default)")
 		retryBase  = fs.Duration("cloud-retry-base", 0, "base backoff before the first cloud retry (0 = library default)")
@@ -87,6 +89,7 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		CloudBreaker:  rpc.BreakerConfig{FailureThreshold: *breakAfter, Cooldown: *breakCool},
 		MaxBacklogSec: *queueBudget,
 		Batch:         runtime.BatchConfig{MaxSize: *batchSize, MaxDelaySec: *batchDelay, Marginal: *batchMarg},
+		Peers:         splitPeers(*peers),
 		Tracer:        tracer,
 		Metrics:       reg,
 	})
@@ -95,7 +98,10 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	}
 	defer edge.Close()
 	if *admin != "" {
-		adm, err := telemetry.ServeAdmin(*admin, reg, tracer)
+		// Readiness is the federation gate: the edge answers 503 until its
+		// KKT allocation is warm (at least one registered tenant), the same
+		// predicate its fleet heartbeat advertises to peers.
+		adm, err := telemetry.ServeAdmin(*admin, reg, tracer, telemetry.WithReadiness(edge.Ready))
 		if err != nil {
 			return err
 		}
@@ -109,4 +115,15 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	<-stop
 	fmt.Fprintln(out, "leime-edge: shutting down")
 	return nil
+}
+
+// splitPeers parses the comma-separated -peers list.
+func splitPeers(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -9,6 +10,9 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"leime/internal/rpc"
+	"leime/internal/runtime"
 )
 
 // syncBuffer is a goroutine-safe output sink for in-process daemon runs.
@@ -85,5 +89,60 @@ func TestEdgeDaemonServesAdminAndStopsCleanly(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "shutting down") {
 		t.Errorf("no shutdown message in output:\n%s", out.String())
+	}
+}
+
+var servingLine = regexp.MustCompile(`serving \S+ on (\S+)`)
+
+// TestEdgeDaemonReadyz pins the readiness protocol at the daemon level: the
+// edge answers /readyz with 503 until its first tenant registers (the KKT
+// allocation warms), then 200.
+func TestEdgeDaemonReadyz(t *testing.T) {
+	out := &syncBuffer{}
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-admin", "127.0.0.1:0"}, out, stop)
+	}()
+	defer func() {
+		close(stop)
+		<-done
+	}()
+	admin := waitForAdmin(t, out)
+
+	get := func(path string) int {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", admin, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz before any tenant = %d, want 503", code)
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz = %d while cold; liveness must not follow readiness", code)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	var m []string
+	for m = servingLine.FindStringSubmatch(out.String()); m == nil && time.Now().Before(deadline); m = servingLine.FindStringSubmatch(out.String()) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if m == nil {
+		t.Fatalf("edge address never printed; output:\n%s", out.String())
+	}
+	runtime.RegisterMessages()
+	c, err := rpc.Dial(m[1], nil)
+	if err != nil {
+		t.Fatalf("Dial edge: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Call(context.Background(), runtime.RegisterReq{DeviceID: "readyz-probe", FLOPS: 1e9, ArrivalMean: 1}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Errorf("/readyz after registration = %d, want 200", code)
 	}
 }

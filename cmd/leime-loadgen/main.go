@@ -1,14 +1,19 @@
 // Command leime-loadgen is the open-loop load harness: N synthetic devices
-// offer first-block work to an edge server at a configured rate and the tool
+// offer first-block work to an edge fleet at a configured rate and the tool
 // reports achieved throughput, the completion-latency distribution and the
-// rejection/shed counts as JSON. Point it at a live edge with -edge, or let
-// it spin up an in-process edge+cloud testbed (the default) to probe batching
-// and admission-control settings without deploying anything.
+// rejection/shed counts as JSON. Point it at live edges with -edge (comma
+// separated; devices split across them), or let it spin up an in-process
+// testbed (the default) of -edges peered edge servers plus a cloud to probe
+// batching, admission-control and federation settings without deploying
+// anything.
 //
 // A single run measures one offered rate; -rate-sweep walks a list of rates
 // and emits the saturation report the capacity model in DESIGN.md §11 is
 // calibrated against: achieved-vs-offered locates the knee, p99-vs-offered
-// shows the latency cliff past it.
+// shows the latency cliff past it. -edge-sweep instead walks fleet sizes at
+// a fixed rate and reports the federation scaling factor per size (DESIGN.md
+// §14). -kill-edge/-kill-after inject a mid-run edge failure to exercise the
+// harness's reroute path.
 package main
 
 import (
@@ -25,7 +30,9 @@ import (
 	"time"
 
 	"leime"
+	"leime/internal/fleet"
 	"leime/internal/loadgen"
+	"leime/internal/offload"
 	"leime/internal/runtime"
 )
 
@@ -43,7 +50,7 @@ func main() {
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("leime-loadgen", flag.ContinueOnError)
 	var (
-		edgeAddr  = fs.String("edge", "", "edge server to drive (empty = spin up an in-process edge+cloud testbed)")
+		edgeAddr  = fs.String("edge", "", "comma-separated edge servers to drive (empty = spin up an in-process testbed)")
 		arch      = fs.String("arch", "inception-v3", "DNN profile (payload sizes and exit rates)")
 		devices   = fs.Int("devices", 4, "synthetic devices to register")
 		rate      = fs.Float64("rate", 5, "offered rate per device in tasks/sec")
@@ -52,9 +59,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		duration  = fs.Duration("duration", 2*time.Second, "generation horizon per run")
 		seed      = fs.Int64("seed", 1, "schedule seed (equal seeds offer identical schedules)")
 		timeout   = fs.Duration("timeout", 0, "per-task deadline (0 = none); expiries count as sheds")
+		forceExit = fs.Int("exit", 0, "pin every task's exit stage 1..3 (0 = sample from the model's exit rates)")
 		devFLOPS  = fs.Float64("device-flops", 1e9, "capability each synthetic device registers with")
 		minDone   = fs.Int("min-completed", 0, "exit nonzero unless at least this many tasks complete (CI smoke)")
 
+		edgeCount   = fs.Int("edges", 1, "in-process testbed: number of peered edge servers")
+		edgeSweep   = fs.String("edge-sweep", "", "comma-separated in-process fleet sizes; runs each and reports federation scaling")
+		killEdge    = fs.Int("kill-edge", -1, "in-process testbed: edge index to kill mid-run (-1 = none)")
+		killAfter   = fs.Duration("kill-after", 500*time.Millisecond, "in-process testbed: delay before -kill-edge strikes")
 		edgeFLOPS   = fs.Float64("edge-flops", leime.EdgeDesktop.FLOPS, "in-process testbed: edge capability in FLOPS")
 		cloudFLOPS  = fs.Float64("cloud-flops", leime.CloudV100.FLOPS, "in-process testbed: cloud capability in FLOPS")
 		scale       = fs.Float64("scale", 1, "in-process testbed: time compression factor")
@@ -71,38 +83,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	addr := *edgeAddr
-	if addr == "" {
-		cloud, err := runtime.StartCloud(runtime.CloudConfig{
-			Addr:        "127.0.0.1:0",
-			FLOPS:       *cloudFLOPS,
-			Block3FLOPs: sys.Params().Mu[2],
-			TimeScale:   runtime.Scale(*scale),
-		})
-		if err != nil {
-			return err
-		}
-		defer cloud.Close()
-		edge, err := runtime.StartEdge(runtime.EdgeConfig{
-			Addr:          "127.0.0.1:0",
-			FLOPS:         *edgeFLOPS,
-			Model:         sys.Params(),
-			CloudAddr:     cloud.Addr(),
-			TimeScale:     runtime.Scale(*scale),
-			MaxBacklogSec: *queueBudget,
-			Batch:         runtime.BatchConfig{MaxSize: *batchSize, MaxDelaySec: *batchDelay, Marginal: *batchMarg},
-		})
-		if err != nil {
-			return err
-		}
-		defer edge.Close()
-		addr = edge.Addr()
-		fmt.Fprintf(os.Stderr, "leime-loadgen: in-process testbed on %s (edge %.3g FLOPS, cloud %.3g FLOPS, scale %g)\n",
-			addr, *edgeFLOPS, *cloudFLOPS, *scale)
+	tb := testbedSpec{
+		model:       sys.Params(),
+		edgeFLOPS:   *edgeFLOPS,
+		cloudFLOPS:  *cloudFLOPS,
+		scale:       runtime.Scale(*scale),
+		queueBudget: *queueBudget,
+		batch:       runtime.BatchConfig{MaxSize: *batchSize, MaxDelaySec: *batchDelay, Marginal: *batchMarg},
 	}
 
 	cfg := loadgen.Config{
-		EdgeAddr:    addr,
 		Devices:     *devices,
 		Rate:        *rate,
 		Arrival:     *arrival,
@@ -111,11 +101,62 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Model:       sys.Params(),
 		DeviceFLOPS: *devFLOPS,
 		Timeout:     *timeout,
+		ForceExit:   *forceExit,
 	}
+
+	var addrs []string
+	if *edgeAddr != "" {
+		if *edgeSweep != "" {
+			return fmt.Errorf("-edge-sweep needs the in-process testbed; drop -edge")
+		}
+		if *killEdge >= 0 {
+			return fmt.Errorf("-kill-edge needs the in-process testbed; drop -edge")
+		}
+		addrs = splitAddrs(*edgeAddr)
+	} else if *edgeSweep == "" {
+		fleetTB, err := startFleet(tb, *edgeCount)
+		if err != nil {
+			return err
+		}
+		defer fleetTB.close()
+		addrs = fleetTB.addrs()
+		fmt.Fprintf(os.Stderr, "leime-loadgen: in-process testbed, %d edge(s) on %s (edge %.3g FLOPS, cloud %.3g FLOPS, scale %g)\n",
+			len(addrs), strings.Join(addrs, ","), *edgeFLOPS, *cloudFLOPS, *scale)
+		if *killEdge >= 0 {
+			if *killEdge >= len(fleetTB.edges) {
+				return fmt.Errorf("-kill-edge %d out of range (fleet has %d edges)", *killEdge, len(fleetTB.edges))
+			}
+			go func(victim *runtime.Edge, after time.Duration) {
+				t := time.NewTimer(after)
+				defer t.Stop()
+				select {
+				case <-t.C:
+					fmt.Fprintf(os.Stderr, "leime-loadgen: killing edge %d (%s)\n", *killEdge, victim.Addr())
+					_ = victim.Close()
+				case <-ctx.Done():
+				}
+			}(fleetTB.edges[*killEdge], *killAfter)
+		}
+	}
+	cfg.EdgeAddrs = addrs
 
 	var report any
 	completed := 0
-	if *rateSweep != "" {
+	switch {
+	case *edgeSweep != "":
+		sizes, err := parseSizes(*edgeSweep)
+		if err != nil {
+			return err
+		}
+		fed, err := runEdgeSweep(ctx, cfg, tb, sizes)
+		if err != nil {
+			return err
+		}
+		for _, p := range fed.Points {
+			completed += p.Result.Completed
+		}
+		report = fed
+	case *rateSweep != "":
 		rates, err := parseRates(*rateSweep)
 		if err != nil {
 			return err
@@ -128,7 +169,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			completed += p.Completed
 		}
 		report = sweep
-	} else {
+	default:
 		res, err := loadgen.Run(ctx, cfg)
 		if err != nil {
 			return err
@@ -146,6 +187,163 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("completed %d tasks, below the -min-completed floor %d", completed, *minDone)
 	}
 	return nil
+}
+
+// testbedSpec carries the in-process testbed knobs shared by every fleet
+// the tool spins up.
+type testbedSpec struct {
+	model       offload.ModelParams
+	edgeFLOPS   float64
+	cloudFLOPS  float64
+	scale       runtime.Scale
+	queueBudget float64
+	batch       runtime.BatchConfig
+}
+
+// fleetTestbed is one in-process cloud plus a peered edge fleet.
+type fleetTestbed struct {
+	cloud *runtime.Cloud
+	edges []*runtime.Edge
+}
+
+// startFleet brings up the cloud and n edges. Edges are started in sequence
+// and each peers with all earlier ones, so every edge except the first has
+// somewhere to steal to (listen addresses are ephemeral, so a full mesh
+// cannot be configured up front).
+func startFleet(tb testbedSpec, n int) (*fleetTestbed, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fleet size %d must be positive", n)
+	}
+	cloud, err := runtime.StartCloud(runtime.CloudConfig{
+		Addr:        "127.0.0.1:0",
+		FLOPS:       tb.cloudFLOPS,
+		Block3FLOPs: tb.model.Mu[2],
+		TimeScale:   tb.scale,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f := &fleetTestbed{cloud: cloud}
+	for i := 0; i < n; i++ {
+		cfg := runtime.EdgeConfig{
+			Addr:          "127.0.0.1:0",
+			FLOPS:         tb.edgeFLOPS,
+			Model:         tb.model,
+			CloudAddr:     cloud.Addr(),
+			TimeScale:     tb.scale,
+			MaxBacklogSec: tb.queueBudget,
+			Batch:         tb.batch,
+		}
+		if i > 0 {
+			cfg.Peers = f.addrs()
+			cfg.Fleet = fleet.Config{Every: 100 * time.Millisecond}
+		}
+		e, err := runtime.StartEdge(cfg)
+		if err != nil {
+			f.close()
+			return nil, err
+		}
+		f.edges = append(f.edges, e)
+	}
+	return f, nil
+}
+
+// addrs lists the fleet's edge listen addresses in start order.
+func (f *fleetTestbed) addrs() []string {
+	out := make([]string, len(f.edges))
+	for i, e := range f.edges {
+		out[i] = e.Addr()
+	}
+	return out
+}
+
+// close tears the fleet down, edges first.
+func (f *fleetTestbed) close() {
+	for _, e := range f.edges {
+		_ = e.Close()
+	}
+	_ = f.cloud.Close()
+}
+
+// fedPoint is one fleet size's run in an edge sweep.
+type fedPoint struct {
+	// Edges is the fleet size of this point.
+	Edges int `json:"edges"`
+	// Result is the load report against that fleet.
+	Result *loadgen.Result `json:"result"`
+}
+
+// fedReport is the federation scaling report of an -edge-sweep run.
+type fedReport struct {
+	// Points are the per-size runs, in sweep order.
+	Points []fedPoint `json:"points"`
+	// Scaling[i] is Points[i]'s sustained throughput (completions) over
+	// Points[0]'s: how much capacity each fleet size buys relative to the
+	// first. Linear federation scaling at sizes {1..N} reads 1, 2, .., N.
+	Scaling []float64 `json:"scaling"`
+}
+
+// runEdgeSweep measures federation scaling: the same schedule offered to an
+// in-process fleet of each size, fresh edges per point so tenant state and
+// backlog never carry over.
+func runEdgeSweep(ctx context.Context, base loadgen.Config, tb testbedSpec, sizes []int) (*fedReport, error) {
+	out := &fedReport{}
+	for i, n := range sizes {
+		f, err := startFleet(tb, n)
+		if err != nil {
+			return nil, fmt.Errorf("edge-sweep point %d edges: %w", n, err)
+		}
+		cfg := base
+		cfg.EdgeAddr = ""
+		cfg.EdgeAddrs = f.addrs()
+		cfg.IDPrefix = fmt.Sprintf("fed-e%d", i)
+		res, err := loadgen.Run(ctx, cfg)
+		f.close()
+		if err != nil {
+			return nil, fmt.Errorf("edge-sweep point %d edges: %w", n, err)
+		}
+		out.Points = append(out.Points, fedPoint{Edges: n, Result: res})
+	}
+	base1 := out.Points[0].Result.Completed
+	for _, p := range out.Points {
+		s := 0.0
+		if base1 > 0 {
+			s = float64(p.Result.Completed) / float64(base1)
+		}
+		out.Scaling = append(out.Scaling, s)
+	}
+	return out, nil
+}
+
+// splitAddrs parses the comma-separated -edge list.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// parseSizes parses the -edge-sweep list of fleet sizes.
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -edge-sweep entry %q: want positive fleet sizes", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-edge-sweep %q contains no sizes", s)
+	}
+	return out, nil
 }
 
 // parseRates parses the -rate-sweep list.

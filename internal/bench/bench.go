@@ -53,6 +53,7 @@ func All() []Experiment {
 		CrossCheck(),
 		Capacity(),
 		Wire(),
+		Federation(),
 	}
 }
 

@@ -72,6 +72,87 @@ type Result struct {
 	Latency Latency `json:"latency"`
 	// DurationSec is the configured generation horizon.
 	DurationSec float64 `json:"duration_sec"`
+	// Rerouted counts tasks retried against a different edge after a
+	// transport failure at the device's home edge (federation runs only).
+	Rerouted int `json:"rerouted,omitempty"`
+	// PerEdge breaks outcomes down by the edge that answered the final
+	// attempt. Present only when the run drives more than one edge.
+	PerEdge []EdgeBreakdown `json:"per_edge,omitempty"`
+}
+
+// EdgeBreakdown is one edge's slice of a federation run: how the tasks that
+// ended at this edge fared.
+type EdgeBreakdown struct {
+	// Addr is the edge server's address.
+	Addr string `json:"addr"`
+	// Completed, Rejected, DeadlineSheds and Errors mirror the Result
+	// counters, attributed to the edge serving the final attempt.
+	Completed     int `json:"completed"`
+	Rejected      int `json:"rejected"`
+	DeadlineSheds int `json:"deadline_sheds"`
+	Errors        int `json:"errors"`
+	// Rerouted counts tasks that arrived here after failing elsewhere.
+	Rerouted int `json:"rerouted"`
+}
+
+// devConn is one synthetic device's connection state: its current client and
+// home-edge index, guarded for the reroute path (tasks of one device run
+// concurrently).
+type devConn struct {
+	mu     sync.Mutex
+	client *rpc.Client
+	edge   int
+}
+
+// get snapshots the device's current client and edge index.
+func (dc *devConn) get() (*rpc.Client, int) {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	return dc.client, dc.edge
+}
+
+// reroute moves the device off a failed edge: it walks the fleet from the
+// failure point, re-registering at the first edge that accepts, and swaps
+// the connection. If another task already rerouted the device, the fresh
+// connection is reused as-is. Returns the client to retry on, its edge
+// index, and whether a retry is possible at all.
+func (dc *devConn) reroute(ctx context.Context, cfg Config, id string, failed int) (*rpc.Client, int, bool) {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	if dc.edge != failed {
+		return dc.client, dc.edge, true
+	}
+	for k := 1; k < len(cfg.EdgeAddrs); k++ {
+		e := (failed + k) % len(cfg.EdgeAddrs)
+		c, err := dialRegister(ctx, cfg, cfg.EdgeAddrs[e], id)
+		if err != nil {
+			continue
+		}
+		_ = dc.client.Close()
+		dc.client, dc.edge = c, e
+		return c, e, true
+	}
+	return nil, failed, false
+}
+
+// dialRegister dials one edge and registers the synthetic device there.
+func dialRegister(ctx context.Context, cfg Config, addr, id string) (*rpc.Client, error) {
+	c, err := rpc.Dial(addr, nil)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: device %s: %w", id, err)
+	}
+	regCtx, cancel := context.WithTimeout(ctx, rpc.DialTimeout)
+	defer cancel()
+	if _, err := c.Call(regCtx, runtime.RegisterReq{
+		DeviceID:    id,
+		FLOPS:       cfg.DeviceFLOPS,
+		ArrivalMean: cfg.Rate,
+		Model:       cfg.Model,
+	}); err != nil {
+		_ = c.Close()
+		return nil, fmt.Errorf("loadgen: register %s: %w", id, err)
+	}
+	return c, nil
 }
 
 // Run executes one open-loop load run. The context cancels in-flight work;
@@ -84,42 +165,39 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	runtime.RegisterMessages()
 
-	clients := make([]*rpc.Client, cfg.Devices)
+	conns := make([]*devConn, cfg.Devices)
 	ids := make([]string, cfg.Devices)
-	for i := range clients {
+	for i := range conns {
 		ids[i] = fmt.Sprintf("%s-%02d", cfg.IDPrefix, i)
-		c, err := rpc.Dial(cfg.EdgeAddr, nil)
+		home := i % len(cfg.EdgeAddrs)
+		c, err := dialRegister(ctx, cfg, cfg.EdgeAddrs[home], ids[i])
 		if err != nil {
-			closeAll(clients)
-			return nil, fmt.Errorf("loadgen: device %s: %w", ids[i], err)
+			closeConns(conns)
+			return nil, err
 		}
-		clients[i] = c
-		regCtx, cancel := context.WithTimeout(ctx, rpc.DialTimeout)
-		_, err = c.Call(regCtx, runtime.RegisterReq{
-			DeviceID:    ids[i],
-			FLOPS:       cfg.DeviceFLOPS,
-			ArrivalMean: cfg.Rate,
-			Model:       cfg.Model,
-		})
-		cancel()
-		if err != nil {
-			closeAll(clients)
-			return nil, fmt.Errorf("loadgen: register %s: %w", ids[i], err)
-		}
+		conns[i] = &devConn{client: c, edge: home}
 	}
 	defer func() {
-		for i, c := range clients {
+		for i, dc := range conns {
+			if dc == nil {
+				continue
+			}
+			c, _ := dc.get()
 			unregCtx, cancel := context.WithTimeout(context.Background(), rpc.DialTimeout)
 			_, _ = c.Call(unregCtx, runtime.UnregisterReq{DeviceID: ids[i]})
 			cancel()
 		}
-		closeAll(clients)
+		closeConns(conns)
 	}()
 
 	res := &Result{
 		OfferedRate: float64(cfg.Devices) * cfg.Rate,
 		Generated:   len(schedule),
 		DurationSec: cfg.Duration.Seconds(),
+	}
+	perEdge := make([]EdgeBreakdown, len(cfg.EdgeAddrs))
+	for e, addr := range cfg.EdgeAddrs {
+		perEdge[e].Addr = addr
 	}
 	reservoir := metrics.NewSharedReservoir(cfg.ReservoirCap, cfg.Seed)
 	var mu sync.Mutex // guards the counters below
@@ -137,32 +215,57 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		wg.Add(1)
 		go func(a Arrival) {
 			defer wg.Done()
-			taskCtx, cancel := taskContext(ctx, cfg.Timeout)
-			defer cancel()
-			_, err := clients[a.Device].Call(taskCtx, runtime.FirstBlockReq{
+			req := runtime.FirstBlockReq{
 				DeviceID:  ids[a.Device],
 				TaskID:    a.Task,
 				Payload:   payload,
 				ExitStage: a.Exit,
-			})
+			}
+			taskCtx, cancel := taskContext(ctx, cfg.Timeout)
+			client, edge := conns[a.Device].get()
+			_, err := client.Call(taskCtx, req)
+			rerouted := false
+			if err != nil && len(cfg.EdgeAddrs) > 1 && transportFailure(err) {
+				// The home edge is unreachable or answered with a fault:
+				// move the device to the next live edge and retry once.
+				if c2, e2, ok := conns[a.Device].reroute(ctx, cfg, ids[a.Device], edge); ok {
+					rerouted = true
+					edge = e2
+					cancel()
+					taskCtx, cancel = taskContext(ctx, cfg.Timeout)
+					_, err = c2.Call(taskCtx, req)
+				}
+			}
+			cancel()
 			elapsed := time.Since(start.Add(a.At)).Seconds()
 			mu.Lock()
 			defer mu.Unlock()
+			if rerouted {
+				res.Rerouted++
+				perEdge[edge].Rerouted++
+			}
 			switch {
 			case err == nil:
 				res.Completed++
 				res.Exits[a.Exit-1]++
+				perEdge[edge].Completed++
 				reservoir.Add(elapsed)
 			case errors.Is(err, runtime.ErrBusy) || errors.Is(err, runtime.ErrOverloaded):
 				res.Rejected++
+				perEdge[edge].Rejected++
 			case errors.Is(err, rpc.ErrDeadlineExceeded) || errors.Is(err, context.DeadlineExceeded):
 				res.DeadlineSheds++
+				perEdge[edge].DeadlineSheds++
 			default:
 				res.Errors++
+				perEdge[edge].Errors++
 			}
 		}(a)
 	}
 	wg.Wait()
+	if len(cfg.EdgeAddrs) > 1 {
+		res.PerEdge = perEdge
+	}
 
 	res.AchievedRate = float64(res.Completed) / cfg.Duration.Seconds()
 	res.Latency = Latency{
@@ -203,12 +306,24 @@ func sleepUntil(ctx context.Context, deadline time.Time) error {
 	}
 }
 
-// closeAll closes every non-nil client.
-func closeAll(clients []*rpc.Client) {
-	for _, c := range clients {
-		if c != nil {
-			_ = c.Close()
+// transportFailure reports whether the error warrants trying another edge:
+// anything that is not backpressure (the edge is alive and refusing) and not
+// a deadline (the task's time budget is spent either way).
+func transportFailure(err error) bool {
+	return !errors.Is(err, runtime.ErrBusy) &&
+		!errors.Is(err, runtime.ErrOverloaded) &&
+		!errors.Is(err, rpc.ErrDeadlineExceeded) &&
+		!errors.Is(err, context.DeadlineExceeded)
+}
+
+// closeConns closes every non-nil device connection.
+func closeConns(conns []*devConn) {
+	for _, dc := range conns {
+		if dc == nil {
+			continue
 		}
+		c, _ := dc.get()
+		_ = c.Close()
 	}
 }
 

@@ -187,6 +187,123 @@ func TestRunCountsAdmissionRejections(t *testing.T) {
 	}
 }
 
+// startFleetTestbed brings up one cloud and n edges against it.
+func startFleetTestbed(t *testing.T, n int, edgeCfg runtime.EdgeConfig) []*runtime.Edge {
+	t.Helper()
+	cloud, err := runtime.StartCloud(runtime.CloudConfig{
+		Addr:        "127.0.0.1:0",
+		FLOPS:       2e12,
+		Block3FLOPs: testModel().Mu[2],
+		TimeScale:   0.01,
+	})
+	if err != nil {
+		t.Fatalf("StartCloud: %v", err)
+	}
+	t.Cleanup(func() { _ = cloud.Close() })
+	edges := make([]*runtime.Edge, n)
+	for i := range edges {
+		cfg := edgeCfg
+		cfg.Addr = "127.0.0.1:0"
+		cfg.Model = testModel()
+		cfg.CloudAddr = cloud.Addr()
+		cfg.TimeScale = 0.01
+		e, err := runtime.StartEdge(cfg)
+		if err != nil {
+			t.Fatalf("StartEdge %d: %v", i, err)
+		}
+		edges[i] = e
+		t.Cleanup(func() { _ = e.Close() })
+	}
+	return edges
+}
+
+// fleetAddrs extracts the listen addresses of a testbed fleet.
+func fleetAddrs(edges []*runtime.Edge) []string {
+	addrs := make([]string, len(edges))
+	for i, e := range edges {
+		addrs[i] = e.Addr()
+	}
+	return addrs
+}
+
+// TestRunMultiEdgeBreakdown drives two edges at once and checks the
+// per-edge breakdown: devices split across both homes, every edge serves
+// work, and the per-edge tallies sum to the aggregate counters.
+func TestRunMultiEdgeBreakdown(t *testing.T) {
+	edges := startFleetTestbed(t, 2, runtime.EdgeConfig{FLOPS: 6e10})
+	res, err := Run(context.Background(), Config{
+		EdgeAddrs: fleetAddrs(edges),
+		Devices:   4,
+		Rate:      15,
+		Duration:  time.Second,
+		Seed:      7,
+		Model:     testModel(),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.PerEdge) != 2 {
+		t.Fatalf("%d per-edge rows, want 2", len(res.PerEdge))
+	}
+	var comp, rej, shed, errs int
+	for e, b := range res.PerEdge {
+		if b.Addr != edges[e].Addr() {
+			t.Errorf("row %d addr %q, want %q", e, b.Addr, edges[e].Addr())
+		}
+		if b.Completed == 0 {
+			t.Errorf("edge %d completed nothing; devices never split across homes", e)
+		}
+		comp += b.Completed
+		rej += b.Rejected
+		shed += b.DeadlineSheds
+		errs += b.Errors
+	}
+	if comp != res.Completed || rej != res.Rejected || shed != res.DeadlineSheds || errs != res.Errors {
+		t.Errorf("per-edge tallies (%d/%d/%d/%d) do not sum to aggregates (%d/%d/%d/%d)",
+			comp, rej, shed, errs, res.Completed, res.Rejected, res.DeadlineSheds, res.Errors)
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d against a healthy fleet", res.Errors)
+	}
+}
+
+// TestRunReroutesOnEdgeKill kills one of two edges mid-run: its devices
+// must reroute to the survivor and classification must not leak.
+func TestRunReroutesOnEdgeKill(t *testing.T) {
+	edges := startFleetTestbed(t, 2, runtime.EdgeConfig{FLOPS: 6e10})
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		time.Sleep(300 * time.Millisecond)
+		_ = edges[0].Close()
+	}()
+	res, err := Run(context.Background(), Config{
+		EdgeAddrs: fleetAddrs(edges),
+		Devices:   4,
+		Rate:      15,
+		Duration:  time.Second,
+		Seed:      7,
+		Model:     testModel(),
+	})
+	<-killed
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Rerouted == 0 {
+		t.Error("no reroutes despite killing a home edge mid-run")
+	}
+	if got := res.Completed + res.Rejected + res.DeadlineSheds + res.Errors; got != res.Generated {
+		t.Errorf("classification leak: %d classified vs %d generated", got, res.Generated)
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d; kills must reroute, not surface transport faults", res.Errors)
+	}
+	if res.PerEdge[1].Completed <= res.PerEdge[0].Completed {
+		t.Errorf("survivor completed %d <= killed edge's %d; reroute never shifted load",
+			res.PerEdge[1].Completed, res.PerEdge[0].Completed)
+	}
+}
+
 // TestSweepOrdersPoints checks a sweep reports one point per rate in order.
 func TestSweepOrdersPoints(t *testing.T) {
 	edge := startTestbed(t, runtime.EdgeConfig{FLOPS: 6e10})

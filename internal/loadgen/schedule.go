@@ -17,8 +17,14 @@ import (
 
 // Config parameterizes one load run against an edge server.
 type Config struct {
-	// EdgeAddr is the edge server to drive.
+	// EdgeAddr is the edge server to drive. When EdgeAddrs is set it is
+	// folded into that list; setting just one of the two is enough.
 	EdgeAddr string
+	// EdgeAddrs is the edge fleet to drive. Each synthetic device homes at
+	// edge (device index mod len(EdgeAddrs)) and registers only there; a
+	// transport failure reroutes the device to the next live edge and
+	// retries the task once. Empty defaults to [EdgeAddr].
+	EdgeAddrs []string
 	// Devices is the number of synthetic devices to register (default 4).
 	Devices int
 	// Rate is the offered arrival rate per device in tasks per wall-clock
@@ -43,6 +49,12 @@ type Config struct {
 	// Timeout bounds each task RPC; expiries count as deadline sheds
 	// rather than errors. Zero means no per-task deadline.
 	Timeout time.Duration
+	// ForceExit pins every task's exit stage (1, 2 or 3) instead of
+	// sampling from the model's exit rates. A homogeneous workload is the
+	// clean way to measure capacity scaling: with mixed costs, admission
+	// control biases the completed mix toward cheap exits on saturated
+	// servers. Zero samples from Sigma (the default).
+	ForceExit int
 	// IDPrefix namespaces device IDs so repeated runs (sweep points)
 	// against one edge do not collide (default "loadgen").
 	IDPrefix string
@@ -52,6 +64,12 @@ type Config struct {
 
 // withDefaults fills unset fields with the documented defaults.
 func (c Config) withDefaults() Config {
+	if len(c.EdgeAddrs) == 0 && c.EdgeAddr != "" {
+		c.EdgeAddrs = []string{c.EdgeAddr}
+	}
+	if c.EdgeAddr == "" && len(c.EdgeAddrs) > 0 {
+		c.EdgeAddr = c.EdgeAddrs[0]
+	}
 	if c.Devices == 0 {
 		c.Devices = 4
 	}
@@ -78,8 +96,13 @@ func (c Config) withDefaults() Config {
 
 // validate rejects configurations the harness cannot honour.
 func (c Config) validate() error {
-	if c.EdgeAddr == "" {
-		return fmt.Errorf("loadgen: EdgeAddr required")
+	if len(c.EdgeAddrs) == 0 {
+		return fmt.Errorf("loadgen: EdgeAddr or EdgeAddrs required")
+	}
+	for i, addr := range c.EdgeAddrs {
+		if addr == "" {
+			return fmt.Errorf("loadgen: EdgeAddrs[%d] is empty", i)
+		}
 	}
 	if c.Devices < 1 {
 		return fmt.Errorf("loadgen: Devices %d must be positive", c.Devices)
@@ -92,6 +115,9 @@ func (c Config) validate() error {
 	}
 	if c.Duration <= 0 {
 		return fmt.Errorf("loadgen: Duration %v must be positive", c.Duration)
+	}
+	if c.ForceExit < 0 || c.ForceExit > 3 {
+		return fmt.Errorf("loadgen: ForceExit %d must be 0 (sample) or an exit stage 1..3", c.ForceExit)
 	}
 	if err := c.Model.Validate(); err != nil {
 		return fmt.Errorf("loadgen: %w", err)
@@ -140,11 +166,15 @@ func Schedule(cfg Config) ([]Arrival, error) {
 				break
 			}
 			task++
+			exit := cfg.ForceExit
+			if exit == 0 {
+				exit = sampleExit(rng, cfg.Model)
+			}
 			out = append(out, Arrival{
 				At:     time.Duration(at * float64(time.Second)),
 				Device: dev,
 				Task:   task,
-				Exit:   sampleExit(rng, cfg.Model),
+				Exit:   exit,
 			})
 		}
 	}

@@ -41,6 +41,10 @@ func protocolMessages(deviceID string, taskID uint64, payload []byte, stage int,
 		runtime.EdgeStatsResp{Tenants: tenants, PendingFirstBlock: stage, Shares: shares},
 		runtime.QueueStatReq{DeviceID: deviceID},
 		runtime.QueueStatResp{PendingFirstBlock: tenants},
+		runtime.HeartbeatReq{DeviceID: deviceID},
+		runtime.HeartbeatResp{Ready: stage > 1, FLOPS: load, Tenants: tenants,
+			BacklogSec: mean, Saturated: tenants > 2, PendingFirstBlock: stage, ShareFLOPS: share},
+		runtime.StealReq{DeviceID: deviceID, TaskID: taskID, Payload: payload, ExitStage: stage, Hop: 1, Model: model},
 	}
 }
 

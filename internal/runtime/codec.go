@@ -34,6 +34,9 @@ const (
 	codecIDUnregisterResp = 11
 	codecIDEdgeStatsReq   = 12
 	codecIDEdgeStatsResp  = 13
+	codecIDHeartbeatReq   = 14
+	codecIDHeartbeatResp  = 15
+	codecIDStealReq       = 16
 )
 
 // encodeModel appends the nine profile constants in declaration order.
@@ -228,6 +231,55 @@ func registerCodecs() {
 					r.Shares[k] = d.Float64()
 				}
 			}
+			return r, nil
+		})
+	rpc.RegisterCodec(codecIDHeartbeatReq, HeartbeatReq{},
+		func(e *rpc.Encoder, v any) {
+			e.String(v.(HeartbeatReq).DeviceID)
+		},
+		func(d *rpc.Decoder) (any, error) {
+			return HeartbeatReq{DeviceID: d.String()}, nil
+		})
+	rpc.RegisterCodec(codecIDHeartbeatResp, HeartbeatResp{},
+		func(e *rpc.Encoder, v any) {
+			r := v.(HeartbeatResp)
+			e.Bool(r.Ready)
+			e.Float64(r.FLOPS)
+			e.Int(r.Tenants)
+			e.Float64(r.BacklogSec)
+			e.Bool(r.Saturated)
+			e.Int(r.PendingFirstBlock)
+			e.Float64(r.ShareFLOPS)
+		},
+		func(d *rpc.Decoder) (any, error) {
+			var r HeartbeatResp
+			r.Ready = d.Bool()
+			r.FLOPS = d.Float64()
+			r.Tenants = d.Int()
+			r.BacklogSec = d.Float64()
+			r.Saturated = d.Bool()
+			r.PendingFirstBlock = d.Int()
+			r.ShareFLOPS = d.Float64()
+			return r, nil
+		})
+	rpc.RegisterCodec(codecIDStealReq, StealReq{},
+		func(e *rpc.Encoder, v any) {
+			r := v.(StealReq)
+			e.String(r.DeviceID)
+			e.Uvarint(r.TaskID)
+			e.Bytes(r.Payload)
+			e.Int(r.ExitStage)
+			e.Int(r.Hop)
+			encodeModel(e, &r.Model)
+		},
+		func(d *rpc.Decoder) (any, error) {
+			var r StealReq
+			r.DeviceID = d.String()
+			r.TaskID = d.Uvarint()
+			r.Payload = d.Bytes()
+			r.ExitStage = d.Int()
+			r.Hop = d.Int()
+			decodeModel(d, &r.Model)
 			return r, nil
 		})
 }

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"leime/internal/fleet"
 	"leime/internal/metrics"
 	"leime/internal/netem"
 	"leime/internal/offload"
@@ -28,6 +29,19 @@ type DeviceConfig struct {
 	Model offload.ModelParams
 	// EdgeAddr is the edge server address.
 	EdgeAddr string
+	// EdgeAddrs, when it lists more than one address, puts the device in
+	// federation mode: it heartbeats every edge, folds their advertised
+	// backlog and capacity into the Lyapunov drift term, and migrates its
+	// tenancy to the edge minimizing drift-plus-penalty each decision epoch.
+	// A single entry is equivalent to EdgeAddr. Supersedes EdgeAddr when set.
+	EdgeAddrs []string
+	// Fleet tunes the device's heartbeat poller over EdgeAddrs (zero value =
+	// fleet defaults, except Every which defaults to one scaled slot).
+	Fleet fleet.Config
+	// SwitchMargin is the hysteresis for edge migration: the device leaves
+	// its current edge only when the best alternative improves the selection
+	// objective by more than this fraction. Zero means the 0.05 default.
+	SwitchMargin float64
 	// Uplink shapes the device–edge path (the WiFi of the testbed).
 	Uplink netem.Link
 	// Arrivals yields per-slot task counts; nil defaults to Poisson with
@@ -78,6 +92,10 @@ type DeviceConfig struct {
 	// once the channel is closed; tasks already in flight drain before
 	// RunDevice returns (the SIGINT/SIGTERM path of cmd/leime-device).
 	Stop <-chan struct{}
+	// Ready, when non-nil, is called once after the device has registered at
+	// an edge and adopted its first share — the /readyz hook of
+	// cmd/leime-device.
+	Ready func()
 }
 
 // Validate reports whether the configuration is runnable.
@@ -91,7 +109,7 @@ func (c DeviceConfig) Validate() error {
 	if err := c.Model.Validate(); err != nil {
 		return err
 	}
-	if c.EdgeAddr == "" {
+	if c.EdgeAddr == "" && len(c.EdgeAddrs) == 0 {
 		return fmt.Errorf("runtime: device needs an edge address")
 	}
 	if err := c.Uplink.Validate(); err != nil {
@@ -144,6 +162,9 @@ type DeviceStats struct {
 	Retries int
 	// BreakerOpens counts circuit-breaker open transitions during the run.
 	BreakerOpens int
+	// Migrations counts edge re-selections in federation mode: each one is a
+	// tenancy move (register at the new edge, unregister at the old).
+	Migrations int
 }
 
 // RunDevice executes the full device lifecycle: register at the edge,
@@ -156,15 +177,15 @@ type DeviceStats struct {
 // — while it is not closed, offload decisions are overridden to device-only
 // and every task runs its blocks locally (counted in DeviceStats.Degraded).
 func RunDevice(cfg DeviceConfig) (*DeviceStats, error) {
+	// A one-element edge list is plain single-edge operation: no heartbeat
+	// poller, no migration machinery, behaviour identical to EdgeAddr.
+	if len(cfg.EdgeAddrs) == 1 {
+		cfg.EdgeAddr, cfg.EdgeAddrs = cfg.EdgeAddrs[0], nil
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	RegisterMessages()
-
-	shaper, err := netem.NewShaper(scaleLink(cfg.Uplink, cfg.TimeScale), cfg.Seed^0xde)
-	if err != nil {
-		return nil, err
-	}
 
 	arrivals := cfg.Arrivals
 	if arrivals == nil {
@@ -203,53 +224,56 @@ func RunDevice(cfg DeviceConfig) (*DeviceStats, error) {
 	}
 	d.rateEstimate = cfg.ArrivalMean
 
-	client := rpc.DialReliable(cfg.EdgeAddr, shaper, rpc.ReliableOptions{
-		Retry:   cfg.Retry,
-		Breaker: cfg.Breaker,
-		// Re-establish the session on every (re)connection: a restarted
-		// edge has no tenant state, so the device re-registers with its
-		// live rate estimate and adopts the fresh share before any other
-		// call proceeds. This keeps the Lyapunov inputs consistent across
-		// reconnects — the new edge's backlog observation starts at zero,
-		// matching its actual empty queues.
-		OnConnect: func(ctx context.Context, c *rpc.Client) error {
-			got, err := c.Call(ctx, RegisterReq{DeviceID: cfg.ID, FLOPS: cfg.FLOPS, ArrivalMean: d.rate(), Model: cfg.Model})
-			if err != nil {
-				return err
-			}
-			if resp, ok := got.(RegisterResp); ok && resp.ShareFLOPS > 0 {
-				d.setShare(resp.ShareFLOPS)
-			}
-			return nil
-		},
-		OnRetry: func() {
-			d.tel.retries.Inc()
-			d.mu.Lock()
-			d.stats.Retries++
-			d.mu.Unlock()
-		},
-		OnBreakerChange: func(s rpc.BreakerState) {
-			d.tel.breakerState.Set(float64(s))
-			if s == rpc.BreakerOpen {
-				d.tel.breakerOpens.Inc()
-				d.mu.Lock()
-				d.stats.BreakerOpens++
-				d.mu.Unlock()
-			}
-		},
-		Seed: cfg.Seed ^ 0x9e77,
-	})
-	d.client = client
-	defer client.Close()
+	if len(cfg.EdgeAddrs) > 1 {
+		me, err := startMultiEdge(d)
+		if err != nil {
+			return nil, err
+		}
+		d.multi = me
+		defer me.close()
+	} else {
+		shaper, err := netem.NewShaper(scaleLink(cfg.Uplink, cfg.TimeScale), cfg.Seed^0xde)
+		if err != nil {
+			return nil, err
+		}
+		client := rpc.DialReliable(cfg.EdgeAddr, shaper, rpc.ReliableOptions{
+			Retry:   cfg.Retry,
+			Breaker: cfg.Breaker,
+			// Re-establish the session on every (re)connection: a restarted
+			// edge has no tenant state, so the device re-registers with its
+			// live rate estimate and adopts the fresh share before any other
+			// call proceeds. This keeps the Lyapunov inputs consistent across
+			// reconnects — the new edge's backlog observation starts at zero,
+			// matching its actual empty queues.
+			OnConnect: func(ctx context.Context, c *rpc.Client) error {
+				got, err := c.Call(ctx, RegisterReq{DeviceID: cfg.ID, FLOPS: cfg.FLOPS, ArrivalMean: d.rate(), Model: cfg.Model})
+				if err != nil {
+					return err
+				}
+				if resp, ok := got.(RegisterResp); ok && resp.ShareFLOPS > 0 {
+					d.setShare(resp.ShareFLOPS)
+				}
+				return nil
+			},
+			OnRetry:         d.onRetry,
+			OnBreakerChange: d.onBreakerChange,
+			Seed:            cfg.Seed ^ 0x9e77,
+		})
+		d.clientP.Store(client)
+		defer client.Close()
 
-	// The first call both connects and registers (via OnConnect); an edge
-	// that is down or rejects the registration fails the run up front,
-	// exactly like the pre-fault-tolerance behaviour.
-	regCtx, regCancel := context.WithTimeout(context.Background(), rpc.DialTimeout)
-	_, err = client.Call(regCtx, QueueStatReq{DeviceID: cfg.ID})
-	regCancel()
-	if err != nil {
-		return nil, fmt.Errorf("runtime: register: %w", err)
+		// The first call both connects and registers (via OnConnect); an edge
+		// that is down or rejects the registration fails the run up front,
+		// exactly like the pre-fault-tolerance behaviour.
+		regCtx, regCancel := context.WithTimeout(context.Background(), rpc.DialTimeout)
+		_, err = client.Call(regCtx, QueueStatReq{DeviceID: cfg.ID})
+		regCancel()
+		if err != nil {
+			return nil, fmt.Errorf("runtime: register: %w", err)
+		}
+	}
+	if cfg.Ready != nil {
+		cfg.Ready()
 	}
 
 	start := time.Now()
@@ -280,24 +304,29 @@ slots:
 		d.setRate((1-ewma)*d.rate() + ewma*float64(m))
 		if cfg.AdaptEvery > 0 && t > 0 && t%cfg.AdaptEvery == 0 {
 			ctx, cancel := d.controlCtx()
-			if got, err := client.Call(ctx, UpdateReq{DeviceID: cfg.ID, ArrivalMean: d.rate()}); err == nil {
+			if got, err := d.edgeClient().Call(ctx, UpdateReq{DeviceID: cfg.ID, ArrivalMean: d.rate()}); err == nil {
 				if resp, ok := got.(RegisterResp); ok && resp.ShareFLOPS > 0 {
 					d.setShare(resp.ShareFLOPS)
 				}
 			}
 			cancel()
 		}
-		slot := offload.Slot{
-			Arrivals:       float64(m),
-			State:          offload.State{Q: float64(local.Pending()), H: float64(d.edgeBacklog())},
-			EdgeShareFLOPS: d.share(),
-		}
-		x := policy.Decide(ctrl, dev, slot)
-		if client.Breaker().State() != rpc.BreakerClosed {
-			// The edge is suspect: override the decision to device-only
-			// until the breaker's half-open probe (a control-plane call)
-			// confirms recovery.
-			x = 0
+		var x float64
+		if d.multi != nil {
+			x = d.multi.step(ctrl, policy, dev, float64(m), float64(local.Pending()))
+		} else {
+			slot := offload.Slot{
+				Arrivals:       float64(m),
+				State:          offload.State{Q: float64(local.Pending()), H: float64(d.edgeBacklog())},
+				EdgeShareFLOPS: d.share(),
+			}
+			x = policy.Decide(ctrl, dev, slot)
+			if d.edgeClient().Breaker().State() != rpc.BreakerClosed {
+				// The edge is suspect: override the decision to device-only
+				// until the breaker's half-open probe (a control-plane call)
+				// confirms recovery.
+				x = 0
+			}
 		}
 		d.tel.ratio.Set(x)
 		d.tel.generated.Add(uint64(m))
@@ -321,7 +350,8 @@ slots:
 // deviceRun is the mutable state of one device lifecycle.
 type deviceRun struct {
 	cfg       DeviceConfig
-	client    *rpc.ReliableClient
+	clientP   atomic.Pointer[rpc.ReliableClient] // current edge; swapped on migration
+	multi     *multiEdge                         // nil outside federation mode
 	local     *Executor
 	tel       deviceTelemetry
 	shareBits uint64 // atomic float64 bits: current edge share (FLOPS)
@@ -332,6 +362,35 @@ type deviceRun struct {
 	rngMu        sync.Mutex
 	rng          *rand.Rand
 	wg           sync.WaitGroup
+}
+
+// edgeClient is the client of the device's current edge; tasks and control
+// calls read it at issue time, so a migration redirects subsequent calls
+// without disturbing those in flight.
+func (d *deviceRun) edgeClient() *rpc.ReliableClient {
+	return d.clientP.Load()
+}
+
+// onRetry feeds the rpc reliability layer's retry events into stats; shared
+// by every edge client the device dials.
+func (d *deviceRun) onRetry() {
+	d.tel.retries.Inc()
+	d.mu.Lock()
+	d.stats.Retries++
+	d.mu.Unlock()
+}
+
+// onBreakerChange mirrors breaker transitions into telemetry; in federation
+// mode all edges share the handler, so the state gauge reflects the most
+// recent transition on any of them.
+func (d *deviceRun) onBreakerChange(s rpc.BreakerState) {
+	d.tel.breakerState.Set(float64(s))
+	if s == rpc.BreakerOpen {
+		d.tel.breakerOpens.Inc()
+		d.mu.Lock()
+		d.stats.BreakerOpens++
+		d.mu.Unlock()
+	}
 }
 
 func (d *deviceRun) share() float64 {
@@ -387,6 +446,8 @@ type deviceTelemetry struct {
 	retries      *telemetry.Counter
 	breakerOpens *telemetry.Counter
 	breakerState *telemetry.Gauge
+	migrations   *telemetry.Counter
+	curEdge      *telemetry.Gauge
 	tct          *telemetry.Histogram
 	ratio        *telemetry.Gauge
 }
@@ -403,6 +464,8 @@ func newDeviceTelemetry(id string, tr *telemetry.Tracer, reg *telemetry.Registry
 		retries:      reg.Counter("leime_rpc_retries_total", "RPC retry attempts against the edge.", dev),
 		breakerOpens: reg.Counter("leime_breaker_opens_total", "Circuit breaker open transitions.", dev),
 		breakerState: reg.Gauge("leime_breaker_state", "Edge circuit breaker state (0 closed, 1 half-open, 2 open).", dev),
+		migrations:   reg.Counter("leime_device_migrations_total", "Edge re-selections (tenancy moves) in federation mode.", dev),
+		curEdge:      reg.Gauge("leime_device_edge", "Index of the device's current edge in its configured fleet.", dev),
 		tct:          reg.Histogram("leime_tct_seconds", "End-to-end task completion time (model seconds).", nil, dev),
 		ratio:        reg.Gauge("leime_offload_ratio", "Most recent slot's offloading decision.", dev),
 	}
@@ -441,7 +504,7 @@ func (d *deviceRun) rngCoin() float64 {
 func (d *deviceRun) edgeBacklog() int {
 	ctx, cancel := d.controlCtx()
 	defer cancel()
-	got, err := d.client.Call(ctx, QueueStatReq{DeviceID: d.cfg.ID})
+	got, err := d.edgeClient().Call(ctx, QueueStatReq{DeviceID: d.cfg.ID})
 	if err != nil {
 		return 0
 	}
@@ -454,12 +517,13 @@ func (d *deviceRun) edgeBacklog() int {
 
 // degradable reports whether an edge call failed in a way the device can
 // absorb by running the remaining blocks itself: the peer is unreachable,
-// the circuit breaker is open, the link injected a fault, or a restarted
-// edge lost this device's tenant state.
+// the circuit breaker is open, the link injected a fault, a restarted edge
+// lost this device's tenant state, or the edge answered mid-shutdown with
+// its executors already draining.
 func degradable(err error) bool {
 	return errors.Is(err, rpc.ErrPeerUnavailable) || errors.Is(err, rpc.ErrCircuitOpen) ||
 		errors.Is(err, rpc.ErrClosed) || errors.Is(err, netem.ErrInjected) ||
-		errors.Is(err, ErrUnknownDevice)
+		errors.Is(err, ErrUnknownDevice) || errors.Is(err, ErrExecutorClosed)
 }
 
 // backpressured reports whether the edge refused work because it is
@@ -616,7 +680,7 @@ func (d *deviceRun) localPath(ctx context.Context, parent telemetry.SpanContext,
 	}
 	payload := make([]byte, int(d.cfg.Model.D[1]))
 	span := d.tel.tracer.StartSpan(parent, "rpc.second_block").SetDevice(d.cfg.ID).SetTask(id)
-	got, err := d.client.CallMeta(ctx, spanMeta(span), SecondBlockReq{
+	got, err := d.edgeClient().CallMeta(ctx, spanMeta(span), SecondBlockReq{
 		DeviceID:  d.cfg.ID,
 		TaskID:    id,
 		Payload:   payload,
@@ -649,7 +713,7 @@ func (d *deviceRun) localPath(ctx context.Context, parent telemetry.SpanContext,
 func (d *deviceRun) offloadedPath(ctx context.Context, parent telemetry.SpanContext, id uint64, exitStage int) (int, error) {
 	payload := make([]byte, int(d.cfg.Model.D[0]))
 	span := d.tel.tracer.StartSpan(parent, "rpc.first_block").SetDevice(d.cfg.ID).SetTask(id)
-	got, err := d.client.CallMeta(ctx, spanMeta(span), FirstBlockReq{
+	got, err := d.edgeClient().CallMeta(ctx, spanMeta(span), FirstBlockReq{
 		DeviceID:  d.cfg.ID,
 		TaskID:    id,
 		Payload:   payload,

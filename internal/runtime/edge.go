@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"leime/internal/fleet"
 	"leime/internal/netem"
 	"leime/internal/offload"
 	"leime/internal/rpc"
@@ -62,6 +63,19 @@ type EdgeConfig struct {
 	CloudBreaker rpc.BreakerConfig
 	// TimeScale compresses testbed time.
 	TimeScale Scale
+	// Peers lists sibling edge addresses in the federation. When set, the
+	// edge heartbeats them through a fleet registry and forwards
+	// admission-rejected first-block tasks to the least-loaded ready peer
+	// (work stealing, bounded to one hop).
+	Peers []string
+	// Fleet tunes the peer registry's heartbeat cadence and suspicion
+	// threshold; the zero value uses the fleet package defaults.
+	Fleet fleet.Config
+	// StealShare is the fraction of FLOPS the edge reserves for executing
+	// stolen peer work, on top of the tenant allocation (default 0.1).
+	// Stolen tasks must not ride the full edge rate: an overflow slice
+	// keeps one steal hop from doubling the fleet's modeled compute.
+	StealShare float64
 	// Tracer records task-lifecycle spans for requests that arrive with a
 	// trace context; nil disables tracing.
 	Tracer *telemetry.Tracer
@@ -82,6 +96,17 @@ type Edge struct {
 	tenants map[string]*tenant
 
 	cloud *rpc.ReliableClient
+
+	// Federation state: the peer registry and its clients exist only when
+	// Peers is configured; the steal executor always does (it serves
+	// StealReqs on the reserved StealShare overflow slice).
+	stealExec   *Executor
+	peers       *fleet.Registry
+	peerClients map[string]*rpc.ReliableClient
+	stopPeers   context.CancelFunc
+	peerWG      sync.WaitGroup
+
+	stealsIn, stealsOut, stealFailed uint64 // atomic
 }
 
 // edgeTelemetry holds the edge's cached metric handles; all of them are
@@ -92,6 +117,11 @@ type edgeTelemetry struct {
 	reqSecond     *telemetry.Counter
 	reqQueue      *telemetry.Counter
 	reqControl    *telemetry.Counter
+	reqHeartbeat  *telemetry.Counter
+	reqSteal      *telemetry.Counter
+	stealsOut     *telemetry.Counter
+	stealsIn      *telemetry.Counter
+	stealFailed   *telemetry.Counter
 	busy          *telemetry.Counter
 	overload      *telemetry.Counter
 	sheds         *telemetry.Counter
@@ -113,6 +143,11 @@ func newEdgeTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry) edgeTelemet
 		reqSecond:     reg.Counter("leime_edge_requests_total", reqHelp, telemetry.Label{Key: "type", Value: "second_block"}),
 		reqQueue:      reg.Counter("leime_edge_requests_total", reqHelp, telemetry.Label{Key: "type", Value: "queue_stat"}),
 		reqControl:    reg.Counter("leime_edge_requests_total", reqHelp, telemetry.Label{Key: "type", Value: "control"}),
+		reqHeartbeat:  reg.Counter("leime_edge_requests_total", reqHelp, telemetry.Label{Key: "type", Value: "heartbeat"}),
+		reqSteal:      reg.Counter("leime_edge_requests_total", reqHelp, telemetry.Label{Key: "type", Value: "steal"}),
+		stealsOut:     reg.Counter("leime_edge_steals_total", "Tasks moved by work stealing, by direction.", telemetry.Label{Key: "dir", Value: "out"}),
+		stealsIn:      reg.Counter("leime_edge_steals_total", "Tasks moved by work stealing, by direction.", telemetry.Label{Key: "dir", Value: "in"}),
+		stealFailed:   reg.Counter("leime_edge_steal_failures_total", "Steal attempts that failed (peer rejection or transport error)."),
 		busy:          reg.Counter("leime_edge_busy_rejections_total", "Offloads rejected by the per-tenant pending-task cap."),
 		overload:      reg.Counter("leime_edge_overload_rejections_total", "Requests rejected by the backlog-budget admission control."),
 		sheds:         reg.Counter("leime_edge_deadline_shed_total", "Requests shed because their deadline passed (on arrival or while queued)."),
@@ -147,6 +182,29 @@ func StartEdge(cfg EdgeConfig) (*Edge, error) {
 	}
 	RegisterMessages()
 	e := &Edge{cfg: cfg, tenants: make(map[string]*tenant), tel: newEdgeTelemetry(cfg.Tracer, cfg.Metrics)}
+	// The steal executor serves forwarded peer work on the reserved
+	// overflow slice; its own admission budget keeps a stolen flood from
+	// queueing unboundedly.
+	stealShare := cfg.StealShare
+	if stealShare <= 0 {
+		stealShare = 0.1
+	}
+	stealExec, err := NewExecutor(stealShare*cfg.FLOPS, cfg.TimeScale, WithAdmission(cfg.MaxBacklogSec))
+	if err != nil {
+		return nil, err
+	}
+	e.stealExec = stealExec
+	if cfg.Metrics != nil {
+		cfg.Metrics.GaugeFunc("leime_edge_ready", "Whether the edge's KKT allocation is warm (1 = ready for task traffic).",
+			func() float64 {
+				if e.Ready() {
+					return 1
+				}
+				return 0
+			})
+		cfg.Metrics.GaugeFunc("leime_edge_backlog_seconds", "Edge-wide queued work in seconds across all executors.",
+			func() float64 { return e.backlogSeconds() })
+	}
 	if cfg.CloudAddr != "" {
 		shaper, err := netem.NewShaper(scaleLink(cfg.CloudLink, cfg.TimeScale), 0x0edc)
 		if err != nil {
@@ -166,9 +224,13 @@ func StartEdge(cfg EdgeConfig) (*Edge, error) {
 		if e.cloud != nil {
 			_ = e.cloud.Close()
 		}
+		e.stealExec.Close()
 		return nil, err
 	}
 	e.srv = srv
+	if len(cfg.Peers) > 0 {
+		e.startPeers()
+	}
 	return e, nil
 }
 
@@ -221,6 +283,12 @@ func (e *Edge) handle(ctx context.Context, meta rpc.Meta, body any) (any, error)
 	case EdgeStatsReq:
 		e.tel.reqControl.Inc()
 		return e.stats(), nil
+	case HeartbeatReq:
+		e.tel.reqHeartbeat.Inc()
+		return e.healthResp(req.DeviceID), nil
+	case StealReq:
+		e.tel.reqSteal.Inc()
+		return e.handleSteal(ctx, meta, req)
 	default:
 		return nil, fmt.Errorf("edge: unexpected request %T", body)
 	}
@@ -410,6 +478,9 @@ func (e *Edge) firstBlock(ctx context.Context, meta rpc.Meta, req FirstBlockReq)
 		return nil, err
 	}
 	if limit := e.cfg.MaxPendingPerTenant; limit > 0 && int(atomic.LoadInt32(&t.h1)) >= limit {
+		if resp, ok := e.trySteal(ctx, meta, req, model); ok {
+			return resp, nil
+		}
 		e.tel.busy.Inc()
 		return nil, fmt.Errorf("%w (device %q, limit %d)", ErrBusy, req.DeviceID, limit)
 	}
@@ -417,6 +488,15 @@ func (e *Edge) firstBlock(ctx context.Context, meta rpc.Meta, req FirstBlockReq)
 	wait, service, err := t.exec.DoTimedCtx(ctx, model.Mu[0])
 	atomic.AddInt32(&t.h1, -1)
 	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			// The admission budget is exhausted: before bouncing the task
+			// back to the device, try to place it on the least-loaded
+			// ready peer (the work never started here, so forwarding is
+			// safe).
+			if resp, ok := e.trySteal(ctx, meta, req, model); ok {
+				return resp, nil
+			}
+		}
 		return nil, e.execErr(err)
 	}
 	e.tel.queueWait.Observe(wait.Seconds())
@@ -453,6 +533,13 @@ func (e *Edge) continueSecond(ctx context.Context, meta rpc.Meta, t *tenant, mod
 	if exitStage <= 2 || e.cloud == nil {
 		return TaskResp{TaskID: taskID, ExitStage: 2}, nil
 	}
+	return e.forwardCloud(ctx, meta, model, deviceID, taskID)
+}
+
+// forwardCloud ships a post-Second-exit task to the cloud tier, degrading
+// to the Second exit when the cloud is unreachable. Shared by the tenant
+// path (continueSecond) and the steal path.
+func (e *Edge) forwardCloud(ctx context.Context, meta rpc.Meta, model offload.ModelParams, deviceID string, taskID uint64) (any, error) {
 	payload := make([]byte, int(model.D[2]))
 	var cloudSpan *telemetry.Active
 	if tctx := metaContext(meta); tctx.Valid() {
@@ -487,14 +574,23 @@ func (e *Edge) CloudBreaker() *rpc.Breaker {
 	return e.cloud.Breaker()
 }
 
-// Close stops serving, releases tenant executors and the cloud client.
+// Close stops serving, releases tenant executors, the steal executor, the
+// peer registry and the cloud client.
 func (e *Edge) Close() error {
 	err := e.srv.Close()
+	if e.stopPeers != nil {
+		e.stopPeers()
+		e.peerWG.Wait()
+	}
 	e.mu.Lock()
 	for _, t := range e.tenants {
 		t.exec.Close()
 	}
 	e.mu.Unlock()
+	e.stealExec.Close()
+	for _, c := range e.peerClients {
+		_ = c.Close()
+	}
 	if e.cloud != nil {
 		if cerr := e.cloud.Close(); err == nil {
 			err = cerr

@@ -114,6 +114,62 @@ type EdgeStatsResp struct {
 	Shares map[string]float64
 }
 
+// HeartbeatReq asks an edge for its fleet health. Devices send it with
+// their ID every decision epoch to feed edge selection; peer edges send it
+// anonymously to track steal targets.
+type HeartbeatReq struct {
+	// DeviceID, when non-empty, asks for the sender's tenancy view
+	// (pending backlog and current share) alongside the edge-wide health.
+	DeviceID string
+}
+
+// HeartbeatResp is one edge's advertised health: the inputs to the fleet
+// registry's readiness gating and to the device-side Lyapunov edge
+// selection.
+type HeartbeatResp struct {
+	// Ready reports a warm KKT allocation (at least one resident tenant).
+	Ready bool
+	// FLOPS is the edge capability F^e.
+	FLOPS float64
+	// Tenants is the number of resident devices.
+	Tenants int
+	// BacklogSec is the edge-wide queued work in seconds across all
+	// executors — the congestion penalty of the selection drift term.
+	BacklogSec float64
+	// Saturated reports a tenant executor at its admission budget;
+	// saturated edges are skipped as steal targets.
+	Saturated bool
+	// PendingFirstBlock is the requesting device's first-block backlog
+	// (H_{i,e}); zero when DeviceID was empty or unknown.
+	PendingFirstBlock int
+	// ShareFLOPS is the requesting device's current reserved compute;
+	// zero when it is not a resident tenant.
+	ShareFLOPS float64
+}
+
+// StealReq forwards an admission-rejected first-block task from a
+// saturated edge to a ready peer. The receiving edge executes the full
+// remaining pipeline (block 1 onward) on spare capacity and must never
+// forward the task again — stealing is bounded to one hop by construction.
+type StealReq struct {
+	// DeviceID and TaskID identify the task for tracing; the device need
+	// not be a tenant of the executing peer.
+	DeviceID string
+	TaskID   uint64
+	// Payload is the raw input (d_0 bytes), carried so netem shaping sees
+	// the true transfer size on the edge-peer path.
+	Payload []byte
+	// ExitStage is the task's predetermined exit (1, 2 or 3).
+	ExitStage int
+	// Hop counts forwarding hops; the origin edge sends 1 and peers
+	// reject anything greater, making the one-hop bound structural.
+	Hop int
+	// Model carries the owning tenant's deployed ME-DNN so heterogeneous
+	// tenants steal correctly; an invalid model falls back to the peer's
+	// default.
+	Model offload.ModelParams
+}
+
 // QueueStatReq asks the edge for the device's pending first-block backlog.
 type QueueStatReq struct {
 	DeviceID string
@@ -151,6 +207,9 @@ func (UnregisterReq) Idempotent() bool { return true }
 // Idempotent marks tenancy snapshots as safely repeatable.
 func (EdgeStatsReq) Idempotent() bool { return true }
 
+// Idempotent marks heartbeats as safely repeatable (pure reads).
+func (HeartbeatReq) Idempotent() bool { return true }
+
 // RegisterMessages registers all protocol types with the rpc layer — the
 // gob fallback registration here plus the binary codecs (codec.go) — so
 // every tier rides the zero-allocation binary wire path for the closed
@@ -171,6 +230,9 @@ func RegisterMessages() {
 	rpc.Register(UnregisterResp{})
 	rpc.Register(EdgeStatsReq{})
 	rpc.Register(EdgeStatsResp{})
+	rpc.Register(HeartbeatReq{})
+	rpc.Register(HeartbeatResp{})
+	rpc.Register(StealReq{})
 }
 
 // Scale compresses testbed time so experiments finish quickly: all compute

@@ -1,0 +1,423 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"leime/internal/cluster"
+	"leime/internal/metrics"
+	"leime/internal/offload"
+	"leime/internal/trace"
+)
+
+// FleetConfig configures a multi-edge discrete-event simulation: the
+// single-edge event model generalized to a federation. Each device holds a
+// tenancy (and a KKT share) at exactly one edge at a time, folds every
+// edge's advertised backlog and capacity into its Lyapunov drift term each
+// slot, and migrates when another edge's drift-plus-penalty objective beats
+// its current one by more than the hysteresis margin — the simulation twin
+// of the runtime's federation mode.
+type FleetConfig struct {
+	// Model is the deployed ME-DNN.
+	Model offload.ModelParams
+	// Devices are the end devices; device i starts homed at edge i mod E.
+	Devices []DeviceSpec
+	// EdgeFLOPS lists each edge's capability; its length is the fleet size.
+	EdgeFLOPS []float64
+	// CloudFLOPS is the shared cloud capability.
+	CloudFLOPS float64
+	// EdgeCloud is the edge–cloud path (shared by every edge).
+	EdgeCloud cluster.Path
+	// TauSec is the slot length for decision epochs.
+	TauSec float64
+	// V is the Lyapunov penalty weight.
+	V float64
+	// Slots is the generation horizon; the simulation drains afterwards.
+	Slots int
+	// WarmupSlots excludes early arrivals from statistics.
+	WarmupSlots int
+	// SwitchMargin is the migration hysteresis: a device leaves its edge
+	// only when the best alternative improves the selection objective by
+	// more than this fraction. Zero means the 0.05 default.
+	SwitchMargin float64
+	// KillAtSlot, when positive, removes edge KillEdge from every device's
+	// candidate set from that slot on — the chaos experiment. Work already
+	// queued there still drains (the model's kill is a fail-stop for new
+	// traffic), so task conservation holds.
+	KillAtSlot int
+	// KillEdge is the index of the edge to kill when KillAtSlot is set.
+	KillEdge int
+	// Seed drives arrival sampling, exit sampling and offload coin flips.
+	Seed int64
+}
+
+// FleetResult is the outcome of a multi-edge simulation.
+type FleetResult struct {
+	// TCT summarizes end-to-end completion times of post-warmup tasks.
+	TCT metrics.Summary
+	// Ratio is the per-slot mean offloading decision across devices.
+	Ratio metrics.Series
+	// ExitCounts tallies tasks by the exit they left through.
+	ExitCounts [3]int
+	// Generated and Completed count tasks; they must match after draining.
+	Generated, Completed int
+	// Migrations counts tenancy moves across the whole run.
+	Migrations int
+	// PerEdgeServed counts first-block executions per edge — the
+	// load-spreading evidence of the selection rule.
+	PerEdgeServed []int
+}
+
+// Validate reports whether the configuration is runnable.
+func (c FleetConfig) Validate() error {
+	if len(c.Devices) == 0 {
+		return fmt.Errorf("sim: no devices configured")
+	}
+	if len(c.EdgeFLOPS) == 0 {
+		return fmt.Errorf("sim: fleet needs at least one edge")
+	}
+	for e, f := range c.EdgeFLOPS {
+		if f <= 0 {
+			return fmt.Errorf("sim: edge %d FLOPS %v must be positive", e, f)
+		}
+	}
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if c.CloudFLOPS <= 0 {
+		return fmt.Errorf("sim: cloud FLOPS %v must be positive", c.CloudFLOPS)
+	}
+	if c.EdgeCloud.BandwidthBps <= 0 {
+		return fmt.Errorf("sim: edge-cloud bandwidth %v must be positive", c.EdgeCloud.BandwidthBps)
+	}
+	if c.TauSec <= 0 || c.V <= 0 {
+		return fmt.Errorf("sim: TauSec (%v) and V (%v) must be positive", c.TauSec, c.V)
+	}
+	if c.Slots <= 0 || c.WarmupSlots < 0 || c.WarmupSlots >= c.Slots {
+		return fmt.Errorf("sim: bad horizon (slots=%d, warmup=%d)", c.Slots, c.WarmupSlots)
+	}
+	if c.KillAtSlot > 0 && (c.KillEdge < 0 || c.KillEdge >= len(c.EdgeFLOPS)) {
+		return fmt.Errorf("sim: kill edge %d out of range [0,%d)", c.KillEdge, len(c.EdgeFLOPS))
+	}
+	return nil
+}
+
+// RunFleet executes the multi-edge discrete-event simulation.
+func RunFleet(cfg FleetConfig) (*FleetResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n, edges := len(cfg.Devices), len(cfg.EdgeFLOPS)
+	ctrl, err := offload.NewController(offload.Config{Model: cfg.Model, TauSec: cfg.TauSec, V: cfg.V})
+	if err != nil {
+		return nil, err
+	}
+	devices := make([]offload.Device, n)
+	arrivals := make([]trace.Process, n)
+	for i, d := range cfg.Devices {
+		if err := d.Device.Validate(); err != nil {
+			return nil, fmt.Errorf("device %d: %w", i, err)
+		}
+		devices[i] = d.Device
+		arrivals[i] = d.Arrivals
+		if arrivals[i] == nil {
+			p, err := trace.NewPoisson(d.Device.ArrivalMean, cfg.Seed+int64(i)*104729)
+			if err != nil {
+				return nil, err
+			}
+			arrivals[i] = p
+		}
+	}
+
+	s := &fleetState{
+		cfg:     cfg,
+		ctrl:    ctrl,
+		devices: devices,
+		rng:     rand.New(rand.NewSource(cfg.Seed ^ 0xf1ee7)),
+		res:     &FleetResult{PerEdgeServed: make([]int, edges)},
+		home:    make([]int, n),
+		shares:  make([]float64, n),
+		devCPU:  make([]*Station, n),
+		uplink:  make([]*Station, n),
+		edgeCPU: make([][]*Station, edges),
+		h1:      make([]int, n),
+	}
+	for i := range s.devCPU {
+		s.devCPU[i] = NewStation(fmt.Sprintf("dev%d-cpu", i))
+		s.uplink[i] = NewStation(fmt.Sprintf("dev%d-uplink", i))
+		s.home[i] = i % edges
+	}
+	for e := range s.edgeCPU {
+		s.edgeCPU[e] = make([]*Station, n)
+		for i := 0; i < n; i++ {
+			s.edgeCPU[e][i] = NewStation(fmt.Sprintf("edge%d-share%d", e, i))
+		}
+	}
+	s.cloudLink = NewStation("edge-cloud-link")
+	s.cloudCPU = NewStation("cloud-cpu")
+	for e := 0; e < edges; e++ {
+		if err := s.reallocate(e); err != nil {
+			return nil, err
+		}
+	}
+
+	margin := cfg.SwitchMargin
+	if margin <= 0 {
+		margin = 0.05
+	}
+	for t := 0; t < cfg.Slots; t++ {
+		slotStart := float64(t) * cfg.TauSec
+		s.eng.RunUntil(slotStart)
+		killed := cfg.KillAtSlot > 0 && t >= cfg.KillAtSlot
+		var ratioSum float64
+		for i := range devices {
+			s.devices[i] = cfg.Devices[i].linkAt(t)
+			m := arrivals[i].Next()
+			x := s.decide(i, t, float64(m), killed, margin)
+			ratioSum += x
+			for j := 0; j < m; j++ {
+				s.generate(i, t, slotStart, x)
+			}
+		}
+		s.res.Ratio.Append(ratioSum / float64(n))
+	}
+	budget := 100 * (s.res.Generated + 1) * 8
+	if _, err := s.eng.Run(budget); err != nil {
+		return nil, err
+	}
+	if s.res.Completed != s.res.Generated {
+		return nil, fmt.Errorf("sim: conservation violated: generated %d, completed %d", s.res.Generated, s.res.Completed)
+	}
+	return s.res, nil
+}
+
+// fleetState is the mutable state of one multi-edge run.
+type fleetState struct {
+	cfg     FleetConfig
+	ctrl    *offload.Controller
+	devices []offload.Device
+	rng     *rand.Rand
+	eng     Engine
+	res     *FleetResult
+
+	home   []int     // device -> current edge
+	shares []float64 // device -> share of its home edge (fraction)
+
+	devCPU  []*Station
+	uplink  []*Station
+	edgeCPU [][]*Station // [edge][device] share station
+	h1      []int        // per-device first-block tasks pending at its edge
+
+	cloudLink *Station
+	cloudCPU  *Station
+}
+
+// tenants returns edge e's resident device indices in index order.
+func (s *fleetState) tenants(e int) []int {
+	var out []int
+	for i, h := range s.home {
+		if h == e {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// reallocate re-solves edge e's KKT allocation over its residents — the
+// simulation twin of the runtime edge's registration/unregistration path.
+func (s *fleetState) reallocate(e int) error {
+	ids := s.tenants(e)
+	if len(ids) == 0 {
+		return nil
+	}
+	devs := make([]offload.Device, len(ids))
+	for k, i := range ids {
+		devs[k] = s.devices[i]
+	}
+	shares, err := offload.Allocate(devs, s.cfg.EdgeFLOPS[e])
+	if err != nil {
+		return err
+	}
+	for k, i := range ids {
+		s.shares[i] = shares[k]
+	}
+	return nil
+}
+
+// backlogSec estimates edge e's queued work in seconds: jobs waiting on its
+// share stations, costed at a first-block burn against the full capability.
+func (s *fleetState) backlogSec(e int) float64 {
+	jobs := 0
+	for i := 0; i < len(s.devices); i++ {
+		jobs += s.edgeCPU[e][i].QueueLen()
+	}
+	return float64(jobs) * s.cfg.Model.Mu[0] / s.cfg.EdgeFLOPS[e]
+}
+
+// decide runs device i's decision epoch for slot t: fold every live edge
+// into the drift term, migrate past the hysteresis margin, and return the
+// offloading ratio against the chosen edge.
+func (s *fleetState) decide(i, t int, m float64, killed bool, margin float64) float64 {
+	cur := s.home[i]
+	localQ := float64(s.devCPU[i].QueueLen())
+	var cands []int
+	var states []offload.EdgeState
+	for e := range s.cfg.EdgeFLOPS {
+		if killed && e == s.cfg.KillEdge {
+			continue
+		}
+		st := offload.EdgeState{QueueSec: s.backlogSec(e)}
+		if e == cur {
+			st.ShareFLOPS = s.shares[i] * s.cfg.EdgeFLOPS[e]
+			st.Backlog = float64(s.h1[i])
+		} else {
+			st.ShareFLOPS = s.cfg.EdgeFLOPS[e] / float64(len(s.tenants(e))+1)
+		}
+		cands = append(cands, e)
+		states = append(states, st)
+	}
+	best, evals := s.ctrl.SelectEdge(s.devices[i], m, localQ, states)
+	if best < 0 {
+		return 0
+	}
+	curPos := -1
+	for p, e := range cands {
+		if e == cur {
+			curPos = p
+		}
+	}
+	if curPos >= 0 && cands[best] != cur {
+		if evals[best].Objective >= evals[curPos].Objective-margin*math.Abs(evals[curPos].Objective) {
+			best = curPos
+		}
+	}
+	if target := cands[best]; target != cur {
+		s.home[i] = target
+		s.res.Migrations++
+		// Both allocations shift: the origin redistributes the leaver's
+		// share, the target squeezes everyone to fit the joiner.
+		if err := s.reallocate(cur); err == nil {
+			_ = s.reallocate(target)
+		}
+		states[best].ShareFLOPS = s.shares[i] * s.cfg.EdgeFLOPS[target]
+	}
+	slot := offload.Slot{
+		Arrivals:       m,
+		State:          offload.State{Q: localQ, H: states[best].Backlog},
+		EdgeShareFLOPS: states[best].ShareFLOPS,
+	}
+	return policyFor(s.cfg.Devices[i]).Decide(s.ctrl, s.devices[i], slot)
+}
+
+// policyFor resolves a device's offloading policy (Lyapunov by default).
+func policyFor(d DeviceSpec) offload.Policy {
+	if d.Policy != nil {
+		return *d.Policy
+	}
+	return offload.Lyapunov()
+}
+
+// sampleExit picks the exit a task will leave through from the sigma vector.
+func (s *fleetState) sampleExit() int {
+	r := s.rng.Float64()
+	switch {
+	case r < s.cfg.Model.Sigma[0]:
+		return 1
+	case r < s.cfg.Model.Sigma[1]:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// generate creates one task on device i in slot t and routes it through the
+// pipeline at the device's current edge. The edge binding is captured at
+// launch: a later migration does not move queued work.
+func (s *fleetState) generate(i, t int, at, x float64) {
+	s.res.Generated++
+	exit := s.sampleExit()
+	offloaded := s.rng.Float64() < x
+	e := s.home[i]
+	s.eng.At(at, func() {
+		if offloaded {
+			s.launchEdge(i, t, e, at, exit)
+		} else {
+			s.launchLocal(i, t, e, at, exit)
+		}
+	})
+}
+
+// launchLocal runs the first block on the device CPU, continuing at edge e
+// if the task survives the First exit.
+func (s *fleetState) launchLocal(i, t, e int, born float64, exit int) {
+	dur := s.cfg.Model.Mu[0] / s.devices[i].FLOPS
+	s.devCPU[i].SubmitObserved(&s.eng, dur, 0, func(_, _, fin float64) {
+		if exit == 1 {
+			s.complete(t, born, fin, exit)
+			return
+		}
+		s.transfer(i, s.cfg.Model.D[1], func() { s.secondBlock(i, t, e, born, exit) })
+	})
+}
+
+// launchEdge ships the raw input to edge e and runs the first block there.
+func (s *fleetState) launchEdge(i, t, e int, born float64, exit int) {
+	s.h1[i]++
+	s.transfer(i, s.cfg.Model.D[0], func() {
+		s.res.PerEdgeServed[e]++
+		dur := s.cfg.Model.Mu[0] / (s.shareAt(i, e) * s.cfg.EdgeFLOPS[e])
+		s.edgeCPU[e][i].SubmitObserved(&s.eng, dur, 0, func(_, _, fin float64) {
+			s.h1[i]--
+			if exit == 1 {
+				s.complete(t, born, fin, exit)
+				return
+			}
+			s.secondBlock(i, t, e, born, exit)
+		})
+	})
+}
+
+// shareAt is device i's share at edge e: its solved share when resident, a
+// one-more-tenant estimate when work lands on an edge it has already left.
+func (s *fleetState) shareAt(i, e int) float64 {
+	if s.home[i] == e && s.shares[i] > 0 {
+		return s.shares[i]
+	}
+	return 1 / float64(len(s.tenants(e))+1)
+}
+
+// transfer serializes bytes on device i's uplink, then runs next after the
+// propagation delay.
+func (s *fleetState) transfer(i int, bytes float64, next func()) {
+	dur := bytes * 8 / s.devices[i].BandwidthBps
+	s.uplink[i].Submit(&s.eng, dur, s.devices[i].LatencySec, func(float64) { next() })
+}
+
+// secondBlock runs block 2 on edge e; tasks surviving the Second exit
+// continue to the shared cloud.
+func (s *fleetState) secondBlock(i, t, e int, born float64, exit int) {
+	dur := s.cfg.Model.Mu[1] / (s.shareAt(i, e) * s.cfg.EdgeFLOPS[e])
+	s.edgeCPU[e][i].SubmitObserved(&s.eng, dur, 0, func(_, _, fin float64) {
+		if exit == 2 {
+			s.complete(t, born, fin, exit)
+			return
+		}
+		linkDur := s.cfg.Model.D[2] * 8 / s.cfg.EdgeCloud.BandwidthBps
+		s.cloudLink.Submit(&s.eng, linkDur, s.cfg.EdgeCloud.LatencySec, func(float64) {
+			cloudDur := s.cfg.Model.Mu[2] / s.cfg.CloudFLOPS
+			s.cloudCPU.SubmitObserved(&s.eng, cloudDur, 0, func(_, _, fin float64) {
+				s.complete(t, born, fin, exit)
+			})
+		})
+	})
+}
+
+// complete records a finished task.
+func (s *fleetState) complete(t int, born, at float64, exit int) {
+	s.res.Completed++
+	s.res.ExitCounts[exit-1]++
+	if t >= s.cfg.WarmupSlots {
+		s.res.TCT.Add(at - born)
+	}
+}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"leime/internal/cluster"
+	"leime/internal/offload"
+)
+
+func baseFleetConfig(nDevices, nEdges int, rate float64) FleetConfig {
+	devs := make([]DeviceSpec, nDevices)
+	for i := range devs {
+		devs[i] = DeviceSpec{Device: offload.Device{
+			FLOPS:        1.2e9,
+			BandwidthBps: 1e7,
+			LatencySec:   0.02,
+			ArrivalMean:  rate,
+		}}
+	}
+	edges := make([]float64, nEdges)
+	for e := range edges {
+		edges[e] = 6e10
+	}
+	return FleetConfig{
+		Model:       testModelParams(),
+		Devices:     devs,
+		EdgeFLOPS:   edges,
+		CloudFLOPS:  2e12,
+		EdgeCloud:   cluster.InternetDefault,
+		TauSec:      1,
+		V:           1e4,
+		Slots:       120,
+		WarmupSlots: 20,
+		Seed:        42,
+	}
+}
+
+func TestFleetConfigValidate(t *testing.T) {
+	good := baseFleetConfig(4, 2, 5)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := good
+	bad.EdgeFLOPS = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	bad = good
+	bad.EdgeFLOPS = []float64{6e10, 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero-FLOPS edge accepted")
+	}
+	bad = good
+	bad.KillAtSlot = 10
+	bad.KillEdge = 5
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range kill edge accepted")
+	}
+}
+
+// TestRunFleetDeterministic pins seed-replay: identical configurations must
+// produce identical results, migrations and all.
+func TestRunFleetDeterministic(t *testing.T) {
+	a, err := RunFleet(baseFleetConfig(6, 3, 6))
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	b, err := RunFleet(baseFleetConfig(6, 3, 6))
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed diverged:\n a %+v\n b %+v", a, b)
+	}
+}
+
+// TestRunFleetSpreadsLoad drives enough offloading that every edge in the
+// fleet serves first blocks, and conservation holds across migrations.
+func TestRunFleetSpreadsLoad(t *testing.T) {
+	cfg := baseFleetConfig(6, 3, 8)
+	res, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	if res.Completed != res.Generated {
+		t.Fatalf("conservation: %d != %d", res.Completed, res.Generated)
+	}
+	served := 0
+	for e, n := range res.PerEdgeServed {
+		if n > 0 {
+			served++
+		} else {
+			t.Logf("edge %d served nothing", e)
+		}
+	}
+	if served < 2 {
+		t.Errorf("only %d of %d edges served work; selection never spread load", served, len(cfg.EdgeFLOPS))
+	}
+	if res.TCT.Count() == 0 || res.TCT.Mean() <= 0 {
+		t.Errorf("degenerate TCT summary: %+v", res.TCT)
+	}
+}
+
+// TestRunFleetSingleEdgeDegeneratesCleanly pins the E=1 boundary: with one
+// edge there is nowhere to migrate, and the run must still conserve tasks.
+func TestRunFleetSingleEdgeDegeneratesCleanly(t *testing.T) {
+	res, err := RunFleet(baseFleetConfig(3, 1, 6))
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	if res.Migrations != 0 {
+		t.Errorf("%d migrations with a single edge", res.Migrations)
+	}
+	if res.Completed != res.Generated {
+		t.Errorf("conservation: %d != %d", res.Completed, res.Generated)
+	}
+}
+
+// TestRunFleetKillEdgeMigratesAndConserves is the sim chaos experiment:
+// killing one of three edges mid-run forces its residents onto survivors
+// with zero lost tasks.
+func TestRunFleetKillEdgeMigratesAndConserves(t *testing.T) {
+	cfg := baseFleetConfig(6, 3, 6)
+	cfg.KillAtSlot = cfg.Slots / 2
+	cfg.KillEdge = 0
+	res, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	if res.Completed != res.Generated {
+		t.Fatalf("conservation after kill: %d != %d", res.Completed, res.Generated)
+	}
+	// Devices 0 and 3 start homed at edge 0 (i mod 3); both must leave it.
+	if res.Migrations < 2 {
+		t.Errorf("%d migrations; killed edge's residents never re-selected", res.Migrations)
+	}
+	baseline, err := RunFleet(baseFleetConfig(6, 3, 6))
+	if err != nil {
+		t.Fatalf("RunFleet baseline: %v", err)
+	}
+	if res.PerEdgeServed[0] >= baseline.PerEdgeServed[0] && baseline.PerEdgeServed[0] > 0 {
+		t.Errorf("killed edge served %d first blocks, no fewer than the %d of an unkilled run",
+			res.PerEdgeServed[0], baseline.PerEdgeServed[0])
+	}
+}

@@ -8,17 +8,38 @@ import (
 )
 
 // Admin is the daemon-embedded observability endpoint: /metrics serves the
-// registry in Prometheus text format, /healthz answers liveness probes, and
-// /debug/traces dumps the tracer's recorded spans as JSON Lines.
+// registry in Prometheus text format, /healthz answers liveness probes,
+// /readyz answers readiness probes (see WithReadiness), and /debug/traces
+// dumps the tracer's recorded spans as JSON Lines.
 type Admin struct {
 	ln  net.Listener
 	srv *http.Server
 }
 
+// AdminOption customizes the admin server.
+type AdminOption func(*adminOptions)
+
+type adminOptions struct {
+	ready func() bool
+}
+
+// WithReadiness installs the /readyz probe: ready() true serves 200, false
+// serves 503. Liveness (/healthz) and readiness differ exactly where a
+// daemon is up but must not receive traffic yet — an edge whose KKT
+// allocation is still cold, a device that has not registered. Without this
+// option /readyz mirrors /healthz.
+func WithReadiness(ready func() bool) AdminOption {
+	return func(o *adminOptions) { o.ready = ready }
+}
+
 // ServeAdmin starts the admin HTTP server on addr ("127.0.0.1:0" for an
 // ephemeral port). reg and tr may be nil: the endpoints then serve empty
 // documents, which keeps probes working on uninstrumented daemons.
-func ServeAdmin(addr string, reg *Registry, tr *Tracer) (*Admin, error) {
+func ServeAdmin(addr string, reg *Registry, tr *Tracer, opts ...AdminOption) (*Admin, error) {
+	var o adminOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: admin listen: %w", err)
@@ -26,6 +47,16 @@ func ServeAdmin(addr string, reg *Registry, tr *Tracer) (*Admin, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if o.ready != nil && !o.ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "not ready")
+			return
+		}
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})

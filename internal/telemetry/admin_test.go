@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -77,6 +78,30 @@ func TestAdminEndpoints(t *testing.T) {
 	}
 }
 
+// TestAdminReadiness pins the liveness/readiness split: /healthz is always
+// 200 on a serving daemon, while /readyz follows the installed predicate.
+func TestAdminReadiness(t *testing.T) {
+	var ready atomic.Bool // handler goroutines read while the test flips it
+	a, err := ServeAdmin("127.0.0.1:0", nil, nil, WithReadiness(ready.Load))
+	if err != nil {
+		t.Fatalf("ServeAdmin: %v", err)
+	}
+	defer a.Close()
+
+	code, body, _ := adminGet(t, a.Addr(), "/readyz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "not ready") {
+		t.Errorf("/readyz before warm-up = %d %q, want 503 not ready", code, body)
+	}
+	if code, _, _ := adminGet(t, a.Addr(), "/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz = %d while not ready; liveness must not follow readiness", code)
+	}
+	ready.Store(true)
+	code, body, _ = adminGet(t, a.Addr(), "/readyz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/readyz after warm-up = %d %q, want 200 ok", code, body)
+	}
+}
+
 func TestAdminNilBackends(t *testing.T) {
 	a, err := ServeAdmin("127.0.0.1:0", nil, nil)
 	if err != nil {
@@ -85,6 +110,10 @@ func TestAdminNilBackends(t *testing.T) {
 	defer a.Close()
 	if code, _, _ := adminGet(t, a.Addr(), "/healthz"); code != http.StatusOK {
 		t.Errorf("/healthz = %d", code)
+	}
+	// Without a readiness hook /readyz mirrors /healthz.
+	if code, _, _ := adminGet(t, a.Addr(), "/readyz"); code != http.StatusOK {
+		t.Errorf("/readyz = %d without a readiness hook", code)
 	}
 	if code, body, _ := adminGet(t, a.Addr(), "/metrics"); code != http.StatusOK || body != "" {
 		t.Errorf("/metrics = %d %q", code, body)
