@@ -15,6 +15,7 @@ import (
 
 	"leime"
 	"leime/internal/netem"
+	"leime/internal/policyflag"
 	"leime/internal/rpc"
 	"leime/internal/runtime"
 	"leime/internal/telemetry"
@@ -54,12 +55,13 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		breakAfter = fs.Int("cloud-break-after", 0, "consecutive transport failures that open the cloud circuit breaker (0 = library default)")
 		breakCool  = fs.Duration("cloud-break-cooldown", 0, "how long the cloud breaker stays open before probing again (0 = library default)")
 
-		queueBudget = fs.Float64("queue-budget", 0, "admission control: per-tenant backlog budget in seconds of work; a tenant with share p admits ~budget*p*flops/mu_b block-b tasks (0 = unbounded)")
-		batchSize   = fs.Int("batch-size", 0, "batch window: max same-block executions coalesced into one amortized burn (<=1 = batching off)")
-		batchDelay  = fs.Float64("batch-delay", 0, "batch window: max seconds the edge holds a task waiting for co-arriving work (0 = batching off)")
-		batchMarg   = fs.Float64("batch-marginal", 0, "cost of each extra batched task as a fraction of the first (0 = default 0.25)")
+		policyVals = policyflag.Register(fs)
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	policy, err := policyVals.Policy()
+	if err != nil {
 		return err
 	}
 
@@ -84,14 +86,13 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 			BandwidthBps: leime.Mbps(*cloudBW),
 			Latency:      time.Duration(*cloudLat * float64(time.Second)),
 		},
-		TimeScale:     runtime.Scale(*scale),
-		CloudRetry:    rpc.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryBase},
-		CloudBreaker:  rpc.BreakerConfig{FailureThreshold: *breakAfter, Cooldown: *breakCool},
-		MaxBacklogSec: *queueBudget,
-		Batch:         runtime.BatchConfig{MaxSize: *batchSize, MaxDelaySec: *batchDelay, Marginal: *batchMarg},
-		Peers:         splitPeers(*peers),
-		Tracer:        tracer,
-		Metrics:       reg,
+		TimeScale:    runtime.Scale(*scale),
+		CloudRetry:   rpc.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryBase},
+		CloudBreaker: rpc.BreakerConfig{FailureThreshold: *breakAfter, Cooldown: *breakCool},
+		Policy:       policy,
+		Peers:        splitPeers(*peers),
+		Tracer:       tracer,
+		Metrics:      reg,
 	})
 	if err != nil {
 		return err

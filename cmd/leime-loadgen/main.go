@@ -33,6 +33,7 @@ import (
 	"leime/internal/fleet"
 	"leime/internal/loadgen"
 	"leime/internal/offload"
+	"leime/internal/policyflag"
 	"leime/internal/runtime"
 )
 
@@ -63,19 +64,27 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		devFLOPS  = fs.Float64("device-flops", 1e9, "capability each synthetic device registers with")
 		minDone   = fs.Int("min-completed", 0, "exit nonzero unless at least this many tasks complete (CI smoke)")
 
-		edgeCount   = fs.Int("edges", 1, "in-process testbed: number of peered edge servers")
-		edgeSweep   = fs.String("edge-sweep", "", "comma-separated in-process fleet sizes; runs each and reports federation scaling")
-		killEdge    = fs.Int("kill-edge", -1, "in-process testbed: edge index to kill mid-run (-1 = none)")
-		killAfter   = fs.Duration("kill-after", 500*time.Millisecond, "in-process testbed: delay before -kill-edge strikes")
-		edgeFLOPS   = fs.Float64("edge-flops", leime.EdgeDesktop.FLOPS, "in-process testbed: edge capability in FLOPS")
-		cloudFLOPS  = fs.Float64("cloud-flops", leime.CloudV100.FLOPS, "in-process testbed: cloud capability in FLOPS")
-		scale       = fs.Float64("scale", 1, "in-process testbed: time compression factor")
-		queueBudget = fs.Float64("queue-budget", 0, "in-process testbed: per-tenant backlog budget in seconds of work (0 = unbounded)")
-		batchSize   = fs.Int("batch-size", 0, "in-process testbed: max same-block executions per amortized burn (<=1 = off)")
-		batchDelay  = fs.Float64("batch-delay", 0, "in-process testbed: max seconds a task waits for co-arriving work (0 = off)")
-		batchMarg   = fs.Float64("batch-marginal", 0, "in-process testbed: cost of each extra batched task as a fraction of the first (0 = default 0.25)")
+		deadline        = fs.Float64("deadline", 0, "per-task latency budget base in seconds from each task's scheduled arrival, jittered ±25%% per task; rides the RPC so deadline admission can read it (0 = none)")
+		tenantDeadlines = fs.String("tenant-deadlines", "", "comma-separated per-device deadline bases in seconds (device i draws entry i mod len); overrides -deadline")
+
+		edgeCount  = fs.Int("edges", 1, "in-process testbed: number of peered edge servers")
+		edgeSweep  = fs.String("edge-sweep", "", "comma-separated in-process fleet sizes; runs each and reports federation scaling")
+		killEdge   = fs.Int("kill-edge", -1, "in-process testbed: edge index to kill mid-run (-1 = none)")
+		killAfter  = fs.Duration("kill-after", 500*time.Millisecond, "in-process testbed: delay before -kill-edge strikes")
+		edgeFLOPS  = fs.Float64("edge-flops", leime.EdgeDesktop.FLOPS, "in-process testbed: edge capability in FLOPS")
+		cloudFLOPS = fs.Float64("cloud-flops", leime.CloudV100.FLOPS, "in-process testbed: cloud capability in FLOPS")
+		scale      = fs.Float64("scale", 1, "in-process testbed: time compression factor")
+		policyVals = policyflag.Register(fs)
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	policy, err := policyVals.Policy()
+	if err != nil {
+		return err
+	}
+	tenantBases, err := parseRatesAllowEmpty(*tenantDeadlines, "-tenant-deadlines")
+	if err != nil {
 		return err
 	}
 
@@ -84,24 +93,25 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	tb := testbedSpec{
-		model:       sys.Params(),
-		edgeFLOPS:   *edgeFLOPS,
-		cloudFLOPS:  *cloudFLOPS,
-		scale:       runtime.Scale(*scale),
-		queueBudget: *queueBudget,
-		batch:       runtime.BatchConfig{MaxSize: *batchSize, MaxDelaySec: *batchDelay, Marginal: *batchMarg},
+		model:      sys.Params(),
+		edgeFLOPS:  *edgeFLOPS,
+		cloudFLOPS: *cloudFLOPS,
+		scale:      runtime.Scale(*scale),
+		policy:     policy,
 	}
 
 	cfg := loadgen.Config{
-		Devices:     *devices,
-		Rate:        *rate,
-		Arrival:     *arrival,
-		Duration:    *duration,
-		Seed:        *seed,
-		Model:       sys.Params(),
-		DeviceFLOPS: *devFLOPS,
-		Timeout:     *timeout,
-		ForceExit:   *forceExit,
+		Devices:           *devices,
+		Rate:              *rate,
+		Arrival:           *arrival,
+		Duration:          *duration,
+		Seed:              *seed,
+		Model:             sys.Params(),
+		DeviceFLOPS:       *devFLOPS,
+		Timeout:           *timeout,
+		ForceExit:         *forceExit,
+		DeadlineSec:       *deadline,
+		TenantDeadlineSec: tenantBases,
 	}
 
 	var addrs []string
@@ -192,12 +202,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 // testbedSpec carries the in-process testbed knobs shared by every fleet
 // the tool spins up.
 type testbedSpec struct {
-	model       offload.ModelParams
-	edgeFLOPS   float64
-	cloudFLOPS  float64
-	scale       runtime.Scale
-	queueBudget float64
-	batch       runtime.BatchConfig
+	model      offload.ModelParams
+	edgeFLOPS  float64
+	cloudFLOPS float64
+	scale      runtime.Scale
+	policy     runtime.ControlPolicy
 }
 
 // fleetTestbed is one in-process cloud plus a peered edge fleet.
@@ -226,13 +235,12 @@ func startFleet(tb testbedSpec, n int) (*fleetTestbed, error) {
 	f := &fleetTestbed{cloud: cloud}
 	for i := 0; i < n; i++ {
 		cfg := runtime.EdgeConfig{
-			Addr:          "127.0.0.1:0",
-			FLOPS:         tb.edgeFLOPS,
-			Model:         tb.model,
-			CloudAddr:     cloud.Addr(),
-			TimeScale:     tb.scale,
-			MaxBacklogSec: tb.queueBudget,
-			Batch:         tb.batch,
+			Addr:      "127.0.0.1:0",
+			FLOPS:     tb.edgeFLOPS,
+			Model:     tb.model,
+			CloudAddr: cloud.Addr(),
+			TimeScale: tb.scale,
+			Policy:    tb.policy,
 		}
 		if i > 0 {
 			cfg.Peers = f.addrs()
@@ -348,6 +356,19 @@ func parseSizes(s string) ([]int, error) {
 
 // parseRates parses the -rate-sweep list.
 func parseRates(s string) ([]float64, error) {
+	out, err := parseRatesAllowEmpty(s, "-rate-sweep")
+	if err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-rate-sweep %q contains no rates", s)
+	}
+	return out, nil
+}
+
+// parseRatesAllowEmpty parses a comma-separated list of positive floats,
+// returning nil for an empty list (the flag left at its default).
+func parseRatesAllowEmpty(s, flagName string) ([]float64, error) {
 	var out []float64
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
@@ -356,12 +377,9 @@ func parseRates(s string) ([]float64, error) {
 		}
 		r, err := strconv.ParseFloat(part, 64)
 		if err != nil || r <= 0 {
-			return nil, fmt.Errorf("bad -rate-sweep entry %q: want positive rates", part)
+			return nil, fmt.Errorf("bad %s entry %q: want positive values", flagName, part)
 		}
 		out = append(out, r)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("-rate-sweep %q contains no rates", s)
 	}
 	return out, nil
 }

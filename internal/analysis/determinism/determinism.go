@@ -35,6 +35,7 @@ import (
 var PurePaths = []string{
 	"leime/internal/cluster",
 	"leime/internal/confidence",
+	"leime/internal/control",
 	"leime/internal/dataset",
 	"leime/internal/exitsetting",
 	"leime/internal/loadgen",

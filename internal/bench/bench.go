@@ -54,6 +54,7 @@ func All() []Experiment {
 		Capacity(),
 		Wire(),
 		Federation(),
+		Selftune(),
 	}
 }
 

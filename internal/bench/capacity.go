@@ -29,8 +29,8 @@ func Capacity() Experiment {
 
 // capacityVariant is one edge configuration under test.
 type capacityVariant struct {
-	name  string
-	batch runtime.BatchConfig
+	name   string
+	policy runtime.ControlPolicy
 }
 
 func runCapacity(w io.Writer, quick bool) error {
@@ -58,8 +58,11 @@ func runCapacity(w io.Writer, quick bool) error {
 		seed      = 77
 	)
 	variants := []capacityVariant{
-		{name: "unbatched", batch: runtime.BatchConfig{}},
-		{name: "batched", batch: runtime.BatchConfig{MaxSize: 8, MaxDelaySec: 0.05}},
+		{name: "unbatched", policy: runtime.ControlPolicy{MaxBacklogSec: budgetSec}},
+		{name: "batched", policy: runtime.ControlPolicy{
+			MaxBacklogSec: budgetSec,
+			Batch:         runtime.BatchConfig{MaxSize: 8, MaxDelaySec: 0.05},
+		}},
 	}
 
 	tbl := metrics.NewTable("config", "offered_per_s", "achieved_per_s", "completed", "rejected", "p50_ms", "p99_ms")
@@ -74,13 +77,12 @@ func runCapacity(w io.Writer, quick bool) error {
 			return err
 		}
 		edge, err := runtime.StartEdge(runtime.EdgeConfig{
-			Addr:          "127.0.0.1:0",
-			FLOPS:         edgeFLOPS,
-			Model:         model,
-			CloudAddr:     cloud.Addr(),
-			TimeScale:     scale,
-			MaxBacklogSec: budgetSec,
-			Batch:         v.batch,
+			Addr:      "127.0.0.1:0",
+			FLOPS:     edgeFLOPS,
+			Model:     model,
+			CloudAddr: cloud.Addr(),
+			TimeScale: scale,
+			Policy:    v.policy,
 		})
 		if err != nil {
 			_ = cloud.Close()

@@ -69,12 +69,12 @@ func runFederation(w io.Writer, quick bool) error {
 		addrs := make([]string, 0, n)
 		for i := 0; i < n; i++ {
 			e, err := runtime.StartEdge(runtime.EdgeConfig{
-				Addr:          "127.0.0.1:0",
-				FLOPS:         edgeFLOPS,
-				Model:         model,
-				CloudAddr:     cloud.Addr(),
-				TimeScale:     scale,
-				MaxBacklogSec: budgetSec,
+				Addr:      "127.0.0.1:0",
+				FLOPS:     edgeFLOPS,
+				Model:     model,
+				CloudAddr: cloud.Addr(),
+				TimeScale: scale,
+				Policy:    runtime.ControlPolicy{MaxBacklogSec: budgetSec},
 			})
 			if err != nil {
 				for _, prev := range edges {

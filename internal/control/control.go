@@ -1,0 +1,98 @@
+// Package control implements the self-tuning edge control plane: the
+// closed-loop replacements for the three hand-set capacity knobs (static
+// batch window, static backlog budget, blind exit degradation).
+//
+// The package is deliberately clock-free: every observation carries a
+// caller-supplied timestamp in seconds on the caller's clock, so the same
+// controllers run unchanged against the wall clock (internal/runtime) and
+// the model clock (internal/sim), and the determinism analyzer can hold the
+// package to the pure tier — identical observation streams produce
+// bit-identical control trajectories.
+//
+// Three controllers:
+//
+//   - Predictor: turns a queue's backlog (seconds of accepted-but-unfinished
+//     work at the current rate) into a calibrated wait estimate. The raw
+//     backlog is an unbiased FIFO prediction only when service is perfectly
+//     work-conserving; batch amortization, window holds and rate changes all
+//     bias it, so the predictor learns a multiplicative correction from
+//     observed (predicted, actual) wait pairs.
+//   - Window: adapts the batch window from the observed arrival rate and the
+//     observed latency tail, tracking the fill-time of a full batch and
+//     backing off when p99 exceeds the latency objective.
+//   - Plan: chooses which tenants degrade to shallower exits under overload,
+//     maximizing rate-weighted aggregate accuracy subject to an edge FLOPS
+//     budget (a fractional-knapsack relaxation of the degradation LP).
+package control
+
+import "sync"
+
+// predictorMinSec is the smallest predicted wait that updates the bias:
+// ratios against near-zero predictions are noise, not signal.
+const predictorMinSec = 1e-4
+
+// Predictor calibrates queueing-wait predictions. Predict scales the raw
+// backlog by a learned bias; Observe feeds back one (predicted, observed)
+// pair and moves the bias toward the observed ratio by an exponential
+// moving average. The zero value is not ready; use NewPredictor.
+type Predictor struct {
+	mu   sync.Mutex
+	gain float64
+	bias float64
+}
+
+// NewPredictor returns a predictor with the given EWMA gain in (0, 1];
+// non-positive gains select 0.1. The initial bias is 1 (trust the raw
+// backlog until evidence arrives).
+func NewPredictor(gain float64) *Predictor {
+	if gain <= 0 {
+		gain = 0.1
+	}
+	if gain > 1 {
+		gain = 1
+	}
+	return &Predictor{gain: gain, bias: 1}
+}
+
+// Predict returns the calibrated wait estimate for a queue currently
+// holding backlogSec seconds of work.
+func (p *Predictor) Predict(backlogSec float64) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return backlogSec * p.bias
+}
+
+// Observe feeds back one completed wait: what Predict returned at admission
+// and what the job actually waited. Pairs with a near-zero prediction are
+// ignored (an empty queue predicts ~0 and the ratio is undefined); the
+// per-observation ratio is clamped to [0.25, 4] and the running bias to
+// [0.5, 2] so one outlier cannot destabilize admission.
+func (p *Predictor) Observe(predictedSec, observedSec float64) {
+	if predictedSec < predictorMinSec {
+		return
+	}
+	ratio := observedSec / predictedSec
+	if ratio < 0.25 {
+		ratio = 0.25
+	}
+	if ratio > 4 {
+		ratio = 4
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.bias += p.gain * (ratio - p.bias)
+	if p.bias < 0.5 {
+		p.bias = 0.5
+	}
+	if p.bias > 2 {
+		p.bias = 2
+	}
+}
+
+// Bias returns the current multiplicative correction (1 = raw backlog is
+// trusted as-is).
+func (p *Predictor) Bias() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bias
+}

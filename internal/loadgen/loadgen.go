@@ -66,7 +66,9 @@ type Result struct {
 	DeadlineSheds int `json:"deadline_sheds"`
 	// Errors counts everything else (transport failures, server faults).
 	Errors int `json:"errors"`
-	// Exits tallies completions by exit stage.
+	// Exits tallies completions by the exit stage the edge actually
+	// answered through — under degradation that can be shallower than the
+	// scheduled exit, which is what the accuracy-throughput frontier reads.
 	Exits [3]int `json:"exits"`
 	// Latency is the completion-latency distribution.
 	Latency Latency `json:"latency"`
@@ -221,19 +223,25 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				Payload:   payload,
 				ExitStage: a.Exit,
 			}
-			taskCtx, cancel := taskContext(ctx, cfg.Timeout)
+			// The task's deadline is absolute from its scheduled arrival:
+			// the sampled per-task budget when the schedule carries one, the
+			// per-task timeout otherwise. Both anchor at the arrival, not the
+			// attempt, so a rerouted retry spends only the remaining budget.
+			deadline := absoluteDeadline(start, a, cfg.Timeout)
+			taskCtx, cancel := taskContext(ctx, deadline)
 			client, edge := conns[a.Device].get()
-			_, err := client.Call(taskCtx, req)
+			resp, err := client.Call(taskCtx, req)
 			rerouted := false
 			if err != nil && len(cfg.EdgeAddrs) > 1 && transportFailure(err) {
 				// The home edge is unreachable or answered with a fault:
-				// move the device to the next live edge and retry once.
+				// move the device to the next live edge and retry once,
+				// under the same absolute deadline.
 				if c2, e2, ok := conns[a.Device].reroute(ctx, cfg, ids[a.Device], edge); ok {
 					rerouted = true
 					edge = e2
 					cancel()
-					taskCtx, cancel = taskContext(ctx, cfg.Timeout)
-					_, err = c2.Call(taskCtx, req)
+					taskCtx, cancel = taskContext(ctx, deadline)
+					resp, err = c2.Call(taskCtx, req)
 				}
 			}
 			cancel()
@@ -247,9 +255,17 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			switch {
 			case err == nil:
 				res.Completed++
-				res.Exits[a.Exit-1]++
+				res.Exits[exitIndex(resp, a.Exit)]++
 				perEdge[edge].Completed++
 				reservoir.Add(elapsed)
+			case errors.Is(err, runtime.ErrDeadlineInfeasible):
+				// Deadline admission predicted the task cannot finish in
+				// time. The sentinel also unwraps to ErrOverloaded, so this
+				// arm must precede the backpressure one: an infeasible task
+				// is a shed (its budget is doomed anywhere), not a
+				// degrade-to-local rejection.
+				res.DeadlineSheds++
+				perEdge[edge].DeadlineSheds++
 			case errors.Is(err, runtime.ErrBusy) || errors.Is(err, runtime.ErrOverloaded):
 				res.Rejected++
 				perEdge[edge].Rejected++
@@ -279,13 +295,28 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// absoluteDeadline resolves one task's wall-clock deadline: the schedule's
+// sampled budget when present, the configured per-task timeout otherwise,
+// both measured from the task's scheduled arrival. Zero means unbounded.
+func absoluteDeadline(start time.Time, a Arrival, timeout time.Duration) time.Time {
+	budget := a.Deadline
+	if budget <= 0 {
+		budget = timeout
+	}
+	if budget <= 0 {
+		return time.Time{}
+	}
+	return start.Add(a.At).Add(budget)
+}
+
 // taskContext derives the per-task context: the run context, bounded by the
-// per-task timeout when one is configured.
-func taskContext(ctx context.Context, timeout time.Duration) (context.Context, context.CancelFunc) {
-	if timeout <= 0 {
+// task's absolute deadline when one is set. The deadline rides the rpc
+// envelope to the edge, where deadline admission reads it.
+func taskContext(ctx context.Context, deadline time.Time) (context.Context, context.CancelFunc) {
+	if deadline.IsZero() {
 		return context.WithCancel(ctx)
 	}
-	return context.WithTimeout(ctx, timeout)
+	return context.WithDeadline(ctx, deadline)
 }
 
 // sleepUntil blocks until the deadline or the context ends, whichever is
@@ -304,6 +335,16 @@ func sleepUntil(ctx context.Context, deadline time.Time) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// exitIndex resolves the Exits bucket for a completed task: the exit stage
+// the edge reports (degradation may answer through a shallower exit than
+// requested), falling back to the scheduled exit on malformed replies.
+func exitIndex(resp any, scheduled int) int {
+	if tr, ok := resp.(runtime.TaskResp); ok && tr.ExitStage >= 1 && tr.ExitStage <= 3 {
+		return tr.ExitStage - 1
+	}
+	return scheduled - 1
 }
 
 // transportFailure reports whether the error warrants trying another edge:

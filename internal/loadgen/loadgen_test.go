@@ -102,6 +102,129 @@ func TestScheduleValidates(t *testing.T) {
 	}
 }
 
+// TestScheduleDeadlineSampling checks the per-task deadline budgets: zero
+// without a base, jittered within ±25% of the base when one is set, and the
+// per-tenant list overriding the global base by device index.
+func TestScheduleDeadlineSampling(t *testing.T) {
+	cfg := Config{
+		EdgeAddr: "unused:0",
+		Devices:  2,
+		Rate:     20,
+		Duration: 2 * time.Second,
+		Seed:     42,
+		Model:    testModel(),
+	}
+	plain, err := Schedule(cfg)
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	for i, a := range plain {
+		if a.Deadline != 0 {
+			t.Fatalf("arrival %d carries deadline %v without a configured base", i, a.Deadline)
+		}
+	}
+
+	cfg.DeadlineSec = 2
+	sched, err := Schedule(cfg)
+	if err != nil {
+		t.Fatalf("Schedule with deadlines: %v", err)
+	}
+	again, err := Schedule(cfg)
+	if err != nil {
+		t.Fatalf("Schedule rerun: %v", err)
+	}
+	if !reflect.DeepEqual(sched, again) {
+		t.Fatal("deadline sampling broke schedule determinism")
+	}
+	distinct := map[time.Duration]bool{}
+	for i, a := range sched {
+		lo, hi := 1500*time.Millisecond, 2500*time.Millisecond
+		if a.Deadline < lo || a.Deadline > hi {
+			t.Fatalf("arrival %d deadline %v outside ±25%% of the 2s base", i, a.Deadline)
+		}
+		distinct[a.Deadline] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("deadline jitter produced a single budget; EDF has nothing to sort")
+	}
+
+	cfg.TenantDeadlineSec = []float64{1, 4}
+	tiered, err := Schedule(cfg)
+	if err != nil {
+		t.Fatalf("Schedule with tenant deadlines: %v", err)
+	}
+	for i, a := range tiered {
+		base := time.Duration(cfg.TenantDeadlineSec[a.Device%2] * float64(time.Second))
+		lo, hi := base*3/4, base*5/4
+		if a.Deadline < lo || a.Deadline > hi {
+			t.Fatalf("arrival %d (device %d) deadline %v outside [%v, %v]", i, a.Device, a.Deadline, lo, hi)
+		}
+	}
+}
+
+// TestAbsoluteDeadlineAnchorsAtArrival pins the reroute-budget fix: the
+// task's wall-clock deadline derives once from its scheduled arrival, so a
+// retry context carries the remaining budget rather than a fresh timeout.
+func TestAbsoluteDeadlineAnchorsAtArrival(t *testing.T) {
+	start := time.Unix(1000, 0)
+	a := Arrival{At: 3 * time.Second, Deadline: 2 * time.Second}
+	want := start.Add(5 * time.Second)
+	if got := absoluteDeadline(start, a, time.Minute); !got.Equal(want) {
+		t.Errorf("sampled budget: deadline %v, want %v (Timeout must not override it)", got, want)
+	}
+	a.Deadline = 0
+	want = start.Add(3*time.Second + time.Minute)
+	if got := absoluteDeadline(start, a, time.Minute); !got.Equal(want) {
+		t.Errorf("timeout fallback: deadline %v, want %v", got, want)
+	}
+	if got := absoluteDeadline(start, a, 0); !got.IsZero() {
+		t.Errorf("no budget anywhere: deadline %v, want zero time", got)
+	}
+
+	ctx, cancel := taskContext(context.Background(), want)
+	defer cancel()
+	if d, ok := ctx.Deadline(); !ok || !d.Equal(want) {
+		t.Errorf("taskContext deadline %v (ok=%v), want %v", d, ok, want)
+	}
+	ctx2, cancel2 := taskContext(context.Background(), time.Time{})
+	defer cancel2()
+	if _, ok := ctx2.Deadline(); ok {
+		t.Error("zero deadline must leave the context unbounded")
+	}
+}
+
+// TestRunClassifiesDeadlineSheds drives a slow edge running deadline
+// admission with budgets its backlog cannot honour: doomed tasks must land
+// in DeadlineSheds (admission's infeasible verdict or the elapsed context),
+// never in Errors, and classification must not leak.
+func TestRunClassifiesDeadlineSheds(t *testing.T) {
+	edge := startTestbed(t, runtime.EdgeConfig{
+		FLOPS:  2e9,
+		Policy: runtime.ControlPolicy{DeadlineAdmission: true, EDF: true},
+	})
+	res, err := Run(context.Background(), Config{
+		EdgeAddr:    edge.Addr(),
+		Devices:     2,
+		Rate:        200,
+		Duration:    time.Second,
+		Seed:        7,
+		Model:       testModel(),
+		DeadlineSec: 0.2,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.DeadlineSheds == 0 {
+		t.Error("no deadline sheds despite 400/s offered with 0.2s budgets against a 2 GFLOPS edge")
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d; infeasible tasks must classify as deadline sheds", res.Errors)
+	}
+	if got := res.Completed + res.Rejected + res.DeadlineSheds + res.Errors; got != res.Generated {
+		t.Errorf("classification leak: %d classified vs %d generated", got, res.Generated)
+	}
+}
+
 // startTestbed brings up an in-process cloud+edge pair for live runs.
 func startTestbed(t *testing.T, edgeCfg runtime.EdgeConfig) *runtime.Edge {
 	t.Helper()
@@ -167,7 +290,10 @@ func TestRunAgainstTestbed(t *testing.T) {
 // TestRunCountsAdmissionRejections saturates a tiny backlog budget and
 // checks rejections are classified as such, not as errors.
 func TestRunCountsAdmissionRejections(t *testing.T) {
-	edge := startTestbed(t, runtime.EdgeConfig{FLOPS: 2e9, MaxBacklogSec: 0.1})
+	edge := startTestbed(t, runtime.EdgeConfig{
+		FLOPS:  2e9,
+		Policy: runtime.ControlPolicy{MaxBacklogSec: 0.1},
+	})
 	res, err := Run(context.Background(), Config{
 		EdgeAddr: edge.Addr(),
 		Devices:  2,

@@ -47,8 +47,22 @@ type Config struct {
 	// it shapes the KKT share the edge reserves (default 1e9).
 	DeviceFLOPS float64
 	// Timeout bounds each task RPC; expiries count as deadline sheds
-	// rather than errors. Zero means no per-task deadline.
+	// rather than errors. Zero means no per-task deadline. The bound is
+	// absolute from the task's scheduled arrival: a rerouted retry spends
+	// whatever budget remains, it does not restart the clock.
 	Timeout time.Duration
+	// DeadlineSec gives every task a latency deadline sampled uniformly in
+	// [0.75, 1.25] times this base, in seconds from its scheduled arrival.
+	// The sampled budget rides the task context to the edge, where deadline
+	// admission (runtime.ControlPolicy) can shed doomed work and EDF can
+	// order the queue by it. Zero disables per-task deadlines.
+	DeadlineSec float64
+	// TenantDeadlineSec overrides DeadlineSec per device: device i draws
+	// its base from entry i mod len. Heterogeneous deadline classes are
+	// what make EDF ordering and targeted degradation observable — with one
+	// uniform class, deadline order collapses to arrival order. Empty falls
+	// back to DeadlineSec for every device.
+	TenantDeadlineSec []float64
 	// ForceExit pins every task's exit stage (1, 2 or 3) instead of
 	// sampling from the model's exit rates. A homogeneous workload is the
 	// clean way to measure capacity scaling: with mixed costs, admission
@@ -119,6 +133,14 @@ func (c Config) validate() error {
 	if c.ForceExit < 0 || c.ForceExit > 3 {
 		return fmt.Errorf("loadgen: ForceExit %d must be 0 (sample) or an exit stage 1..3", c.ForceExit)
 	}
+	if c.DeadlineSec < 0 || math.IsNaN(c.DeadlineSec) || math.IsInf(c.DeadlineSec, 0) {
+		return fmt.Errorf("loadgen: DeadlineSec %v must be a non-negative finite budget", c.DeadlineSec)
+	}
+	for i, d := range c.TenantDeadlineSec {
+		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return fmt.Errorf("loadgen: TenantDeadlineSec[%d] %v must be a non-negative finite budget", i, d)
+		}
+	}
 	if err := c.Model.Validate(); err != nil {
 		return fmt.Errorf("loadgen: %w", err)
 	}
@@ -136,6 +158,9 @@ type Arrival struct {
 	Task uint64
 	// Exit is the pre-sampled exit stage (1, 2 or 3).
 	Exit int
+	// Deadline is the task's pre-sampled latency budget, measured from At.
+	// Zero means the task carries no deadline.
+	Deadline time.Duration
 }
 
 // Schedule expands the configuration into its full arrival sequence, sorted
@@ -152,6 +177,10 @@ func Schedule(cfg Config) ([]Arrival, error) {
 	for dev := 0; dev < cfg.Devices; dev++ {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(dev)*104729))
 		gap := 1 / cfg.Rate // mean inter-arrival in seconds
+		base := cfg.DeadlineSec
+		if len(cfg.TenantDeadlineSec) > 0 {
+			base = cfg.TenantDeadlineSec[dev%len(cfg.TenantDeadlineSec)]
+		}
 		var task uint64
 		at := float64(0)
 		for {
@@ -170,11 +199,19 @@ func Schedule(cfg Config) ([]Arrival, error) {
 			if exit == 0 {
 				exit = sampleExit(rng, cfg.Model)
 			}
+			var deadline time.Duration
+			if base > 0 {
+				// ±25% uniform jitter keeps deadline order distinct from
+				// arrival order, which is what gives EDF something to sort.
+				budget := base * (0.75 + 0.5*rng.Float64())
+				deadline = time.Duration(budget * float64(time.Second))
+			}
 			out = append(out, Arrival{
-				At:     time.Duration(at * float64(time.Second)),
-				Device: dev,
-				Task:   task,
-				Exit:   exit,
+				At:       time.Duration(at * float64(time.Second)),
+				Device:   dev,
+				Task:     task,
+				Exit:     exit,
+				Deadline: deadline,
 			})
 		}
 	}

@@ -17,7 +17,7 @@ import (
 func TestExecutorAdmissionRejectsOverBudget(t *testing.T) {
 	// Budget: 0.2s of work at 1e9 FLOPS = 2e8 FLOPs. Each job is 5e7
 	// FLOPs (50ms), so at most 4 jobs fit the backlog at once.
-	e, err := NewExecutor(1e9, 1, WithAdmission(0.2))
+	e, err := NewExecutor(1e9, 1, WithPolicy(ControlPolicy{MaxBacklogSec: 0.2}))
 	if err != nil {
 		t.Fatalf("NewExecutor: %v", err)
 	}
@@ -83,11 +83,12 @@ func TestExecutorAdmissionUnboundedByDefault(t *testing.T) {
 // contract of ErrOverloaded.
 func TestEdgeBacklogBudgetTriggersLocalFallback(t *testing.T) {
 	edge, err := StartEdge(EdgeConfig{
-		Addr:          "127.0.0.1:0",
-		FLOPS:         2e9, // slow edge: backlog actually builds
-		Model:         testModel(),
-		MaxBacklogSec: 0.15, // ~1 first-block task of budget at full share
-		TimeScale:     testScale,
+		Addr:  "127.0.0.1:0",
+		FLOPS: 2e9, // slow edge: backlog actually builds
+		Model: testModel(),
+		// ~1 first-block task of budget at full share.
+		Policy:    ControlPolicy{MaxBacklogSec: 0.15},
+		TimeScale: testScale,
 	})
 	if err != nil {
 		t.Fatalf("StartEdge: %v", err)

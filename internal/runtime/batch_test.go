@@ -49,7 +49,7 @@ func TestExecutorBatchAmortizes(t *testing.T) {
 	const jobs = 8
 	// One job burns 50ms; serial service of 8 takes 400ms. A full batch
 	// burns 50ms*(1+7*0.25) = 87.5ms.
-	e, err := NewExecutor(1e9, 1, WithBatching(BatchConfig{MaxSize: jobs, MaxDelaySec: 0.2}))
+	e, err := NewExecutor(1e9, 1, WithPolicy(ControlPolicy{Batch: BatchConfig{MaxSize: jobs, MaxDelaySec: 0.2}}))
 	if err != nil {
 		t.Fatalf("NewExecutor: %v", err)
 	}
@@ -89,7 +89,7 @@ func TestExecutorBatchAmortizes(t *testing.T) {
 // FLOPs classes (different DNN blocks) never share a batch: a class change
 // caps the open batch so FIFO order holds.
 func TestExecutorBatchPreservesClassSeparation(t *testing.T) {
-	e, err := NewExecutor(1e9, 1, WithBatching(BatchConfig{MaxSize: 8, MaxDelaySec: 0.05}))
+	e, err := NewExecutor(1e9, 1, WithPolicy(ControlPolicy{Batch: BatchConfig{MaxSize: 8, MaxDelaySec: 0.05}}))
 	if err != nil {
 		t.Fatalf("NewExecutor: %v", err)
 	}
@@ -128,7 +128,7 @@ func TestExecutorBatchPreservesClassSeparation(t *testing.T) {
 // batch window is open and checks it is dropped unburned while the rest of
 // the batch completes.
 func TestExecutorBatchWindowRespectsCancellation(t *testing.T) {
-	e, err := NewExecutor(1e9, 1, WithBatching(BatchConfig{MaxSize: 4, MaxDelaySec: 0.25}))
+	e, err := NewExecutor(1e9, 1, WithPolicy(ControlPolicy{Batch: BatchConfig{MaxSize: 4, MaxDelaySec: 0.25}}))
 	if err != nil {
 		t.Fatalf("NewExecutor: %v", err)
 	}
@@ -176,7 +176,7 @@ func TestEdgeBatchingServesWorkload(t *testing.T) {
 		Model:     testModel(),
 		CloudAddr: cloud.Addr(),
 		TimeScale: testScale,
-		Batch:     BatchConfig{MaxSize: 8, MaxDelaySec: 0.05},
+		Policy:    ControlPolicy{Batch: BatchConfig{MaxSize: 8, MaxDelaySec: 0.05}},
 	})
 	if err != nil {
 		t.Fatalf("StartEdge: %v", err)

@@ -70,7 +70,7 @@ func BenchmarkExecutorDoParallelMultiClass(b *testing.B) {
 // BenchmarkExecutorAdmissionReject measures the cost of a rejection: the
 // overload path must be cheap precisely when the system is overloaded.
 func BenchmarkExecutorAdmissionReject(b *testing.B) {
-	e, err := NewExecutor(1, 1, WithAdmission(0.001))
+	e, err := NewExecutor(1, 1, WithPolicy(ControlPolicy{MaxBacklogSec: 0.001}))
 	if err != nil {
 		b.Fatal(err)
 	}

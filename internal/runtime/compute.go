@@ -5,9 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"leime/internal/control"
 )
 
 // ErrExecutorClosed is returned by Do/DoTimed/DoTimedCtx on a closed
@@ -63,23 +66,9 @@ func (c BatchConfig) AmortizedFLOPs(flops float64, n int) float64 {
 	return flops * (1 + float64(n-1)*c.marginal())
 }
 
-// ExecOption configures optional Executor behaviour at construction.
+// ExecOption configures optional Executor behaviour at construction; see
+// WithPolicy in policy.go.
 type ExecOption func(*Executor)
-
-// WithBatching enables size/delay-bounded batching; a disabled (zero)
-// config is a no-op, so callers can plumb user configuration through
-// unconditionally.
-func WithBatching(cfg BatchConfig) ExecOption {
-	return func(e *Executor) { e.batch = cfg }
-}
-
-// WithAdmission bounds the executor's queue: a Do call that would push the
-// accepted-but-unfinished backlog beyond maxBacklogSec seconds of work (at
-// the current rate) is rejected with ErrOverloaded instead of queueing
-// without bound. Non-positive budgets leave the queue unbounded.
-func WithAdmission(maxBacklogSec float64) ExecOption {
-	return func(e *Executor) { e.admitSec = maxBacklogSec }
-}
 
 // Executor models one compute resource (a device CPU, a per-device edge
 // share, the cloud GPU) as a single-server FIFO queue: jobs burn wall-clock
@@ -98,17 +87,28 @@ func WithAdmission(maxBacklogSec float64) ExecOption {
 // fires early as soon as any other shard holds work, so no class stalls
 // behind another's window.
 //
-// Two optional capacity behaviours, both off by default: WithBatching
-// coalesces same-FLOPs jobs into amortized batches, and WithAdmission
-// bounds the backlog, rejecting excess work with ErrOverloaded. The
-// admission budget spans the whole executor (the sum of all shard
-// backlogs, exactly the old semantics); its accounting is a lock-free
+// All capacity behaviour is configured through WithPolicy (ControlPolicy),
+// off by default: batching coalesces same-FLOPs jobs into amortized
+// batches (statically sized or driven by an adaptive control.Window);
+// admission bounds the backlog (ErrOverloadCapacity) and, with deadline
+// admission, rejects work whose predicted wait plus service cannot fit its
+// context deadline (ErrDeadlineInfeasible); EDF replaces the FIFO queue
+// order with earliest-deadline-first. The admission budget spans the whole
+// executor (the sum of all shard backlogs); its accounting is a lock-free
 // atomic so the check costs no cross-shard lock.
 type Executor struct {
 	rateBits uint64 // atomic float64 bits: effective FLOPS
 	scale    Scale
+	start    time.Time // construction instant: origin of the window's model clock
+
+	// policy is the resolved control policy; batch, admitSec, edf, window
+	// and pred are its unpacked hot-path fields.
+	policy   ControlPolicy
 	batch    BatchConfig
 	admitSec float64
+	edf      bool
+	window   *control.Window    // adaptive batch window, nil when static
+	pred     *control.Predictor // wait predictor, nil without deadline admission
 
 	// shardsValue holds an immutable map[float64]*shard swapped
 	// copy-on-write under shardsMu; lookups on the enqueue path are
@@ -154,6 +154,12 @@ type job struct {
 	flops float64
 	seq   uint64
 	enq   time.Time
+	// deadline is the task's absolute deadline in UnixNano, 0 when the
+	// submitting context carries none; EDF sorts on it.
+	deadline int64
+	// predSec is the wait the admission predictor quoted (model seconds);
+	// the worker feeds the observed wait back against it.
+	predSec float64
 	// cancel is the job's claim word: 0 queued, 1 cancelled by the
 	// submitter (the worker discards it unburned), 2 claimed by the worker
 	// (the burn runs to completion). Whoever wins the CAS from 0 decides.
@@ -165,14 +171,33 @@ type job struct {
 	done    chan struct{}
 }
 
+// jobLess orders jobs earliest-deadline-first with arrival order breaking
+// ties; jobs without a deadline sort last, so a pure-FIFO workload is
+// unaffected by EDF.
+func jobLess(a, b *job) bool {
+	da, db := a.deadline, b.deadline
+	if da == 0 {
+		da = math.MaxInt64
+	}
+	if db == 0 {
+		db = math.MaxInt64
+	}
+	if da != db {
+		return da < db
+	}
+	return a.seq < b.seq
+}
+
 // NewExecutor starts an executor at the given FLOPS rating. Close releases
-// its worker. Options enable batching and admission control.
+// its worker. Options (WithPolicy) enable batching, admission control, EDF
+// ordering and degradation.
 func NewExecutor(rateFLOPS float64, scale Scale, opts ...ExecOption) (*Executor, error) {
 	if rateFLOPS <= 0 {
 		return nil, fmt.Errorf("runtime: executor FLOPS %v must be positive", rateFLOPS)
 	}
 	e := &Executor{ready: make(chan struct{}, 1)}
 	e.scale = scale
+	e.start = time.Now()
 	atomic.StoreUint64(&e.rateBits, math.Float64bits(rateFLOPS))
 	for _, opt := range opts {
 		opt(e)
@@ -246,9 +271,27 @@ func (e *Executor) Pending() int { return int(atomic.LoadInt32(&e.pending)) }
 
 // BacklogSeconds returns how many seconds of accepted-but-unfinished work
 // sit at the executor (summed over all shards), at its current rate — the
-// quantity WithAdmission budgets against.
+// quantity ControlPolicy.MaxBacklogSec budgets against.
 func (e *Executor) BacklogSeconds() float64 {
 	return math.Float64frombits(e.backlogBits.Load()) / e.Rate()
+}
+
+// Policy returns the resolved control policy the executor runs under.
+func (e *Executor) Policy() ControlPolicy { return e.policy }
+
+// WindowDelaySec returns the batch window currently in force in model
+// seconds — the adaptive controller's live value, or the static
+// configuration. Zero means unbatched service.
+func (e *Executor) WindowDelaySec() float64 { return e.batchDelaySec() }
+
+// PredictedWaitSec returns the calibrated queueing-wait estimate (model
+// seconds) deadline admission would quote for a job arriving now. Without
+// deadline admission it returns the raw backlog.
+func (e *Executor) PredictedWaitSec() float64 {
+	if e.pred == nil {
+		return e.BacklogSeconds()
+	}
+	return e.pred.Predict(e.BacklogSeconds())
 }
 
 // Do enqueues a job of the given FLOPs and blocks until it completes. It
@@ -271,9 +314,10 @@ func (e *Executor) DoTimed(flops float64) (wait, service time.Duration, err erro
 // service runs to completion — the compute is spent either way, so the
 // result might as well be delivered.
 //
-// On an executor with an admission budget (WithAdmission), a job that would
-// push the backlog beyond the budget is rejected with ErrOverloaded before
-// it queues.
+// Admission control (ControlPolicy) runs before the job queues: a backlog
+// budget rejects work with ErrOverloadCapacity, and deadline admission
+// rejects work whose predicted wait plus service cannot fit the context
+// deadline with ErrDeadlineInfeasible. Both unwrap to ErrOverloaded.
 func (e *Executor) DoTimedCtx(ctx context.Context, flops float64) (wait, service time.Duration, err error) {
 	if flops < 0 {
 		flops = 0
@@ -282,6 +326,10 @@ func (e *Executor) DoTimedCtx(ctx context.Context, flops float64) (wait, service
 		return 0, 0, err
 	}
 	j := &job{flops: flops, enq: time.Now(), done: make(chan struct{})}
+	deadline, hasDeadline := ctx.Deadline()
+	if hasDeadline {
+		j.deadline = deadline.UnixNano()
+	}
 	// The read side of closeMu brackets the admit-and-enqueue section:
 	// concurrent submitters (any mix of classes) share it freely; Close
 	// excludes it, so every job that saw closed == false is fully enqueued
@@ -291,6 +339,20 @@ func (e *Executor) DoTimedCtx(ctx context.Context, flops float64) (wait, service
 		e.closeMu.RUnlock()
 		return 0, 0, ErrExecutorClosed
 	}
+	if e.pred != nil && hasDeadline {
+		// Deadline admission: quote the calibrated wait for the current
+		// backlog; if wait plus this job's own service cannot fit the
+		// deadline, reject now rather than queue work that is already
+		// doomed to shed. EDF can serve an urgent job ahead of the backlog,
+		// so the quote is conservative for exactly the jobs most at risk.
+		rate := e.Rate()
+		j.predSec = e.pred.Predict(math.Float64frombits(e.backlogBits.Load()) / rate)
+		totalSec := j.predSec + flops/rate
+		if time.Now().Add(e.scale.Seconds(totalSec)).After(deadline) {
+			e.closeMu.RUnlock()
+			return 0, 0, fmt.Errorf("%w (needs %.3gs, deadline in %v)", ErrDeadlineInfeasible, totalSec, time.Until(deadline))
+		}
+	}
 	if e.admitSec > 0 {
 		// Admit or reject with one CAS on the executor-wide backlog; no
 		// lock is held, so rejection under overload is contention-free.
@@ -299,7 +361,7 @@ func (e *Executor) DoTimedCtx(ctx context.Context, flops float64) (wait, service
 			backlog := (math.Float64frombits(old) + flops) / e.Rate()
 			if backlog > e.admitSec {
 				e.closeMu.RUnlock()
-				return 0, 0, fmt.Errorf("%w (backlog %.3gs over budget %.3gs)", ErrOverloaded, backlog, e.admitSec)
+				return 0, 0, fmt.Errorf("%w (backlog %.3gs over budget %.3gs)", ErrOverloadCapacity, backlog, e.admitSec)
 			}
 			if e.backlogBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+flops)) {
 				break
@@ -309,10 +371,25 @@ func (e *Executor) DoTimedCtx(ctx context.Context, flops float64) (wait, service
 		e.addBacklog(flops)
 	}
 	atomic.AddInt32(&e.pending, 1)
+	if e.window != nil {
+		e.window.ObserveArrival(e.nowModelSec())
+	}
 	s := e.shardFor(flops)
 	s.mu.Lock()
 	j.seq = e.seq.Add(1)
-	s.queue = append(s.queue, j)
+	if e.edf && j.deadline != 0 {
+		// Earliest-deadline-first: insert before the first queued job with
+		// a later deadline (no-deadline jobs sort last). Jobs with equal
+		// deadlines and all no-deadline jobs stay in arrival order, so with
+		// no deadlines in play the queue is byte-for-byte the FIFO the
+		// shard tests pin.
+		idx := sort.Search(len(s.queue), func(i int) bool { return jobLess(j, s.queue[i]) })
+		s.queue = append(s.queue, nil)
+		copy(s.queue[idx+1:], s.queue[idx:])
+		s.queue[idx] = j
+	} else {
+		s.queue = append(s.queue, j)
+	}
 	collecting := e.collecting.Load()
 	if collecting == s {
 		// The dispatcher holds this shard's batch window open; a same-class
@@ -362,22 +439,52 @@ func (e *Executor) dispatcher() {
 	}
 }
 
-// oldestHead returns the shard whose head job has the smallest enqueue
-// sequence number, nil when every shard is empty. Scanning locks each
-// shard only for the head peek.
+// oldestHead returns the shard whose head job serves next — smallest
+// enqueue sequence, or earliest deadline under EDF (each shard's queue is
+// already deadline-sorted, so comparing heads compares the globally most
+// urgent job of each class) — nil when every shard is empty. Scanning locks
+// each shard only for the head peek.
 func (e *Executor) oldestHead() *shard {
 	var best *shard
-	var bestSeq uint64
+	var bestHead *job
 	for _, s := range e.shardsValue.Load().(map[float64]*shard) {
 		s.mu.Lock()
 		if len(s.queue) > 0 {
-			if seq := s.queue[0].seq; best == nil || seq < bestSeq {
-				best, bestSeq = s, seq
+			head := s.queue[0]
+			better := best == nil
+			if !better {
+				if e.edf {
+					better = jobLess(head, bestHead)
+				} else {
+					better = head.seq < bestHead.seq
+				}
+			}
+			if better {
+				best, bestHead = s, head
 			}
 		}
 		s.mu.Unlock()
 	}
 	return best
+}
+
+// batchDelaySec returns the window to hold the next batch open for, in
+// model seconds: the adaptive controller's current value when one is
+// installed, the static configuration otherwise, 0 when batching is off.
+func (e *Executor) batchDelaySec() float64 {
+	if e.window != nil {
+		return e.window.DelaySec()
+	}
+	if !e.batch.Enabled() {
+		return 0
+	}
+	return e.batch.MaxDelaySec
+}
+
+// nowModelSec is the executor's model clock: model seconds elapsed since
+// construction, the timestamp stream the adaptive window consumes.
+func (e *Executor) nowModelSec() float64 {
+	return e.scale.ModelSeconds(time.Since(e.start))
 }
 
 // collect takes the next batch from shard s. Without batching it pops one
@@ -389,15 +496,16 @@ func (e *Executor) oldestHead() *shard {
 // behind the head caps the batch" rule: no class waits out another's
 // window).
 func (e *Executor) collect(s *shard) []*job {
+	delaySec := e.batchDelaySec()
 	s.mu.Lock()
-	if !e.batch.Enabled() {
+	if e.batch.MaxSize <= 1 || delaySec <= 0 {
 		j := s.queue[0]
 		s.queue = s.queue[1:]
 		s.mu.Unlock()
 		e.queuedTotal.Add(-1)
 		return []*job{j}
 	}
-	deadline := time.Now().Add(e.scale.Seconds(e.batch.MaxDelaySec))
+	deadline := time.Now().Add(e.scale.Seconds(delaySec))
 	e.collecting.Store(s)
 	// sync.Cond has no timed wait; an AfterFunc broadcast bounds the hold.
 	timer := time.AfterFunc(time.Until(deadline), func() {
@@ -453,6 +561,18 @@ func (e *Executor) runBatch(batch []*job) {
 			time.Sleep(d)
 		}
 		service = time.Since(start)
+		if e.pred != nil || e.window != nil {
+			serviceSec := e.scale.ModelSeconds(service)
+			for _, j := range live {
+				waitSec := e.scale.ModelSeconds(j.wait)
+				if e.pred != nil {
+					e.pred.Observe(j.predSec, waitSec)
+				}
+				if e.window != nil {
+					e.window.ObserveLatency(waitSec + serviceSec)
+				}
+			}
+		}
 	}
 	for _, j := range batch {
 		e.addBacklog(-j.flops)

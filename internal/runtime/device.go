@@ -530,7 +530,9 @@ func degradable(err error) bool {
 // saturated — the per-tenant pending cap (ErrBusy) or the backlog-budget
 // admission control (ErrOverloaded). Both are degrade-to-local signals: the
 // work never started, so the device re-runs the blocks itself rather than
-// retrying against an overloaded server.
+// retrying against an overloaded server. ErrDeadlineInfeasible also unwraps
+// to ErrOverloaded, so callers that shed deadline-doomed tasks instead of
+// falling back must test for it BEFORE consulting this classifier.
 func backpressured(err error) bool {
 	return errors.Is(err, ErrBusy) || errors.Is(err, ErrOverloaded)
 }
@@ -560,6 +562,12 @@ func (d *deviceRun) runTask(id uint64, slot, exitStage int, offloaded bool) {
 		finalExit, err = d.offloadedPath(ctx, root.Context(), id, exitStage)
 		switch {
 		case err == nil:
+		case errors.Is(err, ErrDeadlineInfeasible):
+			// Deadline admission proved the task cannot finish in time even
+			// if accepted; the device CPU is slower still, so re-running
+			// locally would only burn cycles past the deadline. Shed now and
+			// account it as a deadline miss, not a fallback.
+			err = fmt.Errorf("runtime: edge shed the task: %w (%v)", rpc.ErrDeadlineExceeded, err)
 		case backpressured(err):
 			// The edge applied backpressure (pending-task cap or admission
 			// backlog budget): execute locally instead.
@@ -688,6 +696,11 @@ func (d *deviceRun) localPath(ctx context.Context, parent telemetry.SpanContext,
 	})
 	span.End()
 	if err != nil {
+		if errors.Is(err, ErrDeadlineInfeasible) {
+			// Shed now: the continuation cannot meet the deadline at the
+			// edge and certainly not on the device.
+			return 0, 0, false, false, fmt.Errorf("runtime: edge shed the continuation: %w (%v)", rpc.ErrDeadlineExceeded, err)
+		}
 		if !degradable(err) && !backpressured(err) {
 			return 0, 0, false, false, err
 		}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"leime/internal/control"
 	"leime/internal/fleet"
 	"leime/internal/netem"
 	"leime/internal/offload"
@@ -32,19 +33,15 @@ type EdgeConfig struct {
 	// control / backpressure), and well-behaved devices fall back to local
 	// execution instead of piling onto a saturated edge.
 	MaxPendingPerTenant int
-	// MaxBacklogSec, when positive, bounds every tenant executor's queue at
-	// that many seconds of accepted-but-unfinished work. The budget is
-	// rate-relative, so the implied per-tenant capacity follows the KKT
-	// share of the edge's FLOPS rating: a tenant with share p admits about
-	// MaxBacklogSec * p * FLOPS / mu_b block-b jobs. Work beyond the budget
-	// is rejected with the retriable ErrOverloaded, which devices treat as
-	// a degrade-to-local signal. Zero leaves queues unbounded (the
-	// pre-admission-control behaviour).
-	MaxBacklogSec float64
-	// Batch enables size/delay-bounded batching on every tenant executor:
-	// same-block executions that co-arrive within the window are coalesced
-	// into one amortized burn. The zero value disables batching.
-	Batch BatchConfig
+	// Policy is the control policy applied to every tenant executor (and
+	// the steal slice): backlog budget, deadline admission, EDF ordering,
+	// static or adaptive batching, and overload degradation. The backlog
+	// budget is rate-relative, so the implied per-tenant capacity follows
+	// the KKT share of the edge's FLOPS rating: a tenant with share p
+	// admits about MaxBacklogSec * p * FLOPS / mu_b block-b jobs. The zero
+	// value disables everything (unbounded FIFO queues, no batching, no
+	// degradation).
+	Policy ControlPolicy
 	// Model is the deployed ME-DNN (block FLOPs, data sizes, exit rates).
 	Model offload.ModelParams
 	// CloudAddr is the cloud server to forward third-block work to; empty
@@ -88,9 +85,10 @@ type EdgeConfig struct {
 // (the Docker-quota equivalent), recomputing the KKT allocation whenever a
 // device registers.
 type Edge struct {
-	cfg EdgeConfig
-	srv *rpc.Server
-	tel edgeTelemetry
+	cfg    EdgeConfig
+	policy ControlPolicy // cfg.Policy with defaults resolved
+	srv    *rpc.Server
+	tel    edgeTelemetry
 
 	mu      sync.Mutex
 	tenants map[string]*tenant
@@ -125,6 +123,7 @@ type edgeTelemetry struct {
 	busy          *telemetry.Counter
 	overload      *telemetry.Counter
 	sheds         *telemetry.Counter
+	degradedExit  *telemetry.Counter
 	cloudDegraded *telemetry.Counter
 	cloudRetries  *telemetry.Counter
 	cloudBreaker  *telemetry.Gauge
@@ -151,6 +150,7 @@ func newEdgeTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry) edgeTelemet
 		busy:          reg.Counter("leime_edge_busy_rejections_total", "Offloads rejected by the per-tenant pending-task cap."),
 		overload:      reg.Counter("leime_edge_overload_rejections_total", "Requests rejected by the backlog-budget admission control."),
 		sheds:         reg.Counter("leime_edge_deadline_shed_total", "Requests shed because their deadline passed (on arrival or while queued)."),
+		degradedExit:  reg.Counter("leime_edge_exit_degraded_total", "Tasks served at a shallower exit by the degradation policy."),
 		cloudDegraded: reg.Counter("leime_edge_cloud_degraded_total", "Exit-3 tasks degraded to the Second exit because the cloud was unreachable."),
 		cloudRetries:  reg.Counter("leime_edge_cloud_retries_total", "RPC retry attempts against the cloud."),
 		cloudBreaker:  reg.Gauge("leime_edge_cloud_breaker_state", "Cloud circuit breaker state (0 closed, 1 half-open, 2 open)."),
@@ -168,7 +168,11 @@ type tenant struct {
 	model offload.ModelParams
 	exec  *Executor
 	h1    int32 // atomic: pending first-block tasks
-	share float64
+	// exitCap is the degradation plan's exit ceiling for this tenant
+	// (atomic; 0 = no cap). Tasks requesting a deeper exit are served from
+	// the cap's classifier instead.
+	exitCap int32
+	share   float64
 }
 
 // StartEdge launches the edge server. A configured cloud is dialed lazily:
@@ -181,15 +185,17 @@ func StartEdge(cfg EdgeConfig) (*Edge, error) {
 		return nil, err
 	}
 	RegisterMessages()
-	e := &Edge{cfg: cfg, tenants: make(map[string]*tenant), tel: newEdgeTelemetry(cfg.Tracer, cfg.Metrics)}
+	e := &Edge{cfg: cfg, policy: cfg.Policy.withDefaults(), tenants: make(map[string]*tenant), tel: newEdgeTelemetry(cfg.Tracer, cfg.Metrics)}
 	// The steal executor serves forwarded peer work on the reserved
-	// overflow slice; its own admission budget keeps a stolen flood from
-	// queueing unboundedly.
+	// overflow slice under the same policy as the tenant executors: its
+	// admission budget keeps a stolen flood from queueing unboundedly, and
+	// deadline admission on the slice means a steal lands only where the
+	// deadline is still feasible.
 	stealShare := cfg.StealShare
 	if stealShare <= 0 {
 		stealShare = 0.1
 	}
-	stealExec, err := NewExecutor(stealShare*cfg.FLOPS, cfg.TimeScale, WithAdmission(cfg.MaxBacklogSec))
+	stealExec, err := NewExecutor(stealShare*cfg.FLOPS, cfg.TimeScale, WithPolicy(e.policy))
 	if err != nil {
 		return nil, err
 	}
@@ -356,6 +362,7 @@ func (e *Edge) unregister(req UnregisterReq) (any, error) {
 			}
 		}
 	}
+	e.recomputeCaps()
 	e.mu.Unlock()
 	t.exec.Close()
 	return UnregisterResp{RemainingTenants: remaining}, nil
@@ -401,10 +408,9 @@ func (e *Edge) register(req RegisterReq) (any, error) {
 	defer e.mu.Unlock()
 	t, exists := e.tenants[req.DeviceID]
 	if !exists {
-		// Rate fixed below; batching and the admission budget come from the
-		// edge configuration (no-ops when zero).
-		exec, err := NewExecutor(e.cfg.FLOPS, e.cfg.TimeScale,
-			WithBatching(e.cfg.Batch), WithAdmission(e.cfg.MaxBacklogSec))
+		// Rate fixed below; the control policy (batching, admission, EDF)
+		// comes from the edge configuration (no-ops when zero).
+		exec, err := NewExecutor(e.cfg.FLOPS, e.cfg.TimeScale, WithPolicy(e.policy))
 		if err != nil {
 			return nil, err
 		}
@@ -427,7 +433,58 @@ func (e *Edge) register(req RegisterReq) (any, error) {
 			return nil, err
 		}
 	}
+	e.recomputeCaps()
 	return RegisterResp{ShareFLOPS: t.share * e.cfg.FLOPS}, nil
+}
+
+// recomputeCaps re-plans per-tenant exit caps from the declared arrival
+// rates and calibrated exit profiles whenever the tenancy or its rates
+// change. The plan is a pure function of the sorted tenant state, so every
+// edge computes the same caps for the same tenancy. Caller holds e.mu.
+func (e *Edge) recomputeCaps() {
+	if !e.policy.Degrade.Enabled {
+		return
+	}
+	ids, _ := e.tenantOrder()
+	// Declared arrival rates are wall-clock tasks per second while the FLOPS
+	// budget is model-FLOPs per model second; under time compression one wall
+	// second holds 1/TimeScale model seconds, so the wall rate shrinks by the
+	// scale factor when expressed against the model-time budget.
+	scale := float64(e.cfg.TimeScale)
+	if scale <= 0 {
+		scale = 1
+	}
+	demands := make([]control.TenantDemand, len(ids))
+	for i, id := range ids {
+		t := e.tenants[id]
+		demands[i] = control.TenantDemand{
+			ID:          id,
+			ArrivalRate: t.dev.ArrivalMean * scale,
+			BlockFLOPs:  t.model.Mu,
+			Sigma:       t.model.Sigma,
+		}
+	}
+	budgetFLOPS := e.policy.Degrade.Utilization * e.cfg.FLOPS
+	var caps []int
+	if e.policy.Degrade.Blind {
+		caps = control.BlindPlan(demands, budgetFLOPS)
+	} else {
+		caps = control.Plan(demands, e.policy.Degrade.Accuracy, budgetFLOPS)
+	}
+	for i, id := range ids {
+		atomic.StoreInt32(&e.tenants[id].exitCap, int32(caps[i]))
+	}
+}
+
+// capExit applies the tenant's degradation cap to a requested exit stage,
+// counting the degradation when it bites.
+func (e *Edge) capExit(t *tenant, exitStage int) int {
+	ceiling := int(atomic.LoadInt32(&t.exitCap))
+	if ceiling > 0 && ceiling < exitStage {
+		e.tel.degradedExit.Inc()
+		return ceiling
+	}
+	return exitStage
 }
 
 func (e *Edge) tenant(id string) (*tenant, error) {
@@ -502,19 +559,30 @@ func (e *Edge) firstBlock(ctx context.Context, meta rpc.Meta, req FirstBlockReq)
 	e.tel.queueWait.Observe(wait.Seconds())
 	e.tel.block1.Observe(service.Seconds())
 	recordTimedSpans(e.tel.tracer, metaContext(meta), "edge.queue", "edge.block1", req.DeviceID, req.TaskID, wait, service)
-	if req.ExitStage <= 1 {
+	// The degradation plan may cap this tenant's exits: a capped task is
+	// answered by the cap's classifier (an accuracy sacrifice, never an
+	// error), a cap of 2 skips the cloud forward, and a cap of 1 skips
+	// block 2 entirely — the edge compute the plan reclaimed.
+	effExit := e.capExit(t, req.ExitStage)
+	if effExit <= 1 {
 		return TaskResp{TaskID: req.TaskID, ExitStage: 1}, nil
 	}
-	return e.continueSecond(ctx, meta, t, model, req.DeviceID, req.TaskID, req.ExitStage)
+	return e.continueSecond(ctx, meta, t, model, req.DeviceID, req.TaskID, effExit)
 }
 
 // secondBlock runs block 2 for a task whose first block ran on the device.
+// A tenant capped to exit 1 by the degradation plan is answered from the
+// First exit the device already computed, skipping block 2.
 func (e *Edge) secondBlock(ctx context.Context, meta rpc.Meta, req SecondBlockReq) (any, error) {
 	t, model, err := e.tenantSnapshot(req.DeviceID)
 	if err != nil {
 		return nil, err
 	}
-	return e.continueSecond(ctx, meta, t, model, req.DeviceID, req.TaskID, req.ExitStage)
+	effExit := e.capExit(t, req.ExitStage)
+	if effExit <= 1 {
+		return TaskResp{TaskID: req.TaskID, ExitStage: 1}, nil
+	}
+	return e.continueSecond(ctx, meta, t, model, req.DeviceID, req.TaskID, effExit)
 }
 
 // continueSecond runs block 2 and, for exit-3 tasks, forwards to the cloud.

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"errors"
+	"fmt"
 
 	"leime/internal/rpc"
 )
@@ -18,19 +19,39 @@ var (
 	// state for — the normal outcome after an edge restart, which the
 	// device's reconnect hook repairs by re-registering.
 	ErrUnknownDevice = errors.New("edge: unknown device")
-	// ErrOverloaded marks work rejected by admission control: accepting it
-	// would push a bounded queue past its backlog budget (seconds of work
-	// derived from the node's FLOPS rating), so the server refuses rather
-	// than queueing without bound. The work never started, so the device
-	// side treats it as a degrade-to-local signal: re-run the blocks on the
-	// device instead of retrying against a saturated server.
-	ErrOverloaded = errors.New("runtime: overloaded: admission backlog budget exceeded")
+	// ErrOverloaded marks work rejected by admission control. The work
+	// never started; how the device should react depends on the reason,
+	// which crosses the wire as one of the two typed refinements below
+	// (both unwrap to this sentinel, so errors.Is(err, ErrOverloaded)
+	// still classifies the whole family).
+	ErrOverloaded = errors.New("runtime: overloaded: admission rejected the task")
+	// ErrOverloadCapacity is the capacity reason: accepting the task would
+	// push a bounded queue past its backlog budget
+	// (ControlPolicy.MaxBacklogSec, seconds of work derived from the
+	// node's FLOPS rating). The server is saturated but the task itself is
+	// fine — the device treats it as a degrade-to-local signal and re-runs
+	// the blocks on its own CPU instead of retrying against a saturated
+	// server.
+	ErrOverloadCapacity = fmt.Errorf("%w: backlog budget exhausted", ErrOverloaded)
+	// ErrDeadlineInfeasible is the deadline reason: deadline admission
+	// (ControlPolicy.DeadlineAdmission) predicted that queueing wait plus
+	// service cannot fit the deadline the task carries in rpc.Meta. The
+	// task's budget is already as good as blown, so the device sheds it
+	// immediately — burning local CPU on a result that will arrive late
+	// anyway would only steal capacity from tasks that can still make it.
+	ErrDeadlineInfeasible = fmt.Errorf("%w: predicted completion misses the task deadline", ErrOverloaded)
 )
 
 func init() {
 	rpc.RegisterError("runtime/busy", ErrBusy)
 	rpc.RegisterError("runtime/unknown-device", ErrUnknownDevice)
 	rpc.RegisterError("runtime/overloaded", ErrOverloaded)
+	// The reason refinements must sort lexicographically before
+	// "runtime/overloaded": codeFor resolves an error matching several
+	// sentinels to the smallest code, and each refinement matches its own
+	// code plus the generic one ('-' < 'e', so "overload-..." wins).
+	rpc.RegisterError("runtime/overload-capacity", ErrOverloadCapacity)
+	rpc.RegisterError("runtime/overload-deadline", ErrDeadlineInfeasible)
 	// A shutdown race can surface the executor's closed state from a
 	// handler mid-drain; without a code it would reach the device untyped.
 	rpc.RegisterError("runtime/executor-closed", ErrExecutorClosed)

@@ -253,3 +253,14 @@ func (s Scale) D(d time.Duration) time.Duration {
 func (s Scale) Seconds(sec float64) time.Duration {
 	return s.D(time.Duration(sec * float64(time.Second)))
 }
+
+// ModelSeconds converts a measured wall-clock duration back into model
+// seconds, inverting Seconds; non-positive scales are identity (real
+// time). Controllers compare observations in model seconds so the same
+// policy values work at any time compression.
+func (s Scale) ModelSeconds(d time.Duration) float64 {
+	if s <= 0 {
+		return d.Seconds()
+	}
+	return d.Seconds() / float64(s)
+}

@@ -17,9 +17,10 @@ import (
 // the assertions check conservation: every job resolves exactly one way
 // and the accounting drains to zero.
 func TestExecutorShardedConcurrentStress(t *testing.T) {
-	e, err := NewExecutor(1e9, 0.001,
-		WithBatching(BatchConfig{MaxSize: 4, MaxDelaySec: 0.002}),
-		WithAdmission(5))
+	e, err := NewExecutor(1e9, 0.001, WithPolicy(ControlPolicy{
+		MaxBacklogSec: 5,
+		Batch:         BatchConfig{MaxSize: 4, MaxDelaySec: 0.002},
+	}))
 	if err != nil {
 		t.Fatalf("NewExecutor: %v", err)
 	}
@@ -221,7 +222,7 @@ func TestExecutorShardFIFOPinsSingleQueueBehavior(t *testing.T) {
 // into one amortized burn (identical published service), and a batch of
 // one degenerates to the lone-job burn.
 func TestExecutorShardBatchCoalescingPinned(t *testing.T) {
-	e, err := NewExecutor(1e9, 1, WithBatching(BatchConfig{MaxSize: 4, MaxDelaySec: 0.05}))
+	e, err := NewExecutor(1e9, 1, WithPolicy(ControlPolicy{Batch: BatchConfig{MaxSize: 4, MaxDelaySec: 0.05}}))
 	if err != nil {
 		t.Fatalf("NewExecutor: %v", err)
 	}

@@ -114,7 +114,7 @@ func (e *Edge) healthResp(deviceID string) HeartbeatResp {
 	}
 	e.mu.Unlock()
 	resp.BacklogSec += e.stealExec.BacklogSeconds()
-	resp.Saturated = e.cfg.MaxBacklogSec > 0 && maxBacklog >= e.cfg.MaxBacklogSec
+	resp.Saturated = e.policy.MaxBacklogSec > 0 && maxBacklog >= e.policy.MaxBacklogSec
 	return resp
 }
 

@@ -1,5 +1,7 @@
 package sim
 
+import "leime/internal/control"
+
 // Batch configures window batching on a Station, mirroring the testbed
 // executor's BatchConfig (internal/runtime): up to MaxSize jobs of the same
 // service-duration class coalesce into one amortized burn, each batch held
@@ -68,18 +70,47 @@ type openBatch struct {
 // any submissions; a disabled configuration leaves behaviour unchanged.
 func (s *Station) SetBatch(b Batch) { s.batch = b }
 
+// SetWindow installs an adaptive batch window (control.Window) driven on the
+// engine clock: every submission feeds the controller an arrival, every
+// completion a latency, and each batch holds open for the controller's live
+// delay instead of a static MaxDelaySec. maxSize caps jobs per burn — the
+// ceiling the controller's target fill respects. Must be called before any
+// submissions; the amortization cost model is Batch's (default marginal).
+func (s *Station) SetWindow(w *control.Window, maxSize int) {
+	s.window = w
+	s.winMax = maxSize
+}
+
+// batchLimits returns the batch size cap and hold delay in force for the
+// next window: the adaptive controller's live values when one is installed,
+// the static configuration otherwise.
+func (s *Station) batchLimits() (maxSize int, delaySec float64) {
+	if s.window != nil {
+		return s.winMax, s.window.DelaySec()
+	}
+	return s.batch.MaxSize, s.batch.MaxDelaySec
+}
+
 // submitBatched parks the job in the station's open batch window, firing the
 // window when it fills, when a different duration class arrives (preserving
 // FIFO: later same-class jobs cannot overtake the blocked head), or when the
 // deadline timer expires.
 func (s *Station) submitBatched(e *Engine, dur, extraDelay float64, done func(enqueued, started, finish float64)) {
+	maxSize, delay := s.batchLimits()
+	if maxSize <= 1 || delay <= 0 {
+		// The adaptive window has shut (sparse arrivals): serve unbatched,
+		// first firing any batch still open so FIFO order holds.
+		s.fireBatch(e)
+		s.submitPlain(e, dur, extraDelay, done)
+		return
+	}
 	if s.open != nil && s.open.dur != dur {
 		s.fireBatch(e)
 	}
 	if s.open == nil {
 		b := &openBatch{dur: dur}
 		s.open = b
-		e.After(s.batch.MaxDelaySec, func() {
+		e.After(delay, func() {
 			if s.open == b {
 				s.fireBatch(e)
 			}
@@ -87,7 +118,7 @@ func (s *Station) submitBatched(e *Engine, dur, extraDelay float64, done func(en
 	}
 	s.inFlight++
 	s.open.jobs = append(s.open.jobs, batchJob{enq: e.Now(), extraDelay: extraDelay, done: done})
-	if len(s.open.jobs) >= s.batch.MaxSize {
+	if len(s.open.jobs) >= maxSize {
 		s.fireBatch(e)
 	}
 }
@@ -114,6 +145,9 @@ func (s *Station) fireBatch(e *Engine) {
 		e.At(finish+j.extraDelay, func() {
 			s.inFlight--
 			s.served++
+			if s.window != nil {
+				s.window.ObserveLatency(finish - j.enq)
+			}
 			if j.done != nil {
 				j.done(j.enq, start, finish+j.extraDelay)
 			}

@@ -195,7 +195,7 @@ func batchSimConfig(edgeBatch Batch) EventConfig {
 		V:          1e-4,
 		Slots:      40,
 		Seed:       7,
-		EdgeBatch:  edgeBatch,
+		EdgePolicy: Policy{Batch: edgeBatch},
 	}
 }
 

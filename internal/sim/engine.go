@@ -3,6 +3,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"leime/internal/control"
 )
 
 // Engine is a minimal discrete-event engine: a time-ordered heap of
@@ -98,8 +100,10 @@ type Station struct {
 	busyTotal float64 // accumulated service seconds
 	served    int     // completed jobs
 
-	batch Batch      // window batching; zero value = exact FIFO
-	open  *openBatch // in-progress batch window, nil when closed
+	batch  Batch           // window batching; zero value = exact FIFO
+	open   *openBatch      // in-progress batch window, nil when closed
+	window *control.Window // adaptive window on the engine clock, nil = static
+	winMax int             // adaptive batch size cap
 }
 
 // NewStation names a station for diagnostics.
@@ -157,10 +161,19 @@ func (s *Station) SubmitObserved(e *Engine, dur, extraDelay float64, done func(e
 	if dur < 0 {
 		dur = 0
 	}
-	if s.batch.Enabled() {
+	if s.window != nil {
+		s.window.ObserveArrival(e.Now())
+	}
+	if s.batch.Enabled() || s.window != nil {
 		s.submitBatched(e, dur, extraDelay, done)
 		return
 	}
+	s.submitPlain(e, dur, extraDelay, done)
+}
+
+// submitPlain is the exact single-server FIFO path: the busy horizon
+// advances by the job's duration in submission order.
+func (s *Station) submitPlain(e *Engine, dur, extraDelay float64, done func(enqueued, started, finish float64)) {
 	enq := e.Now()
 	start := enq
 	if s.busyUntil > start {
@@ -173,6 +186,9 @@ func (s *Station) SubmitObserved(e *Engine, dur, extraDelay float64, done func(e
 	e.At(finish+extraDelay, func() {
 		s.inFlight--
 		s.served++
+		if s.window != nil {
+			s.window.ObserveLatency(finish - enq)
+		}
 		if done != nil {
 			done(enq, start, finish+extraDelay)
 		}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"leime/internal/cluster"
+	"leime/internal/control"
 	"leime/internal/metrics"
 	"leime/internal/offload"
 	"leime/internal/telemetry"
@@ -39,11 +40,12 @@ type EventConfig struct {
 	DeadlineSec float64
 	// Seed drives arrival sampling, exit sampling and offload coin flips.
 	Seed int64
-	// EdgeBatch, when enabled, applies window batching to every device's
-	// edge share, mirroring the testbed executor's batch window
-	// (runtime.BatchConfig): same-block executions coalesce into one
-	// amortized burn. The zero value keeps the exact FIFO model.
-	EdgeBatch Batch
+	// EdgePolicy applies the edge control plane to every device's edge
+	// share, mirroring runtime.ControlPolicy: a static or adaptive batch
+	// window, a backlog budget whose rejections re-run tasks on their
+	// device, and deadline admission that sheds infeasible work outright.
+	// The zero value keeps the exact FIFO model.
+	EdgePolicy Policy
 	// Tracer, when non-nil, records one trace per task with the same span
 	// taxonomy the testbed emits (task, device.decision, rpc.*, *.queue,
 	// *.block*, exit). Sim spans are stamped in model seconds on the
@@ -66,8 +68,16 @@ type EventResult struct {
 	// Generated and Completed count tasks; they must match after draining.
 	Generated, Completed int
 	// DeadlineMisses counts post-warmup tasks exceeding the configured
-	// deadline (zero when no deadline is set).
+	// deadline (zero when no deadline is set); shed tasks are included.
 	DeadlineMisses int
+	// Fallbacks counts tasks the edge refused under the policy's backlog
+	// budget that re-ran their remaining blocks on the device — the
+	// simulated mirror of runtime.DeviceStats.Fallbacks.
+	Fallbacks int
+	// Sheds counts tasks deadline admission refused outright. They count
+	// toward Completed (conservation) but not ExitCounts: the inference
+	// never produced an answer.
+	Sheds int
 	// Utilization maps each station (per-device CPUs, uplinks, edge shares,
 	// the edge-cloud link and the cloud CPU) to the fraction of the
 	// generation horizon it spent serving.
@@ -129,8 +139,10 @@ func RunEvents(cfg EventConfig) (*EventResult, error) {
 		}
 	}
 
+	pol := cfg.EdgePolicy.withDefaults()
 	s := &eventState{
 		cfg:      cfg,
+		policy:   pol,
 		ctrl:     ctrl,
 		devices:  devices,
 		shares:   shares,
@@ -148,7 +160,16 @@ func RunEvents(cfg EventConfig) (*EventResult, error) {
 		s.devCPU[i] = NewStation(fmt.Sprintf("dev%d-cpu", i))
 		s.uplink[i] = NewStation(fmt.Sprintf("dev%d-uplink", i))
 		s.edgeCPU[i] = NewStation(fmt.Sprintf("edge-share%d", i))
-		s.edgeCPU[i].SetBatch(cfg.EdgeBatch)
+		s.edgeCPU[i].SetBatch(pol.Batch)
+		if pol.AdaptiveBatch {
+			// One controller per share, exactly as the testbed runs one
+			// control.Window per tenant executor — fed by the engine clock.
+			s.edgeCPU[i].SetWindow(control.NewWindow(control.WindowConfig{
+				MaxSize:      pol.Batch.MaxSize,
+				DelayCapSec:  pol.Batch.MaxDelaySec,
+				TargetP99Sec: pol.TargetP99Sec,
+			}), pol.Batch.MaxSize)
+		}
 	}
 	s.cloudLink = NewStation("edge-cloud-link")
 	s.cloudCPU = NewStation("cloud-cpu")
@@ -204,6 +225,7 @@ func RunEvents(cfg EventConfig) (*EventResult, error) {
 // eventState is the mutable state of one EventSim run.
 type eventState struct {
 	cfg     EventConfig
+	policy  Policy // cfg.EdgePolicy with defaults resolved
 	ctrl    *offload.Controller
 	devices []offload.Device
 	shares  []float64
@@ -269,10 +291,47 @@ type simTask struct {
 	slot int
 	born float64
 	exit int
+	// fellBack marks a task the edge refused with backpressure that re-ran
+	// blocks on its device.
+	fellBack bool
 	// id/trace/root are the task's span identity; zero when tracing is off.
 	id    uint64
 	trace uint64
 	root  uint64
+}
+
+// admitVerdict is the outcome of the simulated edge admission check.
+type admitVerdict int
+
+const (
+	// admitOK accepts the submission.
+	admitOK admitVerdict = iota
+	// admitCapacity rejects it under the backlog budget — the runtime's
+	// ErrOverloadCapacity, a degrade-to-local signal.
+	admitCapacity
+	// admitDeadline rejects it as deadline-infeasible — the runtime's
+	// ErrDeadlineInfeasible, a shed-now signal.
+	admitDeadline
+)
+
+// admitEdge applies the edge policy to a submission of dur service seconds
+// on the task's edge share at the current engine time. The wait quote is
+// the share's busy horizon — exact in the busy-horizon model, so no learned
+// bias correction is needed (the fixed point a testbed control.Predictor
+// converges toward). Deadline admission checks the predicted completion
+// against the task's remaining DeadlineSec budget; it runs before the
+// capacity check, mirroring the runtime's order.
+func (s *eventState) admitEdge(task *simTask, dur float64) admitVerdict {
+	now := s.eng.Now()
+	st := s.edgeCPU[task.dev]
+	if s.policy.DeadlineAdmission && s.cfg.DeadlineSec > 0 &&
+		now+st.Backlog(now)+dur > task.born+s.cfg.DeadlineSec {
+		return admitDeadline
+	}
+	if s.policy.MaxBacklogSec > 0 && st.Backlog(now)+dur > s.policy.MaxBacklogSec {
+		return admitCapacity
+	}
+	return admitOK
 }
 
 // span records one finished span on the trace clock (model seconds); no-op
@@ -344,12 +403,28 @@ func (s *eventState) launchLocal(task *simTask) {
 }
 
 // launchEdge ships the raw input to the edge and runs the first block there
-// on the device's edge share.
+// on the device's edge share. Admission runs where the runtime's does: at
+// the edge, after the uplink transfer.
 func (s *eventState) launchEdge(task *simTask) {
 	i := task.dev
 	s.h1[i]++
 	s.transferToEdge(task, s.cfg.Model.D[0], "rpc.first_block", func(task *simTask, rpc *openSpan) {
 		dur := s.cfg.Model.Mu[0] / (s.shares[i] * s.cfg.EdgeFLOPS)
+		switch s.admitEdge(task, dur) {
+		case admitCapacity:
+			// Backpressure: re-run every block on the device, mirroring
+			// the runtime device's degrade-to-local fallback.
+			s.h1[i]--
+			s.close(task, rpc, s.eng.Now())
+			task.fellBack = true
+			s.runLocalBlocks(task, 1)
+			return
+		case admitDeadline:
+			s.h1[i]--
+			s.close(task, rpc, s.eng.Now())
+			s.shed(task)
+			return
+		}
 		s.edgeCPU[i].SubmitObserved(&s.eng, dur, 0, func(enq, start, fin float64) {
 			s.h1[i]--
 			s.span(task, rpc.ID(), "edge.queue", "", enq, start)
@@ -380,9 +455,23 @@ func (s *eventState) transferToEdge(task *simTask, bytes float64, rpcName string
 
 // secondBlock runs block 2 on the device's edge share; tasks surviving the
 // Second exit continue to the cloud. rpc is the enclosing hop's open span.
+// The continuation re-passes admission, exactly as every runtime executor
+// submission does: a capacity refusal finishes the remaining blocks on the
+// device, a deadline refusal sheds.
 func (s *eventState) secondBlock(task *simTask, rpc *openSpan) {
 	i := task.dev
 	dur := s.cfg.Model.Mu[1] / (s.shares[i] * s.cfg.EdgeFLOPS)
+	switch s.admitEdge(task, dur) {
+	case admitCapacity:
+		s.close(task, rpc, s.eng.Now())
+		task.fellBack = true
+		s.runLocalBlocks(task, 2)
+		return
+	case admitDeadline:
+		s.close(task, rpc, s.eng.Now())
+		s.shed(task)
+		return
+	}
 	s.edgeCPU[i].SubmitObserved(&s.eng, dur, 0, func(enq, start, fin float64) {
 		s.span(task, rpc.ID(), "edge.queue", "", enq, start)
 		s.span(task, rpc.ID(), "edge.block2", "", start, fin)
@@ -406,6 +495,45 @@ func (s *eventState) secondBlock(task *simTask, rpc *openSpan) {
 	})
 }
 
+// runLocalBlocks burns blocks first..task.exit on the device CPU — the
+// degrade-to-local path after an edge capacity refusal, mirroring the
+// runtime device's runLocalBlocks.
+func (s *eventState) runLocalBlocks(task *simTask, first int) {
+	i := task.dev
+	var step func(b int)
+	step = func(b int) {
+		dur := s.cfg.Model.Mu[b-1] / s.devices[i].FLOPS
+		s.devCPU[i].SubmitObserved(&s.eng, dur, 0, func(enq, start, fin float64) {
+			s.span(task, task.root, "device.queue", "", enq, start)
+			s.span(task, task.root, fmt.Sprintf("device.block%d", b), "", start, fin)
+			if b >= task.exit {
+				s.complete(task, fin)
+				return
+			}
+			step(b + 1)
+		})
+	}
+	step(first)
+}
+
+// shed records a task deadline admission refused outright: it counts toward
+// Completed (conservation) and DeadlineMisses, but produced no exit.
+func (s *eventState) shed(task *simTask) {
+	at := s.eng.Now()
+	if tr := s.cfg.Tracer; tr != nil && task.trace != 0 {
+		tr.Record(telemetry.Span{
+			Trace: task.trace, Span: task.root,
+			Name: "task", Device: fmt.Sprintf("dev%d", task.dev), Task: task.id,
+			Note: "shed", Start: task.born, End: at,
+		})
+	}
+	s.res.Completed++
+	s.res.Sheds++
+	if task.slot >= s.cfg.WarmupSlots {
+		s.res.DeadlineMisses++
+	}
+}
+
 // complete records a finished task.
 func (s *eventState) complete(task *simTask, at float64) {
 	if tr := s.cfg.Tracer; tr != nil && task.trace != 0 {
@@ -423,6 +551,9 @@ func (s *eventState) complete(task *simTask, at float64) {
 	}
 	s.res.Completed++
 	s.res.ExitCounts[task.exit-1]++
+	if task.fellBack {
+		s.res.Fallbacks++
+	}
 	tct := at - task.born
 	s.slotTCT[task.slot] += tct
 	s.slotDone[task.slot]++

@@ -41,6 +41,7 @@ import (
 	"leime/internal/model"
 	"leime/internal/offload"
 	"leime/internal/rpc"
+	"leime/internal/runtime"
 	"leime/internal/sim"
 )
 
@@ -346,28 +347,39 @@ func toSweepPoints(pts []exitsetting.SweepPoint) []SweepPoint {
 	return out
 }
 
-// BatchOptions configure edge-side request batching: up to MaxSize
-// same-block executions coalesce into one amortized burn, each held at most
-// MaxDelaySec model seconds waiting for co-arriving work. The same options
-// drive both substrates — the testbed executor (runtime.BatchConfig) and the
-// event simulator (sim.Batch) — so a simulated capacity estimate and a
-// testbed measurement describe the same policy. The zero value disables
-// batching.
-type BatchOptions struct {
-	// MaxSize caps how many same-block executions share one burn; values
-	// <= 1 disable batching.
-	MaxSize int
-	// MaxDelaySec bounds, in model seconds, how long a task waits for
-	// co-arriving work; zero disables batching.
-	MaxDelaySec float64
-	// Marginal is the cost of each extra batched task as a fraction of the
-	// first (0 = the library default, 0.25).
-	Marginal float64
-}
+// The edge control plane, re-exported as the facade's policy surface. One
+// PolicyOptions value drives both substrates — the testbed executors
+// (TestbedOptions.EdgePolicy) and the event simulator's edge shares
+// (SimOptions.EdgePolicy) — so a simulated capacity estimate and a testbed
+// measurement describe the same policy. The zero value is the pinned
+// degenerate case: unbounded exact-FIFO queues, no batching, no admission,
+// no degradation.
+type (
+	// PolicyOptions is the edge control policy: backlog budget, deadline
+	// admission, EDF queue ordering, static or adaptive batching, and
+	// overload degradation.
+	PolicyOptions = runtime.ControlPolicy
+	// BatchConfig configures the batch window inside PolicyOptions.
+	BatchConfig = runtime.BatchConfig
+	// DegradeOptions configures overload degradation inside PolicyOptions.
+	DegradeOptions = runtime.DegradePolicy
+)
 
-// simBatch converts the options for the event simulator.
-func (b BatchOptions) simBatch() sim.Batch {
-	return sim.Batch{MaxSize: b.MaxSize, MaxDelaySec: b.MaxDelaySec, Marginal: b.Marginal}
+// simPolicy converts the policy for the event simulator, which mirrors the
+// control plane minus EDF and degradation (see sim.Policy for why those two
+// have no analytic counterpart).
+func simPolicy(p PolicyOptions) sim.Policy {
+	return sim.Policy{
+		MaxBacklogSec:     p.MaxBacklogSec,
+		DeadlineAdmission: p.DeadlineAdmission,
+		Batch: sim.Batch{
+			MaxSize:     p.Batch.MaxSize,
+			MaxDelaySec: p.Batch.MaxDelaySec,
+			Marginal:    p.Batch.Marginal,
+		},
+		AdaptiveBatch: p.AdaptiveBatch,
+		TargetP99Sec:  p.TargetP99Sec,
+	}
 }
 
 // SimOptions configure the built-in simulations.
@@ -386,10 +398,11 @@ type SimOptions struct {
 	// Seed drives stochastic arrivals; 0 defaults to 1. Use SeedZero for
 	// the literal seed 0.
 	Seed int64
-	// EdgeBatch enables window batching on the simulated edge shares. Only
+	// EdgePolicy is the control policy on the simulated edge shares. Only
 	// SimulateTasks honours it — the slot model has no per-task service to
-	// coalesce.
-	EdgeBatch BatchOptions
+	// control. EDF and degradation have no simulator counterpart and are
+	// ignored here (sim.Policy documents why).
+	EdgePolicy PolicyOptions
 }
 
 // withDefaults resolves zero fields to their documented defaults (the
@@ -466,7 +479,7 @@ func (s *System) SimulateTasks(opts SimOptions) (*sim.EventResult, error) {
 		Slots:       opts.Slots,
 		WarmupSlots: opts.Slots / 10,
 		Seed:        opts.Seed,
-		EdgeBatch:   opts.EdgeBatch.simBatch(),
+		EdgePolicy:  simPolicy(opts.EdgePolicy),
 	})
 }
 

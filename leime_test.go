@@ -194,7 +194,7 @@ func TestRunLocalTestbedValidation(t *testing.T) {
 	}
 }
 
-func TestSimulateTasksEdgeBatch(t *testing.T) {
+func TestSimulateTasksEdgePolicyBatch(t *testing.T) {
 	sys := buildSystem(t, "inception-v3", TestbedEnv(RaspberryPi3B))
 	eOnly := EdgeOnly()
 	opts := SimOptions{Devices: 3, ArrivalRate: 8, Slots: 60, Policy: &eOnly}
@@ -202,7 +202,7 @@ func TestSimulateTasksEdgeBatch(t *testing.T) {
 	if err != nil {
 		t.Fatalf("SimulateTasks: %v", err)
 	}
-	opts.EdgeBatch = BatchOptions{MaxSize: 8, MaxDelaySec: 0.05}
+	opts.EdgePolicy = PolicyOptions{Batch: BatchConfig{MaxSize: 8, MaxDelaySec: 0.05}}
 	batched, err := sys.SimulateTasks(opts)
 	if err != nil {
 		t.Fatalf("SimulateTasks(batched): %v", err)
@@ -222,10 +222,12 @@ func TestRunLocalTestbedBatchAndBudget(t *testing.T) {
 			{Node: RaspberryPi3B, ArrivalRate: 4},
 			{Node: RaspberryPi3B, ArrivalRate: 4},
 		},
-		Slots:              15,
-		TimeScale:          0.01,
-		EdgeBatch:          BatchOptions{MaxSize: 4, MaxDelaySec: 0.05},
-		EdgeQueueBudgetSec: 5,
+		Slots:     15,
+		TimeScale: 0.01,
+		EdgePolicy: PolicyOptions{
+			MaxBacklogSec: 5,
+			Batch:         BatchConfig{MaxSize: 4, MaxDelaySec: 0.05},
+		},
 	})
 	if err != nil {
 		t.Fatalf("RunLocalTestbed: %v", err)
@@ -236,6 +238,42 @@ func TestRunLocalTestbedBatchAndBudget(t *testing.T) {
 		}
 		if st.Errors != 0 {
 			t.Errorf("device %d: %d errors (budget rejections must degrade, not fail)", i, st.Errors)
+		}
+	}
+}
+
+// TestRunLocalTestbedSelfTuningPolicy drives the full self-tuning policy —
+// deadline admission, EDF ordering, adaptive batching — through the facade
+// with budgets generous enough that nothing is doomed: the controllers must
+// be plumbing, not behaviour, so conservation holds and nothing errors.
+func TestRunLocalTestbedSelfTuningPolicy(t *testing.T) {
+	sys := buildSystem(t, "inception-v3", TestbedEnv(RaspberryPi3B))
+	res, err := sys.RunLocalTestbed(TestbedOptions{
+		Devices: []TestbedDevice{
+			{Node: RaspberryPi3B, ArrivalRate: 4},
+			{Node: RaspberryPi3B, ArrivalRate: 4},
+		},
+		Slots:           15,
+		TimeScale:       0.01,
+		TaskDeadlineSec: 120,
+		EdgePolicy: PolicyOptions{
+			DeadlineAdmission: true,
+			EDF:               true,
+			AdaptiveBatch:     true,
+		},
+	})
+	if err != nil {
+		t.Fatalf("RunLocalTestbed: %v", err)
+	}
+	for i, st := range res.Stats {
+		if st.Generated == 0 || st.Completed != st.Generated {
+			t.Errorf("device %d: generated %d completed %d", i, st.Generated, st.Completed)
+		}
+		if st.Errors != 0 {
+			t.Errorf("device %d: %d errors under a generous deadline", i, st.Errors)
+		}
+		if st.DeadlineMisses != 0 {
+			t.Errorf("device %d: %d deadline misses under a 120s budget", i, st.DeadlineMisses)
 		}
 	}
 }

@@ -10,11 +10,6 @@ import (
 	"leime/internal/runtime"
 )
 
-// runtimeBatch converts the options for the testbed executor.
-func (b BatchOptions) runtimeBatch() runtime.BatchConfig {
-	return runtime.BatchConfig{MaxSize: b.MaxSize, MaxDelaySec: b.MaxDelaySec, Marginal: b.Marginal}
-}
-
 // TestbedDevice configures one device of a local testbed run.
 type TestbedDevice struct {
 	// ID names the device; empty IDs are auto-numbered.
@@ -55,13 +50,11 @@ type TestbedOptions struct {
 	// open the device degrades to device-only execution (zero value =
 	// library defaults).
 	Breaker BreakerConfig
-	// EdgeBatch enables the edge's batch window: same-block executions
-	// coalesce into amortized burns (zero value = batching off).
-	EdgeBatch BatchOptions
-	// EdgeQueueBudgetSec bounds each tenant's edge backlog in model seconds
-	// of work; offloads past the budget are rejected and the device runs
-	// them locally instead (zero = unbounded queues).
-	EdgeQueueBudgetSec float64
+	// EdgePolicy is the edge's control policy: backlog budget, deadline
+	// admission, EDF queue ordering, static or adaptive batching, and
+	// overload degradation. The zero value keeps the pinned degenerate
+	// case — unbounded exact-FIFO queues, nothing adaptive.
+	EdgePolicy PolicyOptions
 }
 
 // withDefaults resolves zero fields to their documented defaults and
@@ -122,9 +115,8 @@ func (s *System) RunLocalTestbed(opts TestbedOptions) (*TestbedResult, error) {
 			BandwidthBps: s.env.EdgeCloud.BandwidthBps,
 			Latency:      time.Duration(s.env.EdgeCloud.LatencySec * float64(time.Second)),
 		},
-		TimeScale:     scale,
-		Batch:         opts.EdgeBatch.runtimeBatch(),
-		MaxBacklogSec: opts.EdgeQueueBudgetSec,
+		TimeScale: scale,
+		Policy:    opts.EdgePolicy,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("leime: testbed edge: %w", err)
