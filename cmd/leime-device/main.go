@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -17,6 +18,7 @@ import (
 	"leime"
 	"leime/internal/netem"
 	"leime/internal/offload"
+	"leime/internal/partition"
 	"leime/internal/rpc"
 	"leime/internal/runtime"
 	"leime/internal/telemetry"
@@ -55,6 +57,12 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		scale    = fs.Float64("scale", 1, "time compression factor (1 = real time)")
 		seed     = fs.Int64("seed", 1, "randomness seed")
 		admin    = fs.String("admin", "", "admin HTTP address serving /metrics, /healthz, /readyz and /debug/traces (empty = telemetry off)")
+
+		pipeline = fs.String("pipeline", "", "comma-separated edge worker addresses forming an inference chain; when set the device solves the min-latency cut with the partition solver and streams every task through the chain instead of classic offloading")
+		pipeID   = fs.String("pipeline-id", "", "name the installed chain is addressed by; devices sharing it share stage state (default: the device id)")
+		pipeFLOP = fs.String("pipeline-flops", "", "comma-separated per-worker FLOPS of the chain, matching -pipeline; a single value broadcasts to every worker (default: the desktop edge preset)")
+		pipeBW   = fs.Float64("pipeline-bandwidth", 200, "worker-to-worker bandwidth in Mbps priced into the cut (the device-to-first-worker hop uses -bandwidth/-latency)")
+		pipeLat  = fs.Float64("pipeline-latency", 0.002, "worker-to-worker latency in seconds priced into the cut")
 
 		deadline   = fs.Float64("deadline", 0, "per-task completion budget in model seconds; RPCs carry it so remote tiers shed late work (0 = no deadlines)")
 		retries    = fs.Int("retries", 0, "max attempts for idempotent control requests, first try included (0 = library default)")
@@ -118,12 +126,49 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	fmt.Fprintf(out, "leime-device %s: %s on %s, edge %s, policy %s, %d slots at rate %.1f\n",
 		*id, *arch, node.Name, strings.Join(edges, ","), pol.Name, *slots, *rate)
 
+	// Pipelined mode: price the chain with the partition solver before any
+	// traffic flows. The first hop is the device uplink; every later hop is
+	// the worker-to-worker link. ArrivalMean is per slot with TauSec = 1, so
+	// it is already a per-second rate for the queueing term.
+	var pipeAddrs []string
+	var pipeStages []runtime.PipelineStage
+	if *pipeline != "" {
+		addrs := splitEdges(*pipeline)
+		workerFLOPS, err := parseFLOPSList(*pipeFLOP, len(addrs))
+		if err != nil {
+			return err
+		}
+		chain := partition.Chain{
+			Workers: make([]partition.Worker, len(addrs)),
+			Hops:    make([]partition.Hop, len(addrs)),
+		}
+		for j := range addrs {
+			chain.Workers[j] = partition.Worker{FLOPS: workerFLOPS[j]}
+			if j == 0 {
+				chain.Hops[j] = partition.Hop{BandwidthBps: leime.Mbps(*bw), LatencySec: *lat}
+			} else {
+				chain.Hops[j] = partition.Hop{BandwidthBps: leime.Mbps(*pipeBW), LatencySec: *pipeLat}
+			}
+		}
+		plan, err := partition.Solve(partition.Config{Net: sys.MEDNN(), Chain: chain, ArrivalRate: *rate})
+		if err != nil {
+			return err
+		}
+		pipeAddrs = addrs[:len(plan.Stages)]
+		pipeStages = runtime.PipelineFromPlan(plan)
+		fmt.Fprintf(out, "leime-device %s: pipeline cut %v over %d of %d workers (expected %.4fs/task, sustains %.2f/s)\n",
+			*id, plan.Cuts, len(plan.Stages), len(addrs), plan.ExpectedLatencySec, plan.SustainableRate)
+	}
+
 	stats, err := runtime.RunDevice(runtime.DeviceConfig{
-		ID:        *id,
-		FLOPS:     node.FLOPS,
-		Model:     sys.Params(),
-		EdgeAddrs: edges,
-		Ready:     func() { registered.Store(true) },
+		ID:            *id,
+		FLOPS:         node.FLOPS,
+		Model:         sys.Params(),
+		EdgeAddrs:     edges,
+		PipelineAddrs: pipeAddrs,
+		Pipeline:      pipeStages,
+		PipelineID:    *pipeID,
+		Ready:         func() { registered.Store(true) },
 		Uplink: netem.Link{
 			BandwidthBps: leime.Mbps(*bw),
 			Latency:      time.Duration(*lat * float64(time.Second)),
@@ -155,6 +200,36 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	fmt.Fprintf(out, "faults: degraded=%d fallbacks=%d deadline-misses=%d retries=%d breaker-opens=%d migrations=%d\n",
 		stats.Degraded, stats.Fallbacks, stats.DeadlineMisses, stats.Retries, stats.BreakerOpens, stats.Migrations)
 	return nil
+}
+
+// parseFLOPSList expands the comma-separated -pipeline-flops list to one
+// value per chain worker: empty defaults every worker to the desktop edge
+// preset, a single value broadcasts, and otherwise the list length must
+// match the chain.
+func parseFLOPSList(s string, n int) ([]float64, error) {
+	out := make([]float64, n)
+	if strings.TrimSpace(s) == "" {
+		for i := range out {
+			out[i] = leime.EdgeDesktop.FLOPS
+		}
+		return out, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != 1 && len(parts) != n {
+		return nil, fmt.Errorf("-pipeline-flops lists %d values for %d workers", len(parts), n)
+	}
+	for i := range out {
+		p := parts[0]
+		if len(parts) == n {
+			p = parts[i]
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("-pipeline-flops entry %q is not a positive FLOPS value", p)
+		}
+		out[i] = v
+	}
+	return out, nil
 }
 
 // splitEdges parses the comma-separated -edge list.

@@ -103,3 +103,49 @@ func TestDeviceDaemonStopsEarlyAndReportsStats(t *testing.T) {
 		t.Errorf("no final statistics in output:\n%s", out.String())
 	}
 }
+
+// TestDeviceDaemonPipelinedMode drives the -pipeline flags end to end: three
+// in-process edge workers, one device that solves the cut, installs the
+// chain and streams its whole run through it.
+func TestDeviceDaemonPipelinedMode(t *testing.T) {
+	sys, err := leime.Build(leime.Options{Arch: "inception-v3", Env: leime.TestbedEnv(leime.RaspberryPi3B)})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		edge, err := runtime.StartEdge(runtime.EdgeConfig{
+			Addr:      "127.0.0.1:0",
+			FLOPS:     leime.EdgeDesktop.FLOPS,
+			Model:     sys.Params(),
+			TimeScale: 0.01,
+		})
+		if err != nil {
+			t.Fatalf("StartEdge %d: %v", i, err)
+		}
+		defer edge.Close()
+		addrs = append(addrs, edge.Addr())
+	}
+
+	out := &syncBuffer{}
+	stop := make(chan struct{})
+	err = run([]string{
+		"-pipeline", strings.Join(addrs, ","), "-pipeline-id", "daemon-test",
+		"-slots", "20", "-rate", "2", "-scale", "0.01", "-seed", "3",
+	}, out, stop)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "pipeline cut [") {
+		t.Errorf("no solved-cut line in output:\n%s", got)
+	}
+	if !strings.Contains(got, "errors=0") {
+		t.Errorf("pipelined run reported errors:\n%s", got)
+	}
+	// Every pipelined task offloads at its first layer, so the mean ratio
+	// is pinned to 1.
+	if !strings.Contains(got, "mean offloading ratio: 1.000") {
+		t.Errorf("pipelined mode did not pin the offloading ratio:\n%s", got)
+	}
+}

@@ -49,6 +49,8 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		scale     = fs.Float64("scale", 1, "time compression factor (1 = real time)")
 		admin     = fs.String("admin", "", "admin HTTP address serving /metrics, /healthz, /readyz and /debug/traces (empty = telemetry off)")
 		peers     = fs.String("peers", "", "comma-separated sibling edge addresses; admission-rejected tasks are stolen to the least-loaded ready peer (one hop)")
+		peerBW    = fs.Float64("peer-bandwidth", 200, "edge-to-edge bandwidth in Mbps shaping pipeline activation forwards (0 = unshaped)")
+		peerLat   = fs.Float64("peer-latency", 0.002, "edge-to-edge latency in seconds on the pipeline forward path")
 
 		retries    = fs.Int("cloud-retries", 0, "max attempts for idempotent cloud requests, first try included (0 = library default)")
 		retryBase  = fs.Duration("cloud-retry-base", 0, "base backoff before the first cloud retry (0 = library default)")
@@ -85,6 +87,10 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		CloudLink: netem.Link{
 			BandwidthBps: leime.Mbps(*cloudBW),
 			Latency:      time.Duration(*cloudLat * float64(time.Second)),
+		},
+		PeerLink: netem.Link{
+			BandwidthBps: leime.Mbps(*peerBW),
+			Latency:      time.Duration(*peerLat * float64(time.Second)),
 		},
 		TimeScale:    runtime.Scale(*scale),
 		CloudRetry:   rpc.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryBase},

@@ -21,10 +21,28 @@ type PtrReq struct {
 	N int
 }
 
+// StageInstall mirrors the pipeline control message shape: fixed-size
+// array fields ride the closed codec set like any scalar; registered both
+// ways: no finding.
+type StageInstall struct {
+	FLOPs  [3]float64
+	Hosted [3]bool
+}
+
+// Activation mirrors the pipeline data message: a half-registered payload
+// carrier must still be flagged — the gob fallback on the per-task hot
+// path is exactly the regression the analyzer exists to catch.
+type Activation struct {
+	TaskID  uint64
+	Payload []byte
+}
+
 func registerAll() {
 	rpc.Register(TaskReq{})
 	rpc.Register(StatsResp{}) // want `StatsResp is registered on the wire without a binary codec`
 	rpc.Register(&PtrReq{})
+	rpc.Register(StageInstall{})
+	rpc.Register(Activation{}) // want `Activation is registered on the wire without a binary codec`
 
 	rpc.RegisterCodec(1, TaskReq{},
 		func(e *rpc.Encoder, v any) {},
@@ -32,6 +50,9 @@ func registerAll() {
 	rpc.RegisterCodec(2, &PtrReq{},
 		func(e *rpc.Encoder, v any) {},
 		func(d *rpc.Decoder) (any, error) { return &PtrReq{}, nil })
+	rpc.RegisterCodec(17, StageInstall{},
+		func(e *rpc.Encoder, v any) {},
+		func(d *rpc.Decoder) (any, error) { return StageInstall{}, nil })
 
 	// Non-literal prototypes are outside the analyzer's reach; it must
 	// stay silent rather than guess.

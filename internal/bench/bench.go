@@ -55,6 +55,7 @@ func All() []Experiment {
 		Wire(),
 		Federation(),
 		Selftune(),
+		Partition(),
 	}
 }
 

@@ -1,0 +1,419 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"leime/internal/metrics"
+	"leime/internal/model"
+	"leime/internal/netem"
+	"leime/internal/offload"
+	"leime/internal/partition"
+	"leime/internal/runtime"
+	"leime/internal/sim"
+)
+
+// Partition is the pipeline-partitioning study behind DESIGN.md §16: a
+// resnet-34-class model on weak (~1.5 GFLOPS) edge workers, where no single
+// node sustains the offered load. The chain-cut solver prices every cut
+// with the profile's prefix sums and d_l transfer costs; the study shows
+// (a) capacity caps making the model infeasible on any one node but
+// feasible across the chain, (b) the pipelined cut beating single-edge
+// offload under load on the event simulator, and (c) the analytic, event
+// and loopback-TCP substrates agreeing on the same cut's per-class latency.
+func Partition() Experiment {
+	return Experiment{
+		ID:    "partition",
+		Title: "Pipeline partitioning: chain cuts vs single-edge offload on weak workers",
+		Run:   runPartition,
+	}
+}
+
+func runPartition(w io.Writer, quick bool) error {
+	_, err := RunPartitionStudy(w, quick)
+	return err
+}
+
+// PartitionReport is the machine-readable outcome of the partition study
+// (the PARTITION_9.json payload).
+type PartitionReport struct {
+	// Arch names the profiled backbone.
+	Arch string `json:"arch"`
+	// E1 and E2 are the deployed exit positions (E3 is the final layer).
+	E1 int `json:"e1"`
+	E2 int `json:"e2"`
+	// WorkerFLOPS lists the chain workers' compute ratings.
+	WorkerFLOPS []float64 `json:"worker_flops"`
+	// Solver summarizes the analytic comparison at the study's load.
+	Solver PartitionSolverReport `json:"solver"`
+	// Capacity is the model-too-big-for-one-node scenario.
+	Capacity PartitionCapacityReport `json:"capacity"`
+	// Load is the event-simulated under-load comparison (deterministic for
+	// a fixed seed — the CI acceptance numbers).
+	Load PartitionLoadReport `json:"load"`
+	// Differential is the three-substrate agreement check on the chosen cut.
+	Differential PartitionDifferentialReport `json:"differential"`
+}
+
+// PartitionSolverReport is the analytic solver's view of the study chain.
+type PartitionSolverReport struct {
+	// SingleSustainableRate is 1 / service time of the whole model on one
+	// worker — the single-edge saturation point.
+	SingleSustainableRate float64 `json:"single_sustainable_per_sec"`
+	// SingleIdleLatencySec is the expected idle latency of single-edge
+	// offload.
+	SingleIdleLatencySec float64 `json:"single_idle_latency_sec"`
+	// OfferedRate is the offered load the solver priced queueing at.
+	OfferedRate float64 `json:"rate_per_sec"`
+	// Cuts is the chosen chain cut (layer indices, last = model depth).
+	Cuts []int `json:"cuts"`
+	// Stages is the number of pipeline stages in the chosen cut.
+	Stages int `json:"stages"`
+	// ChainSustainableRate is 1 / bottleneck stage service time.
+	ChainSustainableRate float64 `json:"chain_sustainable_per_sec"`
+	// ChainIdleLatencySec is the chosen cut's expected idle latency.
+	ChainIdleLatencySec float64 `json:"chain_idle_latency_sec"`
+}
+
+// PartitionCapacityReport is the per-node capacity scenario: the same
+// model with worker CapFLOPs below its per-task operation count.
+type PartitionCapacityReport struct {
+	// CapFLOPs is the per-task operation bound applied to every worker.
+	CapFLOPs float64 `json:"cap_flops"`
+	// SingleInfeasible reports that one capped worker cannot host the model.
+	SingleInfeasible bool `json:"single_infeasible"`
+	// ChainStages is the stage count of the feasible capped-chain cut.
+	ChainStages int `json:"chain_stages"`
+}
+
+// PartitionLoadPoint is one arm of the under-load comparison.
+type PartitionLoadPoint struct {
+	// Stages is the arm's pipeline depth (1 = single-edge offload).
+	Stages int `json:"stages"`
+	// Generated and Completed count tasks over the horizon plus drain.
+	Generated int `json:"generated"`
+	Completed int `json:"completed"`
+	// MeanSec and P95Sec summarize end-to-end completion time.
+	MeanSec float64 `json:"mean_sec"`
+	P95Sec  float64 `json:"p95_sec"`
+}
+
+// PartitionLoadReport compares single-edge offload with the pipelined cut
+// under the same open-loop workload.
+type PartitionLoadReport struct {
+	// OfferedRate is the offered Poisson rate; above the single worker's
+	// sustainable rate, below the chain's.
+	OfferedRate float64 `json:"rate_per_sec"`
+	// HorizonSec is the generation horizon (the chain drains afterwards).
+	HorizonSec float64 `json:"horizon_sec"`
+	// Seed pins arrival and exit sampling.
+	Seed int64 `json:"seed"`
+	// Single and Pipelined are the two arms.
+	Single    PartitionLoadPoint `json:"single"`
+	Pipelined PartitionLoadPoint `json:"pipelined"`
+	// Speedup is single mean latency over pipelined mean latency; > 1 means
+	// the pipeline wins.
+	Speedup float64 `json:"speedup"`
+}
+
+// PartitionClassPoint is one exit class's latency on all three substrates.
+type PartitionClassPoint struct {
+	// Class is the exit class (1..3).
+	Class int `json:"class"`
+	// SolverSec, SimSec and RuntimeSec are the idle per-class latencies.
+	SolverSec  float64 `json:"solver_sec"`
+	SimSec     float64 `json:"sim_sec"`
+	RuntimeSec float64 `json:"runtime_sec"`
+	// RuntimeRelErr is |runtime - solver| / solver.
+	RuntimeRelErr float64 `json:"runtime_rel_err"`
+}
+
+// PartitionDifferentialReport is the three-substrate agreement check: the
+// simulator pins the solver exactly; the loopback-TCP runtime must land
+// within tolerance.
+type PartitionDifferentialReport struct {
+	// TasksPerClass is how many runtime tasks each class averaged over.
+	TasksPerClass int `json:"tasks_per_class"`
+	// PerClass holds one row per exit class.
+	PerClass []PartitionClassPoint `json:"per_class"`
+	// MaxRuntimeRelErr is the worst runtime deviation from the solver.
+	MaxRuntimeRelErr float64 `json:"max_runtime_rel_err"`
+}
+
+// partitionChain is the study fixture: three weak edge workers behind a
+// device uplink, joined by LAN-class links.
+func partitionChain() partition.Chain {
+	return partition.Chain{
+		Workers: []partition.Worker{{FLOPS: 1.5e9}, {FLOPS: 1.5e9}, {FLOPS: 1.5e9}},
+		Hops: []partition.Hop{
+			{BandwidthBps: 80e6, LatencySec: 0.004},
+			{BandwidthBps: 200e6, LatencySec: 0.002},
+			{BandwidthBps: 200e6, LatencySec: 0.002},
+		},
+	}
+}
+
+// RunPartitionStudy executes the partition experiment, writing its tables
+// to w and returning the machine-readable report.
+func RunPartitionStudy(w io.Writer, quick bool) (*PartitionReport, error) {
+	const (
+		e1, e2 = 5, 11
+		seed   = 93
+	)
+	p := model.ResNet34()
+	sigma, err := calibrated(p)
+	if err != nil {
+		return nil, err
+	}
+	net, err := model.NewMEDNN(p, e1, e2, sigma)
+	if err != nil {
+		return nil, err
+	}
+	chain := partitionChain()
+	rep := &PartitionReport{Arch: p.Name, E1: e1, E2: e2}
+	for _, wk := range chain.Workers {
+		rep.WorkerFLOPS = append(rep.WorkerFLOPS, wk.FLOPS)
+	}
+
+	// Analytic comparison: price the whole model on one worker, then let
+	// the solver cut the chain at a load the single worker cannot sustain.
+	single, err := partition.SingleWorker(partition.Config{Net: net, Chain: chain})
+	if err != nil {
+		return nil, err
+	}
+	rate := 1.2 * single.SustainableRate
+	plan, err := partition.Solve(partition.Config{Net: net, Chain: chain, ArrivalRate: rate})
+	if err != nil {
+		return nil, err
+	}
+	rep.Solver = PartitionSolverReport{
+		SingleSustainableRate: single.SustainableRate,
+		SingleIdleLatencySec:  single.ExpectedLatencySec,
+		OfferedRate:           rate,
+		Cuts:                  plan.Cuts,
+		Stages:                len(plan.Stages),
+		ChainSustainableRate:  plan.SustainableRate,
+		ChainIdleLatencySec:   plan.ExpectedLatencySec,
+	}
+	if _, err := partition.SingleWorker(partition.Config{Net: net, Chain: chain, ArrivalRate: rate}); err == nil {
+		return nil, fmt.Errorf("bench: single worker unexpectedly sustains %.2f tasks/s", rate)
+	}
+
+	// Capacity scenario: cap every worker below the model's per-task
+	// operation count — one node cannot host it, the chain can.
+	cap := 0.45 * (net.Profile.TotalFLOPs() + 3*net.Profile.ExitClassifierFLOPs(e1))
+	capped := chain
+	capped.Workers = append([]partition.Worker(nil), chain.Workers...)
+	for i := range capped.Workers {
+		capped.Workers[i].CapFLOPs = cap
+	}
+	_, capErr := partition.SingleWorker(partition.Config{Net: net, Chain: capped})
+	capPlan, err := partition.Solve(partition.Config{Net: net, Chain: capped})
+	if err != nil {
+		return nil, err
+	}
+	rep.Capacity = PartitionCapacityReport{
+		CapFLOPs:         cap,
+		SingleInfeasible: capErr != nil,
+		ChainStages:      len(capPlan.Stages),
+	}
+
+	// Under-load comparison on the event simulator: the same Poisson
+	// workload offered to single-edge offload and to the pipelined cut.
+	// Deterministic for the pinned seed — these are the CI numbers.
+	horizon := 200 / rate
+	if quick {
+		horizon = 50 / rate
+	}
+	loadArm := func(ch partition.Chain, cuts []int) (PartitionLoadPoint, error) {
+		res, err := sim.RunPipeline(sim.PipelineConfig{
+			Net: net, Chain: ch, Cuts: cuts,
+			Rate: rate, HorizonSec: horizon, Seed: seed,
+		})
+		if err != nil {
+			return PartitionLoadPoint{}, err
+		}
+		return PartitionLoadPoint{
+			Stages:    len(cuts),
+			Generated: res.Generated,
+			Completed: res.Completed,
+			MeanSec:   res.TCT.Mean(),
+			P95Sec:    res.TCT.Percentile(95),
+		}, nil
+	}
+	m := net.Profile.NumExits()
+	singleChain := partition.Chain{Workers: chain.Workers[:1], Hops: chain.Hops[:1]}
+	singlePoint, err := loadArm(singleChain, []int{m})
+	if err != nil {
+		return nil, err
+	}
+	pipePoint, err := loadArm(chain, plan.Cuts)
+	if err != nil {
+		return nil, err
+	}
+	rep.Load = PartitionLoadReport{
+		OfferedRate: rate,
+		HorizonSec:  horizon,
+		Seed:        seed,
+		Single:      singlePoint,
+		Pipelined:   pipePoint,
+	}
+	if pipePoint.MeanSec > 0 {
+		rep.Load.Speedup = singlePoint.MeanSec / pipePoint.MeanSec
+	}
+
+	// Three-substrate differential on the chosen cut at idle: analytic
+	// (WaitSec = 0), event-simulated, and executed over loopback TCP.
+	idle, err := partition.Evaluate(partition.Config{Net: net, Chain: chain}, plan.Cuts)
+	if err != nil {
+		return nil, err
+	}
+	simIdle, err := sim.RunPipeline(sim.PipelineConfig{
+		Net: net, Chain: chain, Cuts: plan.Cuts,
+		Arrivals: []sim.PipeArrival{{AtSec: 0, Class: 1}, {AtSec: 1e4, Class: 2}, {AtSec: 2e4, Class: 3}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	perClass := 3
+	if quick {
+		perClass = 2
+	}
+	runtimeSecs, err := runPartitionLoopback(net, chain, idle, perClass)
+	if err != nil {
+		return nil, err
+	}
+	diff := PartitionDifferentialReport{TasksPerClass: perClass}
+	for c := 0; c < 3; c++ {
+		pt := PartitionClassPoint{
+			Class:      c + 1,
+			SolverSec:  idle.ClassLatencySec[c],
+			SimSec:     simIdle.ClassTCT[c].Mean(),
+			RuntimeSec: runtimeSecs[c],
+		}
+		pt.RuntimeRelErr = math.Abs(pt.RuntimeSec-pt.SolverSec) / pt.SolverSec
+		if pt.RuntimeRelErr > diff.MaxRuntimeRelErr {
+			diff.MaxRuntimeRelErr = pt.RuntimeRelErr
+		}
+		diff.PerClass = append(diff.PerClass, pt)
+	}
+	rep.Differential = diff
+
+	writePartitionTables(w, rep)
+	return rep, nil
+}
+
+// runPartitionLoopback executes the cut for real: one edge process per
+// stage over loopback TCP, per-class latency averaged over a few idle
+// tasks, reported in model seconds.
+func runPartitionLoopback(net *model.MEDNN, chain partition.Chain, plan *partition.Plan, perClass int) ([3]float64, error) {
+	var out [3]float64
+	const scale = runtime.Scale(0.05)
+	edgeModel := offloadParams(net)
+	peer := netem.Link{BandwidthBps: 200e6, Latency: 2 * time.Millisecond}
+	edges := make([]*runtime.Edge, 0, len(plan.Stages))
+	defer func() {
+		for _, e := range edges {
+			_ = e.Close()
+		}
+	}()
+	addrs := make([]string, 0, len(plan.Stages))
+	for j := range plan.Stages {
+		e, err := runtime.StartEdge(runtime.EdgeConfig{
+			Addr:      "127.0.0.1:0",
+			FLOPS:     chain.Workers[plan.Stages[j].Worker].FLOPS,
+			Model:     edgeModel,
+			TimeScale: scale,
+			PeerLink:  peer,
+		})
+		if err != nil {
+			return out, err
+		}
+		edges = append(edges, e)
+		addrs = append(addrs, e.Addr())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := runtime.InstallPipeline(ctx, "study", addrs, runtime.PipelineFromPlan(plan)); err != nil {
+		return out, err
+	}
+	pc, err := runtime.DialPipeline(runtime.PipelineClientConfig{
+		Addr:       addrs[0],
+		PipelineID: "study",
+		DeviceID:   "study-dev",
+		InputBytes: net.Profile.DataBytes(0),
+		Uplink:     netem.Link{BandwidthBps: 80e6, Latency: 4 * time.Millisecond},
+		TimeScale:  scale,
+		Seed:       9,
+	})
+	if err != nil {
+		return out, err
+	}
+	defer pc.Close()
+	// One untimed full-depth task first: it establishes every hop's TCP
+	// connection so the timed tasks measure the chain, not the dials.
+	if _, err := pc.Do(ctx, 1, 3); err != nil {
+		return out, err
+	}
+	taskID := uint64(1)
+	for c := 1; c <= 3; c++ {
+		var total float64
+		for i := 0; i < perClass; i++ {
+			taskID++
+			start := time.Now()
+			resp, err := pc.Do(ctx, taskID, c)
+			if err != nil {
+				return out, err
+			}
+			if resp.ExitStage != c {
+				return out, fmt.Errorf("bench: class %d task exited at %d", c, resp.ExitStage)
+			}
+			total += scale.ModelSeconds(time.Since(start))
+		}
+		out[c-1] = total / float64(perClass)
+	}
+	return out, nil
+}
+
+// offloadParams projects an MEDNN onto the 3-block edge model parameters
+// (the edge's tenant machinery wants them even though pipelined traffic
+// never touches a tenant executor).
+func offloadParams(net *model.MEDNN) offload.ModelParams {
+	return offload.ModelParams{
+		Mu:    net.BlockFLOPs(),
+		D:     net.DataBytes(),
+		Sigma: net.Sigma,
+	}
+}
+
+// writePartitionTables renders the study's human-readable tables.
+func writePartitionTables(w io.Writer, rep *PartitionReport) {
+	fmt.Fprintf(w, "%s with exits at %d/%d on %d workers of %.2g FLOPS:\n\n",
+		rep.Arch, rep.E1, rep.E2, len(rep.WorkerFLOPS), rep.WorkerFLOPS[0])
+
+	solver := metrics.NewTable("arm", "sustainable_per_s", "idle_latency_s", "stages")
+	solver.AddRow("single-edge", rep.Solver.SingleSustainableRate, rep.Solver.SingleIdleLatencySec, 1)
+	solver.AddRow("pipelined", rep.Solver.ChainSustainableRate, rep.Solver.ChainIdleLatencySec, rep.Solver.Stages)
+	fmt.Fprintf(w, "Solver at %.2f tasks/s (cut %v):\n%s\n", rep.Solver.OfferedRate, rep.Solver.Cuts, solver.String())
+
+	fmt.Fprintf(w, "Capacity: per-task cap %.3g FLOPs -> single worker infeasible=%v, chain splits into %d stages.\n\n",
+		rep.Capacity.CapFLOPs, rep.Capacity.SingleInfeasible, rep.Capacity.ChainStages)
+
+	load := metrics.NewTable("arm", "generated", "completed", "mean_s", "p95_s")
+	load.AddRow("single-edge", rep.Load.Single.Generated, rep.Load.Single.Completed, rep.Load.Single.MeanSec, rep.Load.Single.P95Sec)
+	load.AddRow("pipelined", rep.Load.Pipelined.Generated, rep.Load.Pipelined.Completed, rep.Load.Pipelined.MeanSec, rep.Load.Pipelined.P95Sec)
+	fmt.Fprintf(w, "Simulated load at %.2f tasks/s over %.1fs (seed %d):\n%s", rep.Load.OfferedRate, rep.Load.HorizonSec, rep.Load.Seed, load.String())
+	fmt.Fprintf(w, "\nPipelined mean latency is %.1fx better than the saturated single edge.\n\n", rep.Load.Speedup)
+
+	diff := metrics.NewTable("class", "solver_s", "sim_s", "runtime_s", "rel_err")
+	for _, pt := range rep.Differential.PerClass {
+		diff.AddRow(pt.Class, pt.SolverSec, pt.SimSec, pt.RuntimeSec, pt.RuntimeRelErr)
+	}
+	fmt.Fprintf(w, "Three-substrate differential on the chosen cut (idle, %d tasks/class):\n%s",
+		rep.Differential.TasksPerClass, diff.String())
+	fmt.Fprintln(w, "\nThe simulator pins the analytic solver exactly; the loopback-TCP runtime")
+	fmt.Fprintln(w, "agrees within timer and transport noise. One cut, three substrates.")
+}

@@ -21,22 +21,25 @@ import (
 // within each codec is likewise frozen — append-only evolution requires a
 // new ID (or a wire version bump).
 const (
-	codecIDRegisterReq    = 1
-	codecIDRegisterResp   = 2
-	codecIDFirstBlockReq  = 3
-	codecIDSecondBlockReq = 4
-	codecIDThirdBlockReq  = 5
-	codecIDTaskResp       = 6
-	codecIDQueueStatReq   = 7
-	codecIDQueueStatResp  = 8
-	codecIDUpdateReq      = 9
-	codecIDUnregisterReq  = 10
-	codecIDUnregisterResp = 11
-	codecIDEdgeStatsReq   = 12
-	codecIDEdgeStatsResp  = 13
-	codecIDHeartbeatReq   = 14
-	codecIDHeartbeatResp  = 15
-	codecIDStealReq       = 16
+	codecIDRegisterReq      = 1
+	codecIDRegisterResp     = 2
+	codecIDFirstBlockReq    = 3
+	codecIDSecondBlockReq   = 4
+	codecIDThirdBlockReq    = 5
+	codecIDTaskResp         = 6
+	codecIDQueueStatReq     = 7
+	codecIDQueueStatResp    = 8
+	codecIDUpdateReq        = 9
+	codecIDUnregisterReq    = 10
+	codecIDUnregisterResp   = 11
+	codecIDEdgeStatsReq     = 12
+	codecIDEdgeStatsResp    = 13
+	codecIDHeartbeatReq     = 14
+	codecIDHeartbeatResp    = 15
+	codecIDStealReq         = 16
+	codecIDStageInstallReq  = 17
+	codecIDStageInstallResp = 18
+	codecIDActivationReq    = 19
 )
 
 // encodeModel appends the nine profile constants in declaration order.
@@ -280,6 +283,63 @@ func registerCodecs() {
 			r.ExitStage = d.Int()
 			r.Hop = d.Int()
 			decodeModel(d, &r.Model)
+			return r, nil
+		})
+	rpc.RegisterCodec(codecIDStageInstallReq, StageInstallReq{},
+		func(e *rpc.Encoder, v any) {
+			r := v.(StageInstallReq)
+			e.String(r.PipelineID)
+			e.Int(r.Stage)
+			for _, f := range r.FLOPs {
+				e.Float64(f)
+			}
+			for _, h := range r.Hosted {
+				e.Bool(h)
+			}
+			e.Int(r.Deepest)
+			e.Float64(r.OutBytes)
+			e.String(r.NextAddr)
+		},
+		func(d *rpc.Decoder) (any, error) {
+			var r StageInstallReq
+			r.PipelineID = d.String()
+			r.Stage = d.Int()
+			for i := range r.FLOPs {
+				r.FLOPs[i] = d.Float64()
+			}
+			for i := range r.Hosted {
+				r.Hosted[i] = d.Bool()
+			}
+			r.Deepest = d.Int()
+			r.OutBytes = d.Float64()
+			r.NextAddr = d.String()
+			return r, nil
+		})
+	rpc.RegisterCodec(codecIDStageInstallResp, StageInstallResp{},
+		func(e *rpc.Encoder, v any) {
+			e.Int(v.(StageInstallResp).Stage)
+		},
+		func(d *rpc.Decoder) (any, error) {
+			return StageInstallResp{Stage: d.Int()}, nil
+		})
+	rpc.RegisterCodec(codecIDActivationReq, ActivationReq{},
+		func(e *rpc.Encoder, v any) {
+			r := v.(ActivationReq)
+			e.String(r.PipelineID)
+			e.String(r.DeviceID)
+			e.Uvarint(r.TaskID)
+			e.Int(r.Stage)
+			e.Int(r.ExitStage)
+			e.Bytes(r.Payload)
+		},
+		func(d *rpc.Decoder) (any, error) {
+			var r ActivationReq
+			r.PipelineID = d.String()
+			r.DeviceID = d.String()
+			r.TaskID = d.Uvarint()
+			r.Stage = d.Int()
+			r.ExitStage = d.Int()
+			r.Payload = d.Bytes()
 			return r, nil
 		})
 }

@@ -42,6 +42,19 @@ type DeviceConfig struct {
 	// its current edge only when the best alternative improves the selection
 	// objective by more than this fraction. Zero means the 0.05 default.
 	SwitchMargin float64
+	// PipelineAddrs, when non-empty, puts the device in pipelined mode: it
+	// installs Pipeline on the listed edge workers (stage j at address j),
+	// sends every task into the first stage, and never consults the
+	// offloading policy (the chain-cut solver decided placement offline, so
+	// the per-slot decision is always offload). Supersedes EdgeAddr and
+	// EdgeAddrs when set.
+	PipelineAddrs []string
+	// Pipeline is the stage specs to install, one per PipelineAddrs entry —
+	// normally PipelineFromPlan of a partition solve.
+	Pipeline []PipelineStage
+	// PipelineID names the installed chain; empty defaults to the device ID
+	// so concurrent devices do not clobber each other's stages.
+	PipelineID string
 	// Uplink shapes the device–edge path (the WiFi of the testbed).
 	Uplink netem.Link
 	// Arrivals yields per-slot task counts; nil defaults to Poisson with
@@ -109,8 +122,11 @@ func (c DeviceConfig) Validate() error {
 	if err := c.Model.Validate(); err != nil {
 		return err
 	}
-	if c.EdgeAddr == "" && len(c.EdgeAddrs) == 0 {
+	if c.EdgeAddr == "" && len(c.EdgeAddrs) == 0 && len(c.PipelineAddrs) == 0 {
 		return fmt.Errorf("runtime: device needs an edge address")
+	}
+	if len(c.PipelineAddrs) > 0 && len(c.Pipeline) != len(c.PipelineAddrs) {
+		return fmt.Errorf("runtime: %d pipeline stages for %d addresses", len(c.Pipeline), len(c.PipelineAddrs))
 	}
 	if err := c.Uplink.Validate(); err != nil {
 		return err
@@ -224,7 +240,34 @@ func RunDevice(cfg DeviceConfig) (*DeviceStats, error) {
 	}
 	d.rateEstimate = cfg.ArrivalMean
 
-	if len(cfg.EdgeAddrs) > 1 {
+	if len(cfg.PipelineAddrs) > 0 {
+		// Pipelined mode: push the chain (stage installs are idempotent
+		// upserts, so a re-run repairs a restarted worker) and dial the
+		// first stage. No tenancy, no KKT share — the chain's capacity was
+		// priced by the partition solver.
+		installCtx, installCancel := context.WithTimeout(context.Background(), rpc.DialTimeout)
+		err := InstallPipeline(installCtx, d.pipelineID(), cfg.PipelineAddrs, cfg.Pipeline)
+		installCancel()
+		if err != nil {
+			return nil, err
+		}
+		pipe, err := DialPipeline(PipelineClientConfig{
+			Addr:       cfg.PipelineAddrs[0],
+			PipelineID: d.pipelineID(),
+			DeviceID:   cfg.ID,
+			InputBytes: cfg.Model.D[0],
+			Uplink:     cfg.Uplink,
+			TimeScale:  cfg.TimeScale,
+			Seed:       cfg.Seed,
+			Retry:      cfg.Retry,
+			Breaker:    cfg.Breaker,
+		})
+		if err != nil {
+			return nil, err
+		}
+		d.pipe = pipe
+		defer pipe.Close()
+	} else if len(cfg.EdgeAddrs) > 1 {
 		me, err := startMultiEdge(d)
 		if err != nil {
 			return nil, err
@@ -302,7 +345,7 @@ slots:
 		// share so the allocation follows the live workload.
 		const ewma = 0.15
 		d.setRate((1-ewma)*d.rate() + ewma*float64(m))
-		if cfg.AdaptEvery > 0 && t > 0 && t%cfg.AdaptEvery == 0 {
+		if cfg.AdaptEvery > 0 && d.pipe == nil && t > 0 && t%cfg.AdaptEvery == 0 {
 			ctx, cancel := d.controlCtx()
 			if got, err := d.edgeClient().Call(ctx, UpdateReq{DeviceID: cfg.ID, ArrivalMean: d.rate()}); err == nil {
 				if resp, ok := got.(RegisterResp); ok && resp.ShareFLOPS > 0 {
@@ -312,7 +355,11 @@ slots:
 			cancel()
 		}
 		var x float64
-		if d.multi != nil {
+		if d.pipe != nil {
+			// The chain-cut solver decided placement offline: every task
+			// enters the pipeline, so the per-slot decision is constant.
+			x = 1
+		} else if d.multi != nil {
 			x = d.multi.step(ctrl, policy, dev, float64(m), float64(local.Pending()))
 		} else {
 			slot := offload.Slot{
@@ -352,6 +399,7 @@ type deviceRun struct {
 	cfg       DeviceConfig
 	clientP   atomic.Pointer[rpc.ReliableClient] // current edge; swapped on migration
 	multi     *multiEdge                         // nil outside federation mode
+	pipe      *PipelineClient                    // nil outside pipelined mode
 	local     *Executor
 	tel       deviceTelemetry
 	shareBits uint64 // atomic float64 bits: current edge share (FLOPS)
@@ -362,6 +410,15 @@ type deviceRun struct {
 	rngMu        sync.Mutex
 	rng          *rand.Rand
 	wg           sync.WaitGroup
+}
+
+// pipelineID resolves the configured chain name, defaulting to the device
+// ID so concurrently pipelined devices keep disjoint stage maps.
+func (d *deviceRun) pipelineID() string {
+	if d.cfg.PipelineID != "" {
+		return d.cfg.PipelineID
+	}
+	return d.cfg.ID
 }
 
 // edgeClient is the client of the device's current edge; tasks and control
@@ -559,7 +616,11 @@ func (d *deviceRun) runTask(id uint64, slot, exitStage int, offloaded bool) {
 	var localDur time.Duration
 	fellBack, degraded := false, false
 	if offloaded {
-		finalExit, err = d.offloadedPath(ctx, root.Context(), id, exitStage)
+		if d.pipe != nil {
+			finalExit, err = d.pipelinedPath(ctx, root.Context(), id, exitStage)
+		} else {
+			finalExit, err = d.offloadedPath(ctx, root.Context(), id, exitStage)
+		}
 		switch {
 		case err == nil:
 		case errors.Is(err, ErrDeadlineInfeasible):
@@ -568,6 +629,14 @@ func (d *deviceRun) runTask(id uint64, slot, exitStage int, offloaded bool) {
 			// locally would only burn cycles past the deadline. Shed now and
 			// account it as a deadline miss, not a fallback.
 			err = fmt.Errorf("runtime: edge shed the task: %w (%v)", rpc.ErrDeadlineExceeded, err)
+		case backpressured(err) && d.pipe != nil:
+			// The chain's entry stage applied backpressure; there is no
+			// tenancy to continue under, so re-run every block locally.
+			fellBack = true
+			localDur, err = d.runLocalBlocks(ctx, root.Context(), id, 1, exitStage)
+			if err == nil {
+				finalExit = exitStage
+			}
 		case backpressured(err):
 			// The edge applied backpressure (pending-task cap or admission
 			// backlog budget): execute locally instead.
@@ -575,8 +644,9 @@ func (d *deviceRun) runTask(id uint64, slot, exitStage int, offloaded bool) {
 			var fb bool
 			finalExit, localDur, fb, degraded, err = d.localPath(ctx, root.Context(), id, exitStage)
 			fellBack = fellBack || fb
-		case degradable(err):
-			// The edge is unreachable: run every block on the device.
+		case degradable(err) || errors.Is(err, ErrUnknownPipeline):
+			// The edge (or chain entry stage) is unreachable: run every
+			// block on the device.
 			degraded = true
 			localDur, err = d.runLocalBlocks(ctx, root.Context(), id, 1, exitStage)
 			if err == nil {
@@ -720,6 +790,20 @@ func (d *deviceRun) localPath(ctx context.Context, parent telemetry.SpanContext,
 		return 0, 0, false, false, fmt.Errorf("runtime: unexpected reply %T", got)
 	}
 	return resp.ExitStage, localDur, false, false, nil
+}
+
+// pipelinedPath sends the raw input into the chain's first stage; the
+// stages relay the reply back, so one call covers every hop. The final
+// exit may be shallower than asked when a mid-chain stage degraded the
+// task after losing its next hop.
+func (d *deviceRun) pipelinedPath(ctx context.Context, parent telemetry.SpanContext, id uint64, exitStage int) (int, error) {
+	span := d.tel.tracer.StartSpan(parent, "rpc.pipeline").SetDevice(d.cfg.ID).SetTask(id)
+	resp, err := d.pipe.DoMeta(ctx, spanMeta(span), id, exitStage)
+	span.End()
+	if err != nil {
+		return 0, err
+	}
+	return resp.ExitStage, nil
 }
 
 // offloadedPath ships the raw input to the edge, which runs everything.

@@ -73,6 +73,10 @@ type EdgeConfig struct {
 	// Stolen tasks must not ride the full edge rate: an overflow slice
 	// keeps one steal hop from doubling the fleet's modeled compute.
 	StealShare float64
+	// PeerLink shapes the edge-to-edge path activations ride when this
+	// edge hosts a pipeline stage and forwards to the next hop. The zero
+	// value is an unshaped (instant) link, right for in-process tests.
+	PeerLink netem.Link
 	// Tracer records task-lifecycle spans for requests that arrive with a
 	// trace context; nil disables tracing.
 	Tracer *telemetry.Tracer
@@ -105,6 +109,14 @@ type Edge struct {
 	peerWG      sync.WaitGroup
 
 	stealsIn, stealsOut, stealFailed uint64 // atomic
+
+	// Pipeline state: installed stages by (pipeline id, stage index) and
+	// the shared executor their activations burn compute on. The stage map
+	// has its own lock — activations must not contend with the tenant
+	// allocation path.
+	pipeExec *Executor
+	pipeMu   sync.Mutex
+	pipes    map[string]map[int]*pipeStage
 }
 
 // edgeTelemetry holds the edge's cached metric handles; all of them are
@@ -117,6 +129,9 @@ type edgeTelemetry struct {
 	reqControl    *telemetry.Counter
 	reqHeartbeat  *telemetry.Counter
 	reqSteal      *telemetry.Counter
+	reqStage      *telemetry.Counter
+	reqActivation *telemetry.Counter
+	pipeDegraded  *telemetry.Counter
 	stealsOut     *telemetry.Counter
 	stealsIn      *telemetry.Counter
 	stealFailed   *telemetry.Counter
@@ -131,6 +146,7 @@ type edgeTelemetry struct {
 	queueWait     *telemetry.Histogram
 	block1        *telemetry.Histogram
 	block2        *telemetry.Histogram
+	stage         *telemetry.Histogram
 	cloudCall     *telemetry.Histogram
 }
 
@@ -144,6 +160,9 @@ func newEdgeTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry) edgeTelemet
 		reqControl:    reg.Counter("leime_edge_requests_total", reqHelp, telemetry.Label{Key: "type", Value: "control"}),
 		reqHeartbeat:  reg.Counter("leime_edge_requests_total", reqHelp, telemetry.Label{Key: "type", Value: "heartbeat"}),
 		reqSteal:      reg.Counter("leime_edge_requests_total", reqHelp, telemetry.Label{Key: "type", Value: "steal"}),
+		reqStage:      reg.Counter("leime_edge_requests_total", reqHelp, telemetry.Label{Key: "type", Value: "stage_install"}),
+		reqActivation: reg.Counter("leime_edge_requests_total", reqHelp, telemetry.Label{Key: "type", Value: "activation"}),
+		pipeDegraded:  reg.Counter("leime_edge_pipeline_degraded_total", "Pipelined tasks answered from a shallower hosted exit because the next stage was unreachable."),
 		stealsOut:     reg.Counter("leime_edge_steals_total", "Tasks moved by work stealing, by direction.", telemetry.Label{Key: "dir", Value: "out"}),
 		stealsIn:      reg.Counter("leime_edge_steals_total", "Tasks moved by work stealing, by direction.", telemetry.Label{Key: "dir", Value: "in"}),
 		stealFailed:   reg.Counter("leime_edge_steal_failures_total", "Steal attempts that failed (peer rejection or transport error)."),
@@ -158,6 +177,7 @@ func newEdgeTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry) edgeTelemet
 		queueWait:     reg.Histogram("leime_edge_queue_wait_seconds", "First/second-block wait before service (wall seconds).", nil),
 		block1:        reg.Histogram("leime_edge_block_seconds", "Block service time (wall seconds).", nil, telemetry.Label{Key: "block", Value: "1"}),
 		block2:        reg.Histogram("leime_edge_block_seconds", "Block service time (wall seconds).", nil, telemetry.Label{Key: "block", Value: "2"}),
+		stage:         reg.Histogram("leime_edge_stage_seconds", "Pipeline stage service time (wall seconds).", nil),
 		cloudCall:     reg.Histogram("leime_edge_cloud_call_seconds", "Edge-cloud continuation round trip (wall seconds).", nil),
 	}
 }
@@ -185,7 +205,7 @@ func StartEdge(cfg EdgeConfig) (*Edge, error) {
 		return nil, err
 	}
 	RegisterMessages()
-	e := &Edge{cfg: cfg, policy: cfg.Policy.withDefaults(), tenants: make(map[string]*tenant), tel: newEdgeTelemetry(cfg.Tracer, cfg.Metrics)}
+	e := &Edge{cfg: cfg, policy: cfg.Policy.withDefaults(), tenants: make(map[string]*tenant), pipes: make(map[string]map[int]*pipeStage), tel: newEdgeTelemetry(cfg.Tracer, cfg.Metrics)}
 	// The steal executor serves forwarded peer work on the reserved
 	// overflow slice under the same policy as the tenant executors: its
 	// admission budget keeps a stolen flood from queueing unboundedly, and
@@ -200,6 +220,17 @@ func StartEdge(cfg EdgeConfig) (*Edge, error) {
 		return nil, err
 	}
 	e.stealExec = stealExec
+	// Pipeline stages ride one shared executor at the full edge rate under
+	// the same control policy as every tenant: a pipelined task pays
+	// backlog-budget and deadline admission at every stage it crosses, so a
+	// chain consumes capacity like any other tenant traffic rather than
+	// bypassing the control plane.
+	pipeExec, err := NewExecutor(cfg.FLOPS, cfg.TimeScale, WithPolicy(e.policy))
+	if err != nil {
+		stealExec.Close()
+		return nil, err
+	}
+	e.pipeExec = pipeExec
 	if cfg.Metrics != nil {
 		cfg.Metrics.GaugeFunc("leime_edge_ready", "Whether the edge's KKT allocation is warm (1 = ready for task traffic).",
 			func() float64 {
@@ -231,6 +262,7 @@ func StartEdge(cfg EdgeConfig) (*Edge, error) {
 			_ = e.cloud.Close()
 		}
 		e.stealExec.Close()
+		e.pipeExec.Close()
 		return nil, err
 	}
 	e.srv = srv
@@ -295,6 +327,12 @@ func (e *Edge) handle(ctx context.Context, meta rpc.Meta, body any) (any, error)
 	case StealReq:
 		e.tel.reqSteal.Inc()
 		return e.handleSteal(ctx, meta, req)
+	case StageInstallReq:
+		e.tel.reqStage.Inc()
+		return e.stageInstall(req)
+	case ActivationReq:
+		e.tel.reqActivation.Inc()
+		return e.activation(ctx, meta, req)
 	default:
 		return nil, fmt.Errorf("edge: unexpected request %T", body)
 	}
@@ -656,6 +694,8 @@ func (e *Edge) Close() error {
 	}
 	e.mu.Unlock()
 	e.stealExec.Close()
+	e.pipeExec.Close()
+	e.closePipelines()
 	for _, c := range e.peerClients {
 		_ = c.Close()
 	}

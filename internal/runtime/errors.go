@@ -40,6 +40,12 @@ var (
 	// immediately — burning local CPU on a result that will arrive late
 	// anyway would only steal capacity from tasks that can still make it.
 	ErrDeadlineInfeasible = fmt.Errorf("%w: predicted completion misses the task deadline", ErrOverloaded)
+	// ErrUnknownPipeline marks an activation for a (pipeline, stage) the
+	// edge has no installed state for — the normal outcome after a worker
+	// restart, repaired by re-pushing the chain (stage installs are
+	// idempotent upserts). Upstream stages treat it like an unreachable
+	// next hop and degrade to their deepest hosted exit.
+	ErrUnknownPipeline = errors.New("edge: unknown pipeline stage")
 )
 
 func init() {
@@ -55,4 +61,5 @@ func init() {
 	// A shutdown race can surface the executor's closed state from a
 	// handler mid-drain; without a code it would reach the device untyped.
 	rpc.RegisterError("runtime/executor-closed", ErrExecutorClosed)
+	rpc.RegisterError("runtime/unknown-pipeline", ErrUnknownPipeline)
 }

@@ -170,6 +170,57 @@ type StealReq struct {
 	Model offload.ModelParams
 }
 
+// StageInstallReq installs (or replaces) one pipeline stage on an edge
+// worker: the layer range's per-exit-class operation counts, which exit
+// heads the range hosts, and where to forward survivors. Stages are
+// addressed (PipelineID, Stage) and installation is an upsert, so a
+// controller can re-push a chain after any worker restart.
+type StageInstallReq struct {
+	// PipelineID names the chain; one edge can host stages of many chains.
+	PipelineID string
+	// Stage is this worker's 0-based position in the chain.
+	Stage int
+	// FLOPs[c] is the operation count a task of exit class c+1 burns at
+	// this stage (its backbone layers in the range plus every exit
+	// classifier it passes there). Taken from partition.Stage.FLOPs.
+	FLOPs [3]float64
+	// Hosted[c] reports that exit class c+1 completes at this stage.
+	Hosted [3]bool
+	// Deepest is the deepest exit class (1..3) whose head lies at or
+	// before this stage's end, or 0: the degraded answer when the next
+	// hop is unreachable.
+	Deepest int
+	// OutBytes is the activation size forwarded to the next stage.
+	OutBytes float64
+	// NextAddr is the next stage's edge address; empty marks the terminal
+	// stage.
+	NextAddr string
+}
+
+// StageInstallResp acknowledges a stage installation.
+type StageInstallResp struct {
+	// Stage echoes the installed stage index.
+	Stage int
+}
+
+// ActivationReq carries one task's intermediate activation into a pipeline
+// stage: the stage burns its share of the task's compute and either
+// answers from a hosted exit or forwards the next activation downstream.
+// The payload carries real bytes so netem shaping prices the d_l transfer.
+type ActivationReq struct {
+	PipelineID string
+	// DeviceID and TaskID identify the task for tracing and the reply.
+	DeviceID string
+	TaskID   uint64
+	// Stage is the receiving worker's position; a mismatch with the
+	// installed stage map is an unknown-pipeline error.
+	Stage int
+	// ExitStage is the task's predetermined exit class (1..3).
+	ExitStage int
+	// Payload is the activation tensor (d_Lo bytes for this stage).
+	Payload []byte
+}
+
 // QueueStatReq asks the edge for the device's pending first-block backlog.
 type QueueStatReq struct {
 	DeviceID string
@@ -210,6 +261,13 @@ func (EdgeStatsReq) Idempotent() bool { return true }
 // Idempotent marks heartbeats as safely repeatable (pure reads).
 func (HeartbeatReq) Idempotent() bool { return true }
 
+// Idempotent marks stage installation as safely repeatable (it upserts the
+// stage and re-dials the next hop either way). ActivationReq deliberately
+// carries no marker: re-delivering an activation would burn stage compute
+// twice, so upstream degrades to its deepest hosted exit instead of
+// retrying.
+func (StageInstallReq) Idempotent() bool { return true }
+
 // RegisterMessages registers all protocol types with the rpc layer — the
 // gob fallback registration here plus the binary codecs (codec.go) — so
 // every tier rides the zero-allocation binary wire path for the closed
@@ -233,6 +291,9 @@ func RegisterMessages() {
 	rpc.Register(HeartbeatReq{})
 	rpc.Register(HeartbeatResp{})
 	rpc.Register(StealReq{})
+	rpc.Register(StageInstallReq{})
+	rpc.Register(StageInstallResp{})
+	rpc.Register(ActivationReq{})
 }
 
 // Scale compresses testbed time so experiments finish quickly: all compute

@@ -88,7 +88,7 @@ func (e *Edge) backlogSeconds() float64 {
 		sum += t.exec.BacklogSeconds()
 	}
 	e.mu.Unlock()
-	return sum + e.stealExec.BacklogSeconds()
+	return sum + e.stealExec.BacklogSeconds() + e.pipeExec.BacklogSeconds()
 }
 
 // healthResp builds the edge's heartbeat: fleet-wide health plus, when the

@@ -242,6 +242,12 @@ func (s *System) Params() ModelParams {
 	}
 }
 
+// MEDNN returns the deployed multi-exit network in full per-layer detail
+// (block FLOPs, activation sizes, cumulative exit rates). The partition
+// solver consumes it to price chain cuts; the returned value is shared, so
+// callers must treat it as read-only.
+func (s *System) MEDNN() *model.MEDNN { return s.mednn }
+
 // Env returns the environment the system was built for.
 func (s *System) Env() Env { return s.env }
 
