@@ -1,23 +1,30 @@
 // Command leimevet is the repo's multichecker: it loads packages from
 // source and applies every project-specific analyzer in one pass —
 // codeccomplete, determinism, unitsafety, lockdiscipline, wireerrors,
-// plus the ctxfirst
-// and missingdocs checks that replaced cmd/ctxcheck and cmd/doccheck. It
-// prints one line per finding and exits non-zero when any survive the
-// //lint:ignore suppression filter.
+// the ctxfirst and missingdocs checks that replaced cmd/ctxcheck and
+// cmd/doccheck, and the invariant suite: wirefrozen (codec registry vs
+// the committed wire.manifest), clockpure (no wall clock in model-clock
+// packages), spanbalance (every started span ends), atomicmix (no mixed
+// atomic/plain field access) and deadlinefwd (forwards propagate the
+// incoming deadline). It prints one line per finding and exits non-zero
+// when any survive the //lint:ignore suppression filter.
 //
 // Usage:
 //
-//	leimevet [-json] [-fix] [-tests=false] [pattern ...]
+//	leimevet [-json] [-fix] [-write-manifest] [-tests=false] [pattern ...]
 //
 // Patterns are directories, "./..."-style recursive patterns, or import
 // paths; the default is "./..." from the enclosing module root. -json
-// emits the findings as a JSON array instead of text. -fix applies each
-// finding's suggested fix (currently the errors.Is rewrites) to the files
-// in place and reports what remains unfixable.
+// emits a JSON object carrying the findings, per-analyzer counts and the
+// wire.manifest hash. -fix applies each finding's suggested fix (the
+// errors.Is rewrites and wire.manifest regeneration) to the files in
+// place and reports what remains unfixable. -write-manifest skips
+// analysis entirely and rewrites wire.manifest from the loaded packages'
+// rpc.RegisterCodec calls — CI runs it and fails on any resulting diff.
 package main
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,42 +35,54 @@ import (
 	"strings"
 
 	"leime/internal/analysis"
+	"leime/internal/analysis/atomicmix"
+	"leime/internal/analysis/clockpure"
 	"leime/internal/analysis/codeccomplete"
 	"leime/internal/analysis/ctxfirst"
+	"leime/internal/analysis/deadlinefwd"
 	"leime/internal/analysis/determinism"
 	"leime/internal/analysis/lockdiscipline"
 	"leime/internal/analysis/missingdocs"
+	"leime/internal/analysis/spanbalance"
 	"leime/internal/analysis/unitsafety"
 	"leime/internal/analysis/wireerrors"
+	"leime/internal/analysis/wirefrozen"
 )
 
 // analyzers is the full suite, in the order findings are attributed.
 var analyzers = []*analysis.Analyzer{
+	atomicmix.Analyzer,
+	clockpure.Analyzer,
 	codeccomplete.Analyzer,
 	ctxfirst.Analyzer,
+	deadlinefwd.Analyzer,
 	determinism.Analyzer,
 	lockdiscipline.Analyzer,
 	missingdocs.Analyzer,
+	spanbalance.Analyzer,
 	unitsafety.Analyzer,
 	wireerrors.Analyzer,
+	wirefrozen.Analyzer,
 }
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	jsonOut := flag.Bool("json", false, "emit a JSON report object")
 	fix := flag.Bool("fix", false, "apply suggested fixes in place")
+	writeManifest := flag.Bool("write-manifest", false, "regenerate wire.manifest from the loaded packages and exit")
 	tests := flag.Bool("tests", true, "include _test.go files in analysis")
 	flag.Parse()
-	if err := run(flag.Args(), *jsonOut, *fix, *tests); err != nil {
+	if err := run(flag.Args(), *jsonOut, *fix, *writeManifest, *tests); err != nil {
 		fmt.Fprintln(os.Stderr, "leimevet:", err)
 		os.Exit(2)
 	}
 }
 
-func run(patterns []string, jsonOut, fix, tests bool) error {
+func run(patterns []string, jsonOut, fix, writeManifest, tests bool) error {
 	root, err := findModuleRoot()
 	if err != nil {
 		return err
 	}
+	wirefrozen.ManifestPath = filepath.Join(root, "wire.manifest")
 	loader := analysis.NewLoader()
 	if err := loader.SetModule(root); err != nil {
 		return err
@@ -85,6 +104,9 @@ func run(patterns []string, jsonOut, fix, tests bool) error {
 		}
 		pkgs = append(pkgs, loaded...)
 	}
+	if writeManifest {
+		return regenerateManifest(pkgs)
+	}
 	findings, err := analysis.Run(pkgs, analyzers)
 	if err != nil {
 		return err
@@ -102,6 +124,33 @@ func run(patterns []string, jsonOut, fix, tests bool) error {
 		fmt.Fprintf(os.Stderr, "leimevet: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+	return nil
+}
+
+// regenerateManifest rewrites wire.manifest from the loaded packages'
+// registrations, preserving entries owned by packages outside this load.
+func regenerateManifest(pkgs []*analysis.Package) error {
+	existing, err := wirefrozen.LoadManifest(wirefrozen.ManifestPath)
+	if err != nil {
+		return err
+	}
+	owned := map[string]bool{}
+	for _, p := range pkgs {
+		owned[p.Pkg.Path()] = true
+	}
+	regs := wirefrozen.ExtractPackages(pkgs)
+	byID := map[uint64]string{}
+	for _, e := range regs {
+		if prev, dup := byID[e.ID]; dup && prev != e.Type {
+			return fmt.Errorf("codec ID %d registered for both %s and %s; resolve the collision before freezing", e.ID, prev, e.Type)
+		}
+		byID[e.ID] = e.Type
+	}
+	merged := wirefrozen.MergeManifest(existing, owned, regs)
+	if err := os.WriteFile(wirefrozen.ManifestPath, wirefrozen.FormatManifest(merged), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "leimevet: wrote %s (%d codec IDs)\n", wirefrozen.ManifestPath, len(merged))
 	return nil
 }
 
@@ -139,19 +188,38 @@ type jsonFinding struct {
 	Fixable bool `json:"fixable"`
 }
 
+// jsonReport is the -json output: the findings plus per-analyzer counts
+// (zero entries included, so a clean run still enumerates the suite) and
+// the sha256 of the committed wire.manifest ("" when absent).
+type jsonReport struct {
+	Findings []jsonFinding  `json:"findings"`
+	Counts   map[string]int `json:"counts"`
+	Manifest string         `json:"wire_manifest_sha256"`
+}
+
 func emitJSON(findings []analysis.Finding) error {
-	out := make([]jsonFinding, 0, len(findings))
+	report := jsonReport{
+		Findings: make([]jsonFinding, 0, len(findings)),
+		Counts:   make(map[string]int, len(analyzers)),
+	}
+	for _, a := range analyzers {
+		report.Counts[a.Name] = 0
+	}
 	for _, f := range findings {
-		out = append(out, jsonFinding{
+		report.Findings = append(report.Findings, jsonFinding{
 			Analyzer: f.Analyzer,
 			Pos:      f.Position.String(),
 			Message:  f.Message,
 			Fixable:  len(f.Diag.SuggestedFixes) > 0,
 		})
+		report.Counts[f.Analyzer]++
+	}
+	if data, err := os.ReadFile(wirefrozen.ManifestPath); err == nil {
+		report.Manifest = fmt.Sprintf("%x", sha256.Sum256(data))
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
+	if err := enc.Encode(report); err != nil {
 		return err
 	}
 	if len(findings) > 0 {

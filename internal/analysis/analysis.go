@@ -50,6 +50,59 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Report delivers one diagnostic to the driver.
 	Report func(Diagnostic)
+	// Facts is the cross-package fact store shared by every pass of one
+	// Run invocation. Run analyzes packages in dependency order, so facts
+	// a pass exports about its own symbols are visible to every pass that
+	// imports that package later in the same run.
+	Facts *Facts
+}
+
+// Facts accumulates analyzer conclusions about named symbols across
+// packages. Facts are keyed by (analyzer, canonical symbol name) strings
+// rather than types.Object identity because the loader may materialize one
+// package under two distinct type universes (once as an analysis target,
+// once as a dependency); the FullName string is the same in both.
+type Facts struct {
+	m map[factKey]any
+}
+
+type factKey struct {
+	analyzer string
+	symbol   string
+}
+
+// NewFacts returns an empty fact store.
+func NewFacts() *Facts { return &Facts{m: map[factKey]any{}} }
+
+// SymbolName canonicalizes obj into the cross-universe fact key: the
+// FullName for functions and methods, package-path-qualified name for
+// everything else package-scoped.
+func SymbolName(obj types.Object) string {
+	if fn, ok := obj.(*types.Func); ok {
+		return fn.FullName()
+	}
+	if obj.Pkg() != nil {
+		return obj.Pkg().Path() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// ExportFact records a fact about obj on behalf of this pass's analyzer.
+func (p *Pass) ExportFact(obj types.Object, v any) {
+	if p.Facts == nil || obj == nil {
+		return
+	}
+	p.Facts.m[factKey{p.Analyzer.Name, SymbolName(obj)}] = v
+}
+
+// ImportFact retrieves the fact this pass's analyzer exported about obj in
+// an earlier (dependency) pass, if any.
+func (p *Pass) ImportFact(obj types.Object) (any, bool) {
+	if p.Facts == nil || obj == nil {
+		return nil, false
+	}
+	v, ok := p.Facts.m[factKey{p.Analyzer.Name, SymbolName(obj)}]
+	return v, ok
 }
 
 // Reportf reports a diagnostic at pos with a formatted message.
@@ -90,6 +143,10 @@ type TextEdit struct {
 	Pos token.Pos
 	// End is the position after the last byte replaced.
 	End token.Pos
+	// File, when non-empty, names a file whose entire content becomes
+	// NewText (created if absent); Pos and End are ignored. This is how
+	// fixes regenerate whole non-Go artifacts such as wire.manifest.
+	File string
 	// NewText is the replacement text.
 	NewText []byte
 }

@@ -1,0 +1,142 @@
+// Package atomicmix flags struct fields accessed both through sync/atomic
+// and by plain load/store. The repo leans on the raw-word atomic idiom in
+// several hot paths (float-bits CAS rates, the claim word, steal
+// counters); one careless plain read of such a field is a data race the
+// detector may never schedule, because it only fires if the race actually
+// interleaves under -race. The rule: once any non-test code passes &x.f to
+// a sync/atomic function, every other access to that field must be atomic
+// too (or carry a //lint:ignore with the reason the plain access is safe,
+// e.g. pre-publication initialization).
+//
+// Fields whose type is itself from sync/atomic (atomic.Uint64 and
+// friends) are exempt: method-based access cannot mix. The check is
+// per-package — the repo's raw-word atomics are all unexported fields.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"leime/internal/analysis"
+)
+
+// Analyzer reports mixed atomic/plain access to one struct field.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "a field accessed via sync/atomic must never also be accessed plainly",
+	Run:  run,
+}
+
+// atomicFns names the sync/atomic package-level functions that take the
+// word's address as their first argument.
+func isAtomicFn(name string) bool {
+	for _, prefix := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Pass 1: collect fields whose address feeds a sync/atomic call, and
+	// remember those argument expressions so pass 2 can skip them.
+	atomicSite := map[types.Object]token.Pos{}
+	atomicArg := map[ast.Expr]bool{}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 || !isAtomicCall(pass, call) {
+				return true
+			}
+			un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			field := fieldObject(pass, sel)
+			if field == nil {
+				return true
+			}
+			if _, seen := atomicSite[field]; !seen {
+				atomicSite[field] = call.Pos()
+			}
+			atomicArg[sel] = true
+			return true
+		})
+	}
+	if len(atomicSite) == 0 {
+		return nil, nil
+	}
+
+	// Pass 2: any other selector resolving to one of those fields is a
+	// plain access racing the atomic ones.
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicArg[sel] {
+				return true
+			}
+			field := fieldObject(pass, sel)
+			if field == nil {
+				return true
+			}
+			pos, mixed := atomicSite[field]
+			if !mixed {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "field %s is accessed with sync/atomic (e.g. at %s) but plainly here; mixed access races — use the atomic API on every access",
+				field.Name(), pass.Fset.Position(pos))
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package-level
+// word function (Load/Store/Add/Swap/CompareAndSwap/And/Or variants).
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "sync/atomic" {
+		return false
+	}
+	return isAtomicFn(sel.Sel.Name)
+}
+
+// fieldObject resolves sel to a struct-field variable, skipping fields of
+// sync/atomic types (their methods cannot mix with plain access).
+func fieldObject(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok || !field.IsField() {
+		return nil
+	}
+	if named, ok := field.Type().(*types.Named); ok {
+		if p := named.Obj().Pkg(); p != nil && p.Path() == "sync/atomic" {
+			return nil
+		}
+	}
+	return field
+}

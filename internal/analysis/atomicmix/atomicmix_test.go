@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"leime/internal/analysis/analysistest"
+	"leime/internal/analysis/atomicmix"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicmix.Analyzer, "mix")
+}

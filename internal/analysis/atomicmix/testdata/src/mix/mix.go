@@ -1,0 +1,77 @@
+// Package mix exercises atomicmix: plain access to a field that elsewhere
+// feeds sync/atomic is flagged; purely-atomic fields, purely-plain fields,
+// and sync/atomic-typed fields are clean.
+package mix
+
+import "sync/atomic"
+
+// counter mixes access styles on hits but not on misses.
+type counter struct {
+	hits   uint64
+	misses uint64
+	label  string
+}
+
+func (c *counter) bump() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counter) bad() uint64 {
+	return c.hits // want `field hits is accessed with sync/atomic`
+}
+
+func (c *counter) badStore() {
+	c.hits = 0 // want `field hits is accessed with sync/atomic`
+}
+
+// okPlain never touches misses atomically — plain access is fine.
+func (c *counter) okPlain() uint64 {
+	c.misses++
+	return c.misses
+}
+
+// okAtomicOnly reads hits through the atomic API — fine.
+func (c *counter) okAtomicOnly() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+// okString is a non-word field with no atomic use at all.
+func (c *counter) okString() string { return c.label }
+
+// gauge holds a sync/atomic-typed field: method access cannot mix, so the
+// analyzer leaves it alone even next to a plain read of the same struct.
+type gauge struct {
+	level atomic.Int64
+	name  string
+}
+
+func (g *gauge) okTyped() int64 {
+	g.name = "g"
+	return g.level.Load()
+}
+
+// rate is the float-bits idiom from the runtime: CAS on the bits word.
+type rate struct {
+	bits uint64
+}
+
+func (r *rate) set(v uint64) {
+	for {
+		old := atomic.LoadUint64(&r.bits)
+		if atomic.CompareAndSwapUint64(&r.bits, old, v) {
+			return
+		}
+	}
+}
+
+func (r *rate) badPeek() uint64 {
+	return r.bits // want `field bits is accessed with sync/atomic`
+}
+
+// okIgnored documents a pre-publication initialization with a suppression.
+func newRate(v uint64) *rate {
+	r := &rate{}
+	//lint:ignore atomicmix r is not yet shared with any other goroutine
+	r.bits = v
+	return r
+}

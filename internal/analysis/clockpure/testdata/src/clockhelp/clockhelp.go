@@ -1,0 +1,25 @@
+// Package clockhelp is a non-model-clock fixture dependency: it may read
+// the wall clock freely (no diagnostics here), but the facts exported
+// about its functions let clockpure catch model-clock packages that reach
+// the clock through it.
+package clockhelp
+
+import "time"
+
+// now is the buried wall-clock read; Stamp reaches it transitively.
+func now() float64 { return float64(time.Now().UnixNano()) }
+
+// Stamp reaches the wall clock through a same-package helper.
+func Stamp() float64 { return now() / 1e9 }
+
+// Pure is clock-free; calling it from a model-clock package is fine.
+func Pure(x float64) float64 { return x * 2 }
+
+// Ticker carries a clock-reaching method, proving method facts travel.
+type Ticker struct{ Period time.Duration }
+
+// Wait sleeps on the wall clock.
+func (t Ticker) Wait() { time.Sleep(t.Period) }
+
+// Len is a clock-free method.
+func (t Ticker) Len() time.Duration { return t.Period }

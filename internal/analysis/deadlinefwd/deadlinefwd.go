@@ -1,0 +1,294 @@
+// Package deadlinefwd checks that RPC work-forwarding sites propagate the
+// incoming deadline instead of minting a fresh one. The paper's admission
+// story depends on this: a task's deadline is stamped once, at the device,
+// anchored to the arrival slot; every downstream hop (edge → peer steal,
+// edge → cloud, pipeline stage → stage) must shrink the remaining budget,
+// never reset it. A forward that builds its context from
+// context.Background(), or fills rpc.Meta.Deadline from time.Now, silently
+// re-opens the budget and defeats deadline-aware shedding on the next hop.
+//
+// The rule, at every call to Call/CallMeta on an rpc client: if any
+// enclosing function has a context.Context parameter (i.e. there IS an
+// incoming deadline to propagate), the context argument must trace back to
+// a parameter — possibly through context.With* wrappers — and never to
+// context.Background()/TODO(); and a literal rpc.Meta argument must not
+// compute its Deadline field from time.Now. Call sites in functions with
+// no context parameter anywhere in scope are origin sites (the device's
+// own task stamping, benchmarks, dial-time registration) and are exempt.
+package deadlinefwd
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"leime/internal/analysis"
+)
+
+// Analyzer reports forwarded RPCs that drop or re-mint the incoming deadline.
+var Analyzer = &analysis.Analyzer{
+	Name: "deadlinefwd",
+	Doc:  "forwarded RPCs must derive their deadline from the incoming one, never a fresh clock",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		checkFile(pass, f)
+	}
+	return nil, nil
+}
+
+// funcScope is one frame of the enclosing-function stack at a call site.
+type funcScope struct {
+	params map[types.Object]bool // context-typed (and other) parameters
+	body   *ast.BlockStmt
+}
+
+func checkFile(pass *analysis.Pass, f *ast.File) {
+	var stack []funcScope
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body == nil {
+				return false
+			}
+			stack = append(stack, newScope(pass, fn.Type, fn.Body))
+			ast.Inspect(fn.Body, walk)
+			stack = stack[:len(stack)-1]
+			return false
+		case *ast.FuncLit:
+			stack = append(stack, newScope(pass, fn.Type, fn.Body))
+			ast.Inspect(fn.Body, walk)
+			stack = stack[:len(stack)-1]
+			return false
+		case *ast.CallExpr:
+			checkCall(pass, fn, stack)
+		}
+		return true
+	}
+	ast.Inspect(f, walk)
+}
+
+func newScope(pass *analysis.Pass, ft *ast.FuncType, body *ast.BlockStmt) funcScope {
+	s := funcScope{params: map[types.Object]bool{}, body: body}
+	if ft.Params != nil {
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					s.params[obj] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+// checkCall inspects one Call/CallMeta invocation on an rpc client.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, stack []funcScope) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Call" && sel.Sel.Name != "CallMeta") || len(call.Args) == 0 {
+		return
+	}
+	method, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || !isRPCPkg(method.Pkg()) {
+		return
+	}
+	if sig, ok := method.Type().(*types.Signature); !ok || sig.Recv() == nil {
+		return
+	}
+	// The rpc package's own internals are the implementation of the
+	// propagation contract, not a forwarding site.
+	if isRPCPkg(pass.Pkg) {
+		return
+	}
+	if !hasContextParam(pass, stack) {
+		return // origin site: nothing incoming to propagate
+	}
+	switch traceCtx(pass, call.Args[0], stack, 0) {
+	case ctxFresh:
+		pass.Reportf(call.Args[0].Pos(),
+			"RPC forward drops the incoming deadline: context traces to context.Background()/TODO(); derive it from the incoming context instead")
+	}
+	if sel.Sel.Name == "CallMeta" && len(call.Args) >= 2 {
+		checkMetaArg(pass, call.Args[1])
+	}
+}
+
+func isRPCPkg(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == "rpc" || strings.HasSuffix(pkg.Path(), "/rpc")
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func hasContextParam(pass *analysis.Pass, stack []funcScope) bool {
+	for _, s := range stack {
+		for obj := range s.params {
+			if isContextType(obj.Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+type ctxOrigin int
+
+const (
+	ctxUnknown ctxOrigin = iota // stop: struct field, helper return, …
+	ctxIncoming
+	ctxFresh
+)
+
+// traceCtx resolves where a context expression ultimately comes from:
+// a function parameter (incoming), context.Background()/TODO() (fresh),
+// or something the analyzer cannot see through (unknown — not reported).
+func traceCtx(pass *analysis.Pass, e ast.Expr, stack []funcScope, depth int) ctxOrigin {
+	if depth > 8 {
+		return ctxUnknown
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil {
+			return ctxUnknown
+		}
+		for _, s := range stack {
+			if s.params[obj] {
+				return ctxIncoming
+			}
+		}
+		if rhs := lastAssign(pass, obj, stack); rhs != nil {
+			return traceCtx(pass, rhs, stack, depth+1)
+		}
+		return ctxUnknown
+	case *ast.CallExpr:
+		fn, ok := calleeNamed(pass, e)
+		if !ok {
+			return ctxUnknown
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+			switch fn.Name() {
+			case "Background", "TODO":
+				return ctxFresh
+			case "WithCancel", "WithTimeout", "WithDeadline", "WithValue", "WithoutCancel", "WithCancelCause", "WithTimeoutCause", "WithDeadlineCause":
+				if len(e.Args) > 0 {
+					return traceCtx(pass, e.Args[0], stack, depth+1)
+				}
+			}
+		}
+		return ctxUnknown
+	}
+	return ctxUnknown
+}
+
+// calleeNamed resolves a call's target to a named function if possible.
+func calleeNamed(pass *analysis.Pass, call *ast.CallExpr) (*types.Func, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, ok := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn, ok
+	case *ast.SelectorExpr:
+		fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn, ok
+	}
+	return nil, false
+}
+
+// lastAssign finds the right-hand side that defines obj within the
+// innermost enclosing function body that assigns it. Tuple assignments
+// with one call on the right (ctx, cancel := context.WithTimeout(...))
+// resolve to that call.
+func lastAssign(pass *analysis.Pass, obj types.Object, stack []funcScope) ast.Expr {
+	var rhs ast.Expr
+	for i := len(stack) - 1; i >= 0 && rhs == nil; i-- {
+		ast.Inspect(stack[i].body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for li, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				target := pass.TypesInfo.Defs[id]
+				if target == nil {
+					target = pass.TypesInfo.Uses[id]
+				}
+				if target != obj {
+					continue
+				}
+				if len(as.Rhs) == len(as.Lhs) {
+					rhs = as.Rhs[li]
+				} else if len(as.Rhs) == 1 {
+					rhs = as.Rhs[0]
+				}
+			}
+			return true
+		})
+	}
+	return rhs
+}
+
+// checkMetaArg flags a literal rpc.Meta whose Deadline is computed from
+// the wall clock at the forwarding site.
+func checkMetaArg(pass *analysis.Pass, arg ast.Expr) {
+	lit, ok := ast.Unparen(arg).(*ast.CompositeLit)
+	if !ok {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Name() != "Meta" || !isRPCPkg(named.Obj().Pkg()) {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Deadline" {
+			continue
+		}
+		if pos, found := findsWallClock(pass, kv.Value); found {
+			pass.Reportf(pos,
+				"outgoing rpc.Meta deadline is minted from time.Now at the forwarding site; derive it from the incoming deadline instead")
+		}
+	}
+}
+
+// findsWallClock reports whether the expression calls time.Now.
+func findsWallClock(pass *analysis.Pass, e ast.Expr) (pos token.Pos, found bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if fn, ok := calleeNamed(pass, call); ok && fn.Name() == "Now" &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+			pos, found = call.Pos(), true
+		}
+		return !found
+	})
+	return pos, found
+}

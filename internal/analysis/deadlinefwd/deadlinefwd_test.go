@@ -1,0 +1,12 @@
+package deadlinefwd_test
+
+import (
+	"testing"
+
+	"leime/internal/analysis/analysistest"
+	"leime/internal/analysis/deadlinefwd"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", deadlinefwd.Analyzer, "fwd")
+}

@@ -1,0 +1,79 @@
+// Package fwd exercises deadlinefwd: forwards that drop the incoming
+// deadline (fresh Background context, wall-clock Meta.Deadline) are
+// flagged; propagated, derived-with-timeout, and origin-site contexts
+// are clean.
+package fwd
+
+import (
+	"context"
+	"time"
+
+	"rpc"
+)
+
+// okForward threads the incoming context straight through — clean.
+func okForward(ctx context.Context, c *rpc.Client) error {
+	_, err := c.CallMeta(ctx, rpc.Meta{}, "work")
+	return err
+}
+
+// okDerived tightens the incoming deadline — still derived, clean.
+func okDerived(ctx context.Context, c *rpc.Client) error {
+	tctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	_, err := c.Call(tctx, "work")
+	return err
+}
+
+// okOrigin has no incoming context at all: it IS the deadline origin.
+func okOrigin(c *rpc.Client) error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_, err := c.Call(ctx, "stamp")
+	return err
+}
+
+// okUnknown passes a context the analyzer cannot see through — not flagged.
+type holder struct{ ctx context.Context }
+
+func okUnknown(ctx context.Context, h *holder, c *rpc.Client) error {
+	_, err := c.Call(h.ctx, "work")
+	return err
+}
+
+// badFresh has an incoming context but forwards under a fresh one.
+func badFresh(ctx context.Context, c *rpc.Client) error {
+	_, err := c.Call(context.Background(), "work") // want `RPC forward drops the incoming deadline`
+	return err
+}
+
+// badFreshDerived wraps Background in a timeout — still a fresh budget.
+func badFreshDerived(ctx context.Context, c *rpc.Client) error {
+	tctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_, err := c.CallMeta(tctx, rpc.Meta{}, "work") // want `RPC forward drops the incoming deadline`
+	return err
+}
+
+// badMetaClock propagates ctx but re-mints the Meta deadline from the
+// wall clock.
+func badMetaClock(ctx context.Context, c *rpc.Client) error {
+	_, err := c.CallMeta(ctx, rpc.Meta{
+		Deadline: time.Now().Add(time.Second).UnixNano(), // want `minted from time.Now`
+	}, "work")
+	return err
+}
+
+// badClosure forwards under TODO inside a closure while the enclosing
+// function holds an incoming context.
+func badClosure(ctx context.Context, c *rpc.Client) func() {
+	return func() {
+		_, _ = c.Call(context.TODO(), "work") // want `RPC forward drops the incoming deadline`
+	}
+}
+
+// okMetaDerived fills the Meta deadline from the incoming one — clean.
+func okMetaDerived(ctx context.Context, c *rpc.Client, incoming rpc.Meta) error {
+	_, err := c.CallMeta(ctx, rpc.Meta{Deadline: incoming.Deadline}, "work")
+	return err
+}

@@ -1,0 +1,20 @@
+// Package rpc is the fixture stand-in for leime/internal/rpc: just the
+// client call surface and Meta that deadlinefwd resolves.
+package rpc
+
+import "context"
+
+// Meta is per-call metadata; Deadline is absolute nanoseconds.
+type Meta struct {
+	Trace    uint64
+	Deadline int64
+}
+
+// Client is the fixture RPC client.
+type Client struct{}
+
+// Call issues a request under ctx.
+func (c *Client) Call(ctx context.Context, body any) (any, error) { return nil, nil }
+
+// CallMeta issues a request with explicit metadata.
+func (c *Client) CallMeta(ctx context.Context, meta Meta, body any) (any, error) { return nil, nil }

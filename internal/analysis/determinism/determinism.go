@@ -42,6 +42,7 @@ var PurePaths = []string{
 	"leime/internal/metrics",
 	"leime/internal/model",
 	"leime/internal/offload",
+	"leime/internal/partition",
 	"leime/internal/scenario",
 	"leime/internal/sim",
 	"leime/internal/tensor",

@@ -15,17 +15,32 @@ type offsetEdit struct {
 // ApplyFixes applies the first SuggestedFix of every finding that carries
 // one, rewriting files in place. It returns the number of findings fixed.
 // Overlapping edits in one file abort with an error before anything is
-// written, so a partial application never reaches disk.
+// written, so a partial application never reaches disk. Whole-file edits
+// (TextEdit.File set) replace or create the named file; several findings
+// may carry the same whole-file content (they collapse to one write), but
+// divergent contents for one file abort.
 func ApplyFixes(findings []Finding) (int, error) {
 	perFile := map[string][]offsetEdit{}
+	whole := map[string][]byte{}
 	fixed := 0
-	var filenames []string
+	var filenames, wholeNames []string
 	for _, f := range findings {
 		if len(f.Diag.SuggestedFixes) == 0 {
 			continue
 		}
 		fixed++
 		for _, edit := range f.Diag.SuggestedFixes[0].TextEdits {
+			if edit.File != "" {
+				prev, ok := whole[edit.File]
+				if ok && string(prev) != string(edit.NewText) {
+					return 0, fmt.Errorf("analysis: conflicting whole-file fixes for %s", edit.File)
+				}
+				if !ok {
+					wholeNames = append(wholeNames, edit.File)
+					whole[edit.File] = edit.NewText
+				}
+				continue
+			}
 			start := f.Pkg.Fset.Position(edit.Pos)
 			end := f.Pkg.Fset.Position(edit.End)
 			if end.Filename != start.Filename || end.Offset < start.Offset {
@@ -37,6 +52,11 @@ func ApplyFixes(findings []Finding) (int, error) {
 			perFile[start.Filename] = append(perFile[start.Filename], offsetEdit{
 				start: start.Offset, end: end.Offset, text: edit.NewText,
 			})
+		}
+	}
+	for _, name := range wholeNames {
+		if len(perFile[name]) > 0 {
+			return 0, fmt.Errorf("analysis: %s has both whole-file and ranged fixes", name)
 		}
 	}
 	sort.Strings(filenames)
@@ -59,6 +79,12 @@ func ApplyFixes(findings []Finding) (int, error) {
 			data = append(data[:e.start], append(append([]byte{}, e.text...), data[e.end:]...)...)
 		}
 		if err := os.WriteFile(name, data, 0o644); err != nil {
+			return 0, err
+		}
+	}
+	sort.Strings(wholeNames)
+	for _, name := range wholeNames {
+		if err := os.WriteFile(name, whole[name], 0o644); err != nil {
 			return 0, err
 		}
 	}

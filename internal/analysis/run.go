@@ -29,10 +29,12 @@ func (f Finding) String() string {
 // Run applies every analyzer to every package, resolves positions, drops
 // findings silenced by //lint:ignore directives, surfaces malformed
 // directives as findings of their own, and returns the remainder sorted by
-// position.
+// position. Packages are analyzed in dependency order so facts exported
+// about a package's symbols are in the store before any importer's pass.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	facts := NewFacts()
 	var all []Finding
-	for _, pkg := range pkgs {
+	for _, pkg := range dependencyOrder(pkgs) {
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
@@ -40,6 +42,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				Files:     pkg.Files,
 				Pkg:       pkg.Pkg,
 				TypesInfo: pkg.Info,
+				Facts:     facts,
 			}
 			pkg, a := pkg, a
 			pass.Report = func(d Diagnostic) {
@@ -63,6 +66,12 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 			out = append(out, f)
 		}
 	}
+	sortFindings(out)
+	return out, nil
+}
+
+// sortFindings orders findings by file, line, column, then analyzer.
+func sortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Position.Filename != b.Position.Filename {
@@ -76,5 +85,34 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out, nil
+}
+
+// dependencyOrder sorts the loaded packages so every package follows the
+// packages it imports (restricted to the loaded set; imports outside it are
+// typechecked dependencies, not analysis targets). The input order breaks
+// remaining ties, keeping single-package runs untouched.
+func dependencyOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Pkg.Path()] = p
+	}
+	out := make([]*Package, 0, len(pkgs))
+	seen := make(map[*Package]bool, len(pkgs))
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if seen[p] {
+			return
+		}
+		seen[p] = true
+		for _, imp := range p.Pkg.Imports() {
+			if dep, ok := byPath[imp.Path()]; ok {
+				visit(dep)
+			}
+		}
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
 }

@@ -1,0 +1,425 @@
+// Package spanbalance enforces that every telemetry span started is also
+// ended. telemetry.StartSpan returns an *Active that records into the ring
+// buffer only on End(); a span leaked on one control-flow path silently
+// drops a node from the trace tree the 11-span integration test pins, and
+// the corruption only shows on the path that leaked — usually an error
+// path no test walks.
+//
+// The check is an intra-procedural must-call analysis: from every
+// StartSpan assignment, End() (or a defer that calls it) must be reached
+// on every path to function exit. Spans that escape the function — stored
+// in a struct, returned, sent on a channel, or captured by a go statement
+// — are skipped: ownership moved, and the new owner is checked where it
+// ends the span. Passing the span to an ordinary call (spanMeta et al.)
+// does not discharge the obligation.
+package spanbalance
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"leime/internal/analysis"
+)
+
+// Analyzer reports telemetry spans not ended on every control-flow path.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanbalance",
+	Doc:  "every telemetry.StartSpan must be ended on all control-flow paths",
+	Run:  run,
+}
+
+// setters are the chainable *Active methods that return the same span.
+var setters = map[string]bool{
+	"SetDevice": true, "SetTask": true, "SetExit": true, "SetNote": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				checkFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkFunc analyzes one function body. Nested function literals are
+// visited separately by the file walk; here they only matter as defer
+// bodies and escape routes.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	for _, obj := range spanVars(pass, body) {
+		c := &checker{pass: pass, obj: obj, body: body}
+		if c.escapes() {
+			continue
+		}
+		ended, diverged := c.block(body.List, true)
+		if len(c.leaks) == 0 && (ended || diverged) {
+			continue
+		}
+		pos := c.firstStart
+		at := "function exit"
+		if len(c.leaks) > 0 {
+			at = "the return at " + pass.Fset.Position(c.leaks[0]).String()
+		}
+		pass.Reportf(pos, "span %s is not ended on every path (leaks at %s); call End() on all paths or defer it", obj.Name(), at)
+	}
+	// A started span discarded outright can never be ended. Nested
+	// closures get their own checkFunc walk — don't descend into them
+	// here or their discards would be reported twice.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		st, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		if base, isChain := startSpanChain(pass, st.X); isChain && !chainEnds(st.X) {
+			pass.Reportf(base.Pos(), "span started and discarded without End(); the trace node is never recorded")
+		}
+		return true
+	})
+}
+
+// spanVars finds the local variables a StartSpan chain is assigned to
+// anywhere in the body, in source order.
+func spanVars(pass *analysis.Pass, body *ast.BlockStmt) []types.Object {
+	var out []types.Object
+	seen := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		if _, isChain := startSpanChain(pass, as.Rhs[0]); !isChain {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj != nil && !seen[obj] {
+			seen[obj] = true
+			out = append(out, obj)
+		}
+		return true
+	})
+	return out
+}
+
+// startSpanChain reports whether expr is a call chain whose base call is
+// telemetry StartSpan, possibly wrapped in chainable setters (and End);
+// it returns the base StartSpan call.
+func startSpanChain(pass *analysis.Pass, expr ast.Expr) (*ast.CallExpr, bool) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	if setters[sel.Sel.Name] || sel.Sel.Name == "End" {
+		return startSpanChain(pass, sel.X)
+	}
+	if sel.Sel.Name != "StartSpan" {
+		return nil, false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil, false
+	}
+	p := fn.Pkg().Path()
+	if p != "telemetry" && !strings.HasSuffix(p, "/telemetry") {
+		return nil, false
+	}
+	return call, true
+}
+
+// chainEnds reports whether the outermost call of a chain is End().
+func chainEnds(expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "End"
+}
+
+// checker runs the must-End path analysis for one span variable.
+type checker struct {
+	pass       *analysis.Pass
+	obj        types.Object
+	body       *ast.BlockStmt
+	leaks      []token.Pos
+	firstStart token.Pos
+}
+
+// escapes reports whether the span's ownership may leave the function:
+// returned, stored into anything, sent, or captured by a go statement.
+// Being a call argument or a method receiver is not an escape.
+func (c *checker) escapes() bool {
+	escaped := false
+	var visit func(n ast.Node, inGo bool)
+	visit = func(n ast.Node, inGo bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if escaped {
+				return false
+			}
+			switch v := m.(type) {
+			case *ast.GoStmt:
+				visit(v.Call, true)
+				return false
+			case *ast.ReturnStmt:
+				for _, r := range v.Results {
+					if c.mentions(r) {
+						escaped = true
+					}
+				}
+			case *ast.AssignStmt:
+				for _, r := range v.Rhs {
+					// Re-binding via the span's own chain (x := x.SetNote)
+					// keeps ownership; anything else that copies the value
+					// out (y := x, s.f = x) moves it.
+					if c.usesIdent(r) {
+						escaped = true
+					}
+				}
+			case *ast.CompositeLit:
+				for _, e := range v.Elts {
+					if c.mentions(e) {
+						escaped = true
+					}
+				}
+			case *ast.SendStmt:
+				if c.mentions(v.Value) {
+					escaped = true
+				}
+			case *ast.Ident:
+				if inGo && c.isObj(v) {
+					escaped = true
+				}
+			}
+			return !escaped
+		})
+	}
+	visit(c.body, false)
+	return escaped
+}
+
+// isObj reports whether id denotes the tracked span variable.
+func (c *checker) isObj(id *ast.Ident) bool {
+	return c.pass.TypesInfo.Uses[id] == c.obj || c.pass.TypesInfo.Defs[id] == c.obj
+}
+
+// mentions reports whether the span identifier appears anywhere in n.
+func (c *checker) mentions(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && c.isObj(id) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// usesIdent reports whether expr is exactly the bare span identifier
+// (a copy-out), as opposed to a chain rooted at it.
+func (c *checker) usesIdent(expr ast.Expr) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	return ok && c.isObj(id)
+}
+
+// block walks one statement list. ended is true while no un-Ended span is
+// live on this path (before the first StartSpan assignment, and again
+// after End or a covering defer). Returns the state at the list's end and
+// whether every path through it diverges (returns/branches away).
+func (c *checker) block(stmts []ast.Stmt, ended bool) (bool, bool) {
+	for _, s := range stmts {
+		var diverged bool
+		ended, diverged = c.stmt(s, ended)
+		if diverged {
+			return ended, true
+		}
+	}
+	return ended, false
+}
+
+func (c *checker) stmt(s ast.Stmt, ended bool) (bool, bool) {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		if len(st.Lhs) == 1 && len(st.Rhs) == 1 {
+			if id, ok := st.Lhs[0].(*ast.Ident); ok && c.isObj(id) {
+				if _, isChain := startSpanChain(c.pass, st.Rhs[0]); isChain {
+					if c.firstStart == token.NoPos {
+						c.firstStart = st.Rhs[0].Pos()
+					}
+					// Obligation (re)opens here — unless the chain itself
+					// already ends the span.
+					return chainEnds(st.Rhs[0]), false
+				}
+			}
+		}
+		return ended, false
+	case *ast.ExprStmt:
+		if c.isEndCall(st.X) {
+			return true, false
+		}
+		return ended, false
+	case *ast.DeferStmt:
+		if c.deferEnds(st) {
+			return true, false
+		}
+		return ended, false
+	case *ast.ReturnStmt:
+		if !ended {
+			c.leaks = append(c.leaks, st.Pos())
+		}
+		return ended, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the list; treat like divergence so code
+		// after them is not charged with this path's state.
+		return ended, true
+	case *ast.BlockStmt:
+		return c.block(st.List, ended)
+	case *ast.LabeledStmt:
+		return c.stmt(st.Stmt, ended)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			ended, _ = c.stmt(st.Init, ended)
+		}
+		thenEnded, thenDiv := c.block(st.Body.List, ended)
+		elseEnded, elseDiv := ended, false
+		if st.Else != nil {
+			elseEnded, elseDiv = c.stmt(st.Else, ended)
+		}
+		switch {
+		case thenDiv && elseDiv:
+			return ended, true
+		case thenDiv:
+			return elseEnded, false
+		case elseDiv:
+			return thenEnded, false
+		default:
+			return thenEnded && elseEnded, false
+		}
+	case *ast.ForStmt:
+		// The body may run zero times: leaks inside are collected, but the
+		// exit state is the entry state unless the body unconditionally
+		// ends (covered by the zero-iteration merge below).
+		bodyEnded, _ := c.block(st.Body.List, ended)
+		return ended && bodyEnded, false
+	case *ast.RangeStmt:
+		bodyEnded, _ := c.block(st.Body.List, ended)
+		return ended && bodyEnded, false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var clauses []ast.Stmt
+		hasDefault := false
+		switch sw := st.(type) {
+		case *ast.SwitchStmt:
+			clauses = sw.Body.List
+		case *ast.TypeSwitchStmt:
+			clauses = sw.Body.List
+		case *ast.SelectStmt:
+			clauses = sw.Body.List
+		}
+		allExit := true
+		for _, cl := range clauses {
+			var body []ast.Stmt
+			switch cc := cl.(type) {
+			case *ast.CaseClause:
+				body = cc.Body
+				if cc.List == nil {
+					hasDefault = true
+				}
+			case *ast.CommClause:
+				body = cc.Body
+				if cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			clEnded, clDiv := c.block(body, ended)
+			if !clEnded && !clDiv {
+				allExit = false
+			}
+		}
+		if _, isSelect := st.(*ast.SelectStmt); isSelect {
+			hasDefault = true // a select blocks until some case runs
+		}
+		if allExit && hasDefault && len(clauses) > 0 {
+			return true, false
+		}
+		return ended, false
+	case *ast.GoStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.EmptyStmt:
+		return ended, false
+	}
+	return ended, false
+}
+
+// isEndCall reports whether expr is a call chain rooted at the span
+// variable whose outermost method is End.
+func (c *checker) isEndCall(expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	return c.chainBaseIsObj(sel.X)
+}
+
+// chainBaseIsObj unwraps a method chain to its base identifier.
+func (c *checker) chainBaseIsObj(expr ast.Expr) bool {
+	for {
+		switch v := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return c.isObj(v)
+		case *ast.CallExpr:
+			expr = v.Fun
+		case *ast.SelectorExpr:
+			expr = v.X
+		default:
+			return false
+		}
+	}
+}
+
+// deferEnds reports whether a defer statement ends the span: either
+// `defer x.End()` directly or a deferred closure containing x.End().
+func (c *checker) deferEnds(st *ast.DeferStmt) bool {
+	if sel, ok := st.Call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" && c.chainBaseIsObj(sel.X) {
+		return true
+	}
+	if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+		found := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if e, ok := n.(*ast.ExprStmt); ok && c.isEndCall(e.X) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	return false
+}

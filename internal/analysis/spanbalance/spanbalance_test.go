@@ -1,0 +1,12 @@
+package spanbalance_test
+
+import (
+	"testing"
+
+	"leime/internal/analysis/analysistest"
+	"leime/internal/analysis/spanbalance"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", spanbalance.Analyzer, "spans")
+}

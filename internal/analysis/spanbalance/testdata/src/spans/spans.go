@@ -1,0 +1,103 @@
+// Package spans exercises spanbalance: leaked spans on early returns and
+// discarded chains are flagged; deferred, all-path, chained, escaping and
+// conditionally-started spans are clean.
+package spans
+
+import "telemetry"
+
+func work() error { return nil }
+
+// okDefer ends via defer — clean.
+func okDefer(tr *telemetry.Tracer) error {
+	s := tr.StartSpan(telemetry.SpanContext{}, "task")
+	defer s.End()
+	return work()
+}
+
+// okDeferClosure ends inside a deferred closure — clean.
+func okDeferClosure(tr *telemetry.Tracer) error {
+	s := tr.StartSpan(telemetry.SpanContext{}, "task")
+	defer func() {
+		s.SetNote("done")
+		s.End()
+	}()
+	return work()
+}
+
+// okAllPaths ends explicitly on both the error and success paths — clean.
+func okAllPaths(tr *telemetry.Tracer) error {
+	s := tr.StartSpan(telemetry.SpanContext{}, "rpc").SetDevice("d")
+	if err := work(); err != nil {
+		s.SetNote("error").End()
+		return err
+	}
+	s.End()
+	return nil
+}
+
+// okChained starts and ends in one statement — clean.
+func okChained(tr *telemetry.Tracer) {
+	tr.StartSpan(telemetry.SpanContext{}, "decision").SetNote("local").End()
+}
+
+// okConditionalStart mirrors the runtime pattern: the span may not start
+// (tracing off), End is nil-safe and unconditional — clean.
+func okConditionalStart(tr *telemetry.Tracer, tracing bool) error {
+	var s *telemetry.Active
+	if tracing {
+		s = tr.StartSpan(telemetry.SpanContext{}, "rpc")
+	}
+	if err := work(); err != nil {
+		s.End()
+		return err
+	}
+	s.End()
+	return nil
+}
+
+// okEscapesReturn hands the span to the caller — ownership moves, clean.
+func okEscapesReturn(tr *telemetry.Tracer) *telemetry.Active {
+	s := tr.StartSpan(telemetry.SpanContext{}, "task")
+	return s
+}
+
+// okEscapesGo hands the span to a goroutine — clean here.
+func okEscapesGo(tr *telemetry.Tracer) {
+	s := tr.StartSpan(telemetry.SpanContext{}, "task")
+	go func() {
+		s.End()
+	}()
+}
+
+// badEarlyReturn leaks the span on the error path.
+func badEarlyReturn(tr *telemetry.Tracer) error {
+	s := tr.StartSpan(telemetry.SpanContext{}, "rpc") // want `span s is not ended on every path`
+	if err := work(); err != nil {
+		return err
+	}
+	s.End()
+	return nil
+}
+
+// badNeverEnded never ends the span at all.
+func badNeverEnded(tr *telemetry.Tracer) error {
+	s := tr.StartSpan(telemetry.SpanContext{}, "rpc").SetTask(1) // want `span s is not ended on every path`
+	s.SetNote("started")
+	return work()
+}
+
+// badDiscarded drops the started span on the floor.
+func badDiscarded(tr *telemetry.Tracer) {
+	tr.StartSpan(telemetry.SpanContext{}, "decision").SetNote("x") // want `started and discarded without End`
+}
+
+// badSwitchLeak ends in one case but falls through the switch in another.
+func badSwitchLeak(tr *telemetry.Tracer, n int) {
+	s := tr.StartSpan(telemetry.SpanContext{}, "rpc") // want `span s is not ended on every path`
+	switch n {
+	case 0:
+		s.End()
+	case 1:
+		s.SetNote("skipped")
+	}
+}

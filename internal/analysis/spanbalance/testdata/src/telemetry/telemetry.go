@@ -1,0 +1,26 @@
+// Package telemetry is the fixture stand-in for leime/internal/telemetry:
+// the span surface spanbalance resolves, with no recording behind it.
+package telemetry
+
+// SpanContext identifies a span's position in a trace.
+type SpanContext struct{ Trace, Span uint64 }
+
+// Tracer hands out spans.
+type Tracer struct{}
+
+// Active is a started span; only End records it.
+type Active struct{}
+
+// StartSpan opens a span under parent.
+func (t *Tracer) StartSpan(parent SpanContext, name string) *Active { return &Active{} }
+
+func (a *Active) SetDevice(d string) *Active { return a }
+func (a *Active) SetTask(id uint64) *Active  { return a }
+func (a *Active) SetExit(e int) *Active      { return a }
+func (a *Active) SetNote(n string) *Active   { return a }
+
+// End records the span.
+func (a *Active) End() {}
+
+// Context returns the span's context for propagation.
+func (a *Active) Context() SpanContext { return SpanContext{} }

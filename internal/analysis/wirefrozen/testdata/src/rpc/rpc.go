@@ -1,0 +1,34 @@
+// Package rpc is the fixture stand-in for leime/internal/rpc: just enough
+// surface for wirefrozen to resolve RegisterCodec calls and Encoder
+// methods.
+package rpc
+
+// Encoder mirrors the real append-only wire encoder.
+type Encoder struct{ buf []byte }
+
+func (e *Encoder) String(s string)   {}
+func (e *Encoder) Bytes(p []byte)    {}
+func (e *Encoder) Bool(b bool)       {}
+func (e *Encoder) Byte(b byte)       {}
+func (e *Encoder) Int(v int)         {}
+func (e *Encoder) Uvarint(v uint64)  {}
+func (e *Encoder) Varint(v int64)    {}
+func (e *Encoder) Float64(f float64) {}
+
+// Decoder mirrors the real sticky-error wire decoder.
+type Decoder struct{}
+
+func (d *Decoder) String() string   { return "" }
+func (d *Decoder) Bytes() []byte    { return nil }
+func (d *Decoder) Bool() bool       { return false }
+func (d *Decoder) Int() int         { return 0 }
+func (d *Decoder) Uvarint() uint64  { return 0 }
+func (d *Decoder) Varint() int64    { return 0 }
+func (d *Decoder) Float64() float64 { return 0 }
+
+// EncodeFunc and DecodeFunc mirror the registry function types.
+type EncodeFunc func(e *Encoder, v any)
+type DecodeFunc func(d *Decoder) (any, error)
+
+// RegisterCodec mirrors the registry entry point.
+func RegisterCodec(id uint16, prototype any, enc EncodeFunc, dec DecodeFunc) {}

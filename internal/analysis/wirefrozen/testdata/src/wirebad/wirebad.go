@@ -1,0 +1,62 @@
+// Package wirebad violates the manifest in every detectable way: a reused
+// ID, a changed signature, an unrecorded appendix, an orphaned manifest
+// entry, and an in-code duplicate. The test synthesizes the manifest it is
+// checked against (see wirefrozen_test.go).
+package wirebad // want `wire.manifest entry for codec ID 4 \(wirebad.GoneReq\) has no rpc.RegisterCodec`
+
+import "rpc"
+
+type NewReq struct{ Name string }
+
+type SwapReq struct {
+	A string
+	B uint64
+}
+
+type FreshReq struct{ N int }
+
+type DupA struct{ X int }
+type DupB struct{ Y int }
+
+func registerAll() {
+	rpc.RegisterCodec(1, NewReq{}, // want `codec ID 1 reused: wire.manifest binds it to wirebad.OldReq but the code registers wirebad.NewReq`
+		func(e *rpc.Encoder, v any) {
+			e.String(v.(NewReq).Name)
+		},
+		func(d *rpc.Decoder) (any, error) {
+			return NewReq{Name: d.String()}, nil
+		})
+	rpc.RegisterCodec(2, SwapReq{}, // want `wire signature of codec ID 2 \(wirebad.SwapReq\) changed`
+		func(e *rpc.Encoder, v any) {
+			r := v.(SwapReq)
+			e.Uvarint(r.B) // swapped against the manifest's String-then-Uvarint
+			e.String(r.A)
+		},
+		func(d *rpc.Decoder) (any, error) {
+			var r SwapReq
+			r.B = d.Uvarint()
+			r.A = d.String()
+			return r, nil
+		})
+	rpc.RegisterCodec(3, FreshReq{}, // want `codec ID 3 \(wirebad.FreshReq\) is not in wire.manifest`
+		func(e *rpc.Encoder, v any) {
+			e.Int(v.(FreshReq).N)
+		},
+		func(d *rpc.Decoder) (any, error) {
+			return FreshReq{N: d.Int()}, nil
+		})
+	rpc.RegisterCodec(5, DupA{},
+		func(e *rpc.Encoder, v any) {
+			e.Int(v.(DupA).X)
+		},
+		func(d *rpc.Decoder) (any, error) {
+			return DupA{X: d.Int()}, nil
+		})
+	rpc.RegisterCodec(5, DupB{}, // want `codec ID 5 registered twice: for wirebad.DupA and wirebad.DupB`
+		func(e *rpc.Encoder, v any) {
+			e.Int(v.(DupB).Y)
+		},
+		func(d *rpc.Decoder) (any, error) {
+			return DupB{Y: d.Int()}, nil
+		})
+}

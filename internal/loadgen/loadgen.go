@@ -185,7 +185,11 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				continue
 			}
 			c, _ := dc.get()
-			unregCtx, cancel := context.WithTimeout(context.Background(), rpc.DialTimeout)
+			// Unregistration must survive the run context's cancellation
+			// (SIGINT lands here too) or every aborted run leaks tenant
+			// shares on the edge — detach cancellation, keep the lineage,
+			// and bound the exchange on its own dial budget.
+			unregCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), rpc.DialTimeout)
 			_, _ = c.Call(unregCtx, runtime.UnregisterReq{DeviceID: ids[i]})
 			cancel()
 		}
